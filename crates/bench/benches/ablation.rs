@@ -1,0 +1,88 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **Procedure placement** — the paper's original-order hybrid layout
+//!    vs a hot-first profile-guided order (the paper's §5.3 future work).
+//! 2. **`swic` drain penalty** — the cost of requiring a non-speculative
+//!    pipeline before writing the I-cache (§4).
+//! 3. **Exception entry/return penalty** — how much of the decompression
+//!    overhead is pipeline flushing rather than handler execution.
+
+use rtdc::prelude::*;
+use rtdc_bench::experiments::MAX_INSNS;
+use rtdc_sim::SimConfig;
+use rtdc_workloads::{by_name, generate_cached};
+
+fn main() {
+    let cfg = SimConfig::hpca2000_baseline();
+
+    println!("== Ablation 1: hybrid-layout procedure placement (§5.3 future work) ==");
+    println!(
+        "{:<12} {:<6} {:<5} {:>14} {:>12} {:>12}",
+        "benchmark", "select", "thr", "native cycles", "orig order", "hot-first"
+    );
+    for name in ["go", "mpeg2enc"] {
+        let spec = by_name(name).unwrap();
+        let program = generate_cached(&spec);
+        let (native, profile) = profile_native(&program, cfg, MAX_INSNS).expect("profile");
+        let base = native.stats.cycles as f64;
+        for strategy in [SelectBy::Execution, SelectBy::Miss] {
+            for threshold in [0.20, 0.50] {
+                let sel = Selection::by_profile(&profile, strategy, threshold);
+                let orig = build_compressed(&program, Scheme::Dictionary, false, &sel).unwrap();
+                let orig_run = run_image(&orig, cfg, MAX_INSNS).unwrap();
+                let order = placement_hot_first(&profile, strategy);
+                let hot = build_compressed_ordered(
+                    &program,
+                    Scheme::Dictionary,
+                    false,
+                    &sel,
+                    &order,
+                )
+                .unwrap();
+                let hot_run = run_image(&hot, cfg, MAX_INSNS).unwrap();
+                assert_eq!(orig_run.output, native.output);
+                assert_eq!(hot_run.output, native.output);
+                println!(
+                    "{:<12} {:<6} {:>4.0}% {:>14} {:>11.3}x {:>11.3}x",
+                    name,
+                    strategy.to_string(),
+                    100.0 * threshold,
+                    native.stats.cycles,
+                    orig_run.stats.cycles as f64 / base,
+                    hot_run.stats.cycles as f64 / base,
+                );
+            }
+        }
+    }
+
+    println!("\n== Ablation 2: swic pipeline-drain penalty (cycles per swic) ==");
+    let spec = by_name("go").unwrap();
+    let program = generate_cached(&spec);
+    let n = program.procedures.len();
+    let all = Selection::all_compressed(n);
+    let image = build_compressed(&program, Scheme::Dictionary, false, &all).unwrap();
+    let native = build_native(&program).unwrap();
+    for penalty in [0u64, 1, 2, 4] {
+        let mut c = cfg;
+        c.swic_penalty = penalty;
+        let nat = run_image(&native, c, MAX_INSNS).unwrap();
+        let run = run_image(&image, c, MAX_INSNS).unwrap();
+        println!(
+            "swic_penalty={penalty}: slowdown {:.3}x",
+            run.stats.cycles as f64 / nat.stats.cycles as f64
+        );
+    }
+
+    println!("\n== Ablation 3: exception entry/return flush penalty ==");
+    for penalty in [0u64, 4, 10] {
+        let mut c = cfg;
+        c.exception_entry_penalty = penalty;
+        c.exception_return_penalty = penalty;
+        let nat = run_image(&native, c, MAX_INSNS).unwrap();
+        let run = run_image(&image, c, MAX_INSNS).unwrap();
+        println!(
+            "entry/return={penalty}: slowdown {:.3}x",
+            run.stats.cycles as f64 / nat.stats.cycles as f64
+        );
+    }
+}

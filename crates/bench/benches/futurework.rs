@@ -1,0 +1,68 @@
+//! §6 future work — "it is worthwhile to investigate software
+//! decompressors that can attain even higher levels of compression with a
+//! higher decompression overhead."
+//!
+//! This harness measures a third, fully-implemented scheme against the
+//! paper's two: the byte-aligned two-level dictionary **D2** (1-byte codes
+//! for the 128 hottest instructions, 2-byte codes for the next 16K, raw
+//! escapes; per-line mapping table; handler in
+//! `crates/core/src/handlers/bytedict_body.s`). It answers the paper's
+//! question concretely: where does a denser-than-D, cheaper-than-CP
+//! decompressor land on the size/speed plane?
+
+use rtdc::prelude::*;
+use rtdc_bench::experiments::{pct, run_native, run_scheme, MAX_INSNS};
+use rtdc_sim::SimConfig;
+use rtdc_workloads::{all_benchmarks, generate_cached};
+
+fn main() {
+    let cfg = SimConfig::hpca2000_baseline();
+    println!("== §6 future work: the D2 byte-aligned two-level dictionary ==");
+    println!("(compression ratio and slowdown vs the paper's D and CP)\n");
+    println!(
+        "{:<12} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} | {:>10}",
+        "benchmark", "D", "D2", "CP", "D", "D2", "CP", "D2 h-insn"
+    );
+    println!(
+        "{:<12} | {:^23} | {:^23} | {:>10}",
+        "", "compression ratio", "slowdown", "per miss"
+    );
+    for spec in all_benchmarks() {
+        let program = generate_cached(&spec);
+        let n = program.procedures.len();
+        let all = Selection::all_compressed(n);
+        let native = run_native(&spec, cfg);
+        let base = native.stats.cycles as f64;
+
+        let mut ratios = Vec::new();
+        let mut slows = Vec::new();
+        let mut d2_handler = 0.0;
+        for scheme in [Scheme::Dictionary, Scheme::ByteDict, Scheme::CodePack] {
+            let image = build_compressed(&program, scheme, false, &all).expect("build");
+            ratios.push(image.sizes.compression_ratio());
+            let run = run_scheme(&spec, scheme, false, &all, cfg);
+            assert_eq!(run.output, native.output, "{} {scheme:?}", spec.name);
+            slows.push(run.stats.cycles as f64 / base);
+            if scheme == Scheme::ByteDict {
+                d2_handler = run.stats.handler_insns_per_exception();
+            }
+        }
+        println!(
+            "{:<12} | {:>7} {:>7} {:>7} | {:>6.2}x {:>6.2}x {:>6.2}x | {:>10.0}",
+            spec.name,
+            pct(ratios[0]),
+            pct(ratios[1]),
+            pct(ratios[2]),
+            slows[0],
+            slows[1],
+            slows[2],
+            d2_handler,
+        );
+        let _ = MAX_INSNS;
+    }
+    println!("\nShape checks: D2's ratio sits at or below CodePack's; its slowdown");
+    println!("sits between D and CP (byte-aligned decode needs no bit buffer, but");
+    println!("variable-length codes still force the mapping-table indirection).");
+    println!("This is the §6 trade-off made concrete: more compression than the");
+    println!("16-bit dictionary is available well below CodePack's decode cost.");
+}

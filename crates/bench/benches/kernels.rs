@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks of the pure algorithm kernels: compression
+//! and decompression throughput for the three algorithms, and raw
+//! simulator speed. These are the implementation-performance numbers
+//! (host-side), complementing the simulated-machine results of the
+//! table/figure harnesses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rtdc::prelude::*;
+use rtdc_compress::codepack::CodePackCompressed;
+use rtdc_compress::dictionary::DictionaryCompressed;
+use rtdc_compress::lzrw1;
+use rtdc_sim::SimConfig;
+use rtdc_workloads::{generate, spec};
+
+/// A realistic instruction-word stream: the pegwit analog's linked text.
+fn sample_text() -> Vec<u32> {
+    let program = generate(&spec::pegwit());
+    let image = build_native(&program).expect("native build");
+    let seg = image.segment(".text").expect("text");
+    seg.bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+fn bench_compressors(c: &mut Criterion) {
+    let words = sample_text();
+    let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+    let mut g = c.benchmark_group("compress");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function(BenchmarkId::new("dictionary", words.len()), |b| {
+        b.iter(|| DictionaryCompressed::compress(&words).unwrap())
+    });
+    g.bench_function(BenchmarkId::new("codepack", words.len()), |b| {
+        b.iter(|| CodePackCompressed::compress(&words))
+    });
+    g.bench_function(BenchmarkId::new("lzrw1", words.len()), |b| {
+        b.iter(|| lzrw1::compress(&bytes))
+    });
+    g.finish();
+
+    let dict = DictionaryCompressed::compress(&words).unwrap();
+    let cp = CodePackCompressed::compress(&words);
+    let lz = lzrw1::compress(&bytes);
+    let mut g = c.benchmark_group("decompress");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("dictionary", |b| b.iter(|| dict.decompress()));
+    g.bench_function("codepack", |b| b.iter(|| cp.decompress()));
+    g.bench_function("lzrw1", |b| b.iter(|| lzrw1::decompress(&lz).unwrap()));
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let program = generate(&spec::pegwit());
+    let native = build_native(&program).expect("native build");
+    let cfg = SimConfig::hpca2000_baseline();
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("native_100k_insns", |b| {
+        b.iter(|| {
+            let mut m = load_image(&native, cfg);
+            while m.stats().insns < 100_000 {
+                if !matches!(m.step().expect("step"), rtdc_sim::Step::Continue) {
+                    break;
+                }
+            }
+            m.stats().cycles
+        })
+    });
+    let compressed = build_compressed(
+        &program,
+        Scheme::Dictionary,
+        false,
+        &Selection::all_compressed(program.procedures.len()),
+    )
+    .expect("compressed build");
+    g.bench_function("dictionary_100k_insns", |b| {
+        b.iter(|| {
+            let mut m = load_image(&compressed, cfg);
+            while m.stats().insns < 100_000 {
+                if !matches!(m.step().expect("step"), rtdc_sim::Step::Continue) {
+                    break;
+                }
+            }
+            m.stats().cycles
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compressors, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Table 2 — "Compression ratio of .text section".
+//!
+//! For each benchmark: dynamic instruction count, non-speculative 16KB
+//! I-cache miss ratio, original/dictionary/CodePack sizes, and the
+//! dictionary/CodePack/LZRW1 compression ratios. Paper values are printed
+//! alongside for comparison (absolute dynamic counts are scaled down by
+//! design; see EXPERIMENTS.md).
+
+use rtdc_bench::experiments::{pct, table2_row};
+use rtdc_sim::SimConfig;
+use rtdc_workloads::all_benchmarks;
+
+fn main() {
+    let cfg = SimConfig::hpca2000_baseline();
+    println!("== Table 2: Compression ratio of .text section ==");
+    println!("(paper values in parentheses; dynamic counts intentionally ~25-100x shorter)\n");
+    println!(
+        "{:<12} {:>10} {:>16} {:>11} {:>11} {:>11} {:>16} {:>16} {:>16}",
+        "benchmark",
+        "dyn insns",
+        "miss ratio",
+        "orig B",
+        "dict B",
+        "CP B",
+        "dict ratio",
+        "CP ratio",
+        "LZRW1 ratio",
+    );
+    for spec in all_benchmarks() {
+        let r = table2_row(&spec, cfg);
+        let p = spec.paper;
+        println!(
+            "{:<12} {:>10} {:>7} ({:>6}) {:>11} {:>11} {:>11} {:>7} ({:>6}) {:>7} ({:>6}) {:>7} ({:>6})",
+            r.name,
+            r.dynamic_insns,
+            pct(r.miss_ratio),
+            pct(p.miss_ratio_16k),
+            r.original_bytes,
+            r.dict_bytes,
+            r.cp_bytes,
+            pct(r.dict_ratio),
+            pct(p.dict_ratio),
+            pct(r.cp_ratio),
+            pct(p.codepack_ratio),
+            pct(r.lzrw1_ratio),
+            pct(p.lzrw1_ratio),
+        );
+    }
+    println!("\nShape checks: CP < dict for every row; dict within ~0.50-0.85; CP ~0.55-0.70.");
+}

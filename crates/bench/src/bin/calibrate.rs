@@ -1,0 +1,39 @@
+//! Calibration tool: prints measured vs paper Table 2 statistics for each
+//! benchmark so generator parameters can be tuned.
+
+use rtdc_bench::experiments::{pct, table2_row};
+use rtdc_sim::SimConfig;
+use rtdc_workloads::all_benchmarks;
+
+fn main() {
+    let cfg = SimConfig::hpca2000_baseline();
+    let only: Option<String> = std::env::args().nth(1);
+    println!(
+        "{:<12} {:>9} {:>9} | {:>7} {:>7} | {:>6} {:>6} | {:>6} {:>6} | {:>6} {:>6}",
+        "bench", "dyn(K)", "origKB", "miss%", "paper%", "dict%", "paper", "cp%", "paper", "lz%", "paper"
+    );
+    for spec in all_benchmarks() {
+        if let Some(f) = &only {
+            if spec.name != f {
+                continue;
+            }
+        }
+        let t0 = std::time::Instant::now();
+        let row = table2_row(&spec, cfg);
+        println!(
+            "{:<12} {:>9} {:>9} | {:>7} {:>7} | {:>6} {:>6} | {:>6} {:>6} | {:>6} {:>6}   ({:.1}s)",
+            row.name,
+            row.dynamic_insns / 1000,
+            row.original_bytes / 1024,
+            pct(row.miss_ratio),
+            pct(spec.paper.miss_ratio_16k),
+            pct(row.dict_ratio),
+            pct(spec.paper.dict_ratio),
+            pct(row.cp_ratio),
+            pct(spec.paper.codepack_ratio),
+            pct(row.lzrw1_ratio),
+            pct(spec.paper.lzrw1_ratio),
+            t0.elapsed().as_secs_f64(),
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Diagnostic: CodePack component breakdown and halfword statistics for
+//! one benchmark (default cc1).
+
+use std::collections::HashMap;
+
+use rtdc::prelude::*;
+use rtdc_workloads::{by_name, generate};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "cc1".into());
+    let spec = by_name(&name).expect("unknown benchmark");
+    let program = generate(&spec);
+    let native = build_native(&program).unwrap();
+    let text = &native.segment(".text").unwrap().bytes;
+    let words: Vec<u32> = text
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+
+    let n = words.len();
+    let cp = rtdc_compress::codepack::CodePackCompressed::compress(&words);
+    println!("{name}: {n} insns, {} bytes native", 4 * n);
+    println!(
+        "groups {}B ({:.1} bits/insn), table {}B, dicts {}B => total {:.1}%",
+        cp.group_bytes().len(),
+        8.0 * cp.group_bytes().len() as f64 / n as f64,
+        4 * cp.bases().len() + 2 * cp.deltas().len(),
+        2 * (cp.hi_dict().len() + cp.lo_dict().len()),
+        100.0 * cp.compression_ratio()
+    );
+
+    for (label, shift, zero_special) in [("hi", 16u32, false), ("lo", 0u32, true)] {
+        let mut freq: HashMap<u16, u64> = HashMap::new();
+        for &w in &words {
+            let h = (w >> shift) as u16;
+            if zero_special && h == 0 {
+                continue;
+            }
+            *freq.entry(h).or_insert(0) += 1;
+        }
+        let mut counts: Vec<u64> = freq.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = counts.iter().sum();
+        let cum = |k: usize| -> f64 {
+            counts.iter().take(k).sum::<u64>() as f64 / total as f64
+        };
+        let zeros = if zero_special {
+            n as u64 - total
+        } else {
+            0
+        };
+        println!(
+            "{label}: {} distinct, zero {:.1}%, top16 {:.1}%, top144 {:.1}%, top2192 {:.1}%, top4368 {:.1}%",
+            counts.len(),
+            100.0 * zeros as f64 / n as f64,
+            100.0 * cum(16),
+            100.0 * cum(144),
+            100.0 * cum(2192),
+            100.0 * cum(4368),
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Shared experiment plumbing for the table/figure harnesses.
+
+use rtdc::prelude::*;
+use rtdc_compress::lzrw1;
+use rtdc_sim::SimConfig;
+use rtdc_workloads::{generate_cached, BenchmarkSpec};
+
+/// Generous commit budget: no experiment legitimately exceeds this.
+pub const MAX_INSNS: u64 = 2_000_000_000;
+
+/// Runs one benchmark natively and returns the report.
+pub fn run_native(spec: &BenchmarkSpec, cfg: SimConfig) -> RunReport {
+    let program = generate_cached(spec);
+    let image = build_native(&program).expect("native build");
+    run_image(&image, cfg, MAX_INSNS).expect("native run")
+}
+
+/// Runs one benchmark under `scheme` (+RF if `rf`) with `selection`.
+pub fn run_scheme(
+    spec: &BenchmarkSpec,
+    scheme: Scheme,
+    rf: bool,
+    selection: &Selection,
+    cfg: SimConfig,
+) -> RunReport {
+    let program = generate_cached(spec);
+    let image = build_compressed(&program, scheme, rf, selection).expect("compressed build");
+    run_image(&image, cfg, MAX_INSNS).expect("compressed run")
+}
+
+/// A measured Table 2 row.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Committed program instructions (native run).
+    pub dynamic_insns: u64,
+    /// Non-speculative I-miss ratio at 16KB.
+    pub miss_ratio: f64,
+    /// Native `.text` bytes.
+    pub original_bytes: u32,
+    /// Fully-compressed dictionary payload bytes.
+    pub dict_bytes: u32,
+    /// Fully-compressed CodePack payload bytes.
+    pub cp_bytes: u32,
+    /// Dictionary compression ratio.
+    pub dict_ratio: f64,
+    /// CodePack compression ratio.
+    pub cp_ratio: f64,
+    /// LZRW1 whole-text compression ratio.
+    pub lzrw1_ratio: f64,
+}
+
+/// Measures a Table 2 row: one native run plus the three compressors over
+/// the full `.text`.
+pub fn table2_row(spec: &BenchmarkSpec, cfg: SimConfig) -> Table2Row {
+    let program = generate_cached(spec);
+    let native = build_native(&program).expect("native build");
+    let report = run_image(&native, cfg, MAX_INSNS).expect("native run");
+
+    let n = program.procedures.len();
+    let all = Selection::all_compressed(n);
+    let dict = build_compressed(&program, Scheme::Dictionary, false, &all).expect("dict build");
+    let cp = build_compressed(&program, Scheme::CodePack, false, &all).expect("cp build");
+
+    let text = native.segment(".text").expect("native text segment");
+    let lz_ratio = lzrw1::compression_ratio(&text.bytes);
+
+    Table2Row {
+        name: spec.name.to_string(),
+        dynamic_insns: report.stats.program_insns,
+        miss_ratio: report.stats.imiss_ratio(),
+        original_bytes: native.sizes.original_text_bytes,
+        dict_bytes: dict.sizes.compressed_payload_bytes,
+        cp_bytes: cp.sizes.compressed_payload_bytes,
+        dict_ratio: dict.sizes.compression_ratio(),
+        cp_ratio: cp.sizes.compression_ratio(),
+        lzrw1_ratio: lz_ratio,
+    }
+}
+
+/// A measured Table 3 row: slowdowns relative to native.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Native cycle count (the denominator).
+    pub native_cycles: u64,
+    /// Dictionary slowdown.
+    pub d: f64,
+    /// Dictionary + second register file.
+    pub d_rf: f64,
+    /// CodePack slowdown.
+    pub cp: f64,
+    /// CodePack + second register file.
+    pub cp_rf: f64,
+}
+
+/// Measures a Table 3 row: five full runs (native + four schemes), fully
+/// compressed, verifying architectural equivalence along the way.
+pub fn table3_row(spec: &BenchmarkSpec, cfg: SimConfig) -> Table3Row {
+    let native = run_native(spec, cfg);
+    let n_cycles = native.stats.cycles as f64;
+    let all = Selection::all_compressed(generate_cached(spec).procedures.len());
+    let slow = |scheme: Scheme, rf: bool| -> f64 {
+        let r = run_scheme(spec, scheme, rf, &all, cfg);
+        assert_eq!(
+            r.output, native.output,
+            "{} {scheme:?} rf={rf}: compressed run diverged from native",
+            spec.name
+        );
+        r.stats.cycles as f64 / n_cycles
+    };
+    Table3Row {
+        name: spec.name.to_string(),
+        native_cycles: native.stats.cycles,
+        d: slow(Scheme::Dictionary, false),
+        d_rf: slow(Scheme::Dictionary, true),
+        cp: slow(Scheme::CodePack, false),
+        cp_rf: slow(Scheme::CodePack, true),
+    }
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}

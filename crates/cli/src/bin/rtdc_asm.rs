@@ -1,0 +1,76 @@
+//! `rtdc-asm` — assemble an `.s` source file.
+//!
+//! ```sh
+//! rtdc-asm input.s [--out code.bin] [--text-base 0x1000] [--data-base 0x10000000] [--symbols]
+//! ```
+//!
+//! Writes the encoded text section as little-endian 32-bit words. With
+//! `--symbols`, prints the symbol table; without `--out`, prints a
+//! word-per-line hex listing instead of writing a file.
+
+use std::process::ExitCode;
+
+use rtdc_cli::Args;
+use rtdc_isa::asm::assemble;
+
+fn parse_addr(s: &str) -> Option<u32> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u32::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn main() -> ExitCode {
+    let args = Args::from_env();
+    let Some(&input) = args.positional().first() else {
+        eprintln!("usage: rtdc-asm <input.s> [--out code.bin] [--text-base ADDR] [--data-base ADDR] [--symbols]");
+        return ExitCode::FAILURE;
+    };
+    let text_base = args.opt("text-base").and_then(parse_addr).unwrap_or(rtdc_sim::map::TEXT_BASE);
+    let data_base = args.opt("data-base").and_then(parse_addr).unwrap_or(rtdc_sim::map::DATA_BASE);
+
+    let source = match std::fs::read_to_string(input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rtdc-asm: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = match assemble(&source, text_base, data_base) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("rtdc-asm: {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "{}: {} instructions ({} bytes text, {} bytes data)",
+        input,
+        out.text.len(),
+        out.text_bytes(),
+        out.data.len()
+    );
+    if args.has("symbols") {
+        let mut syms: Vec<_> = out.symbols.iter().collect();
+        syms.sort_by_key(|(_, &a)| a);
+        for (name, addr) in syms {
+            println!("{addr:#010x} {name}");
+        }
+    }
+
+    let words = out.encoded_text();
+    if let Some(path) = args.opt("out") {
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        if let Err(e) = std::fs::write(path, &bytes) {
+            eprintln!("rtdc-asm: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    } else if !args.has("symbols") {
+        for (i, w) in words.iter().enumerate() {
+            println!("{:#010x}: {w:08x}  {}", text_base + 4 * i as u32, out.text[i]);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,46 @@
+//! `rtdc-dis` — disassemble a flat binary of little-endian 32-bit words.
+//!
+//! ```sh
+//! rtdc-dis code.bin [--base 0x1000]
+//! ```
+
+use std::process::ExitCode;
+
+use rtdc_cli::Args;
+use rtdc_isa::decode;
+
+fn main() -> ExitCode {
+    let args = Args::from_env();
+    let Some(&input) = args.positional().first() else {
+        eprintln!("usage: rtdc-dis <code.bin> [--base ADDR]");
+        return ExitCode::FAILURE;
+    };
+    let base = args
+        .opt("base")
+        .and_then(|s| {
+            s.strip_prefix("0x")
+                .map(|h| u32::from_str_radix(h, 16).ok())
+                .unwrap_or_else(|| s.parse().ok())
+        })
+        .unwrap_or(rtdc_sim::map::TEXT_BASE);
+
+    let bytes = match std::fs::read(input) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("rtdc-dis: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+        let word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        let addr = base + 4 * i as u32;
+        match decode(word) {
+            Ok(insn) => println!("{addr:#010x}: {word:08x}  {insn}"),
+            Err(_) => println!("{addr:#010x}: {word:08x}  <invalid>"),
+        }
+    }
+    if bytes.len() % 4 != 0 {
+        eprintln!("rtdc-dis: warning: {} trailing bytes ignored", bytes.len() % 4);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,157 @@
+//! `rtdc-run` — run a benchmark analog under any scheme and print a full
+//! statistics report.
+//!
+//! ```sh
+//! rtdc-run --bench go                      # native run
+//! rtdc-run --bench go --scheme d           # dictionary, fully compressed
+//! rtdc-run --bench go --scheme cp+rf       # CodePack with second register file
+//! rtdc-run --bench go --scheme d --select miss --threshold 20
+//! rtdc-run --bench go --scheme d --icache 64
+//! rtdc-run --bench go --scheme d --layout  # print the Figure-3 layout
+//! rtdc-run --bench crc32 --trace 20         # trace the first N instructions
+//! rtdc-run --list                          # list benchmarks
+//! ```
+
+use std::process::ExitCode;
+
+use rtdc::prelude::*;
+use rtdc_cli::{format_stats, Args};
+use rtdc_sim::SimConfig;
+use rtdc_isa::program::ObjectProgram;
+use rtdc_workloads::{all_benchmarks, by_name, generate, programs};
+
+const MAX_INSNS: u64 = 2_000_000_000;
+
+fn run() -> Result<(), String> {
+    let args = Args::from_env();
+    if args.has("list") {
+        for b in all_benchmarks() {
+            println!(
+                "{:<12} {:>8} KB text, paper: D {:.2}x CP {:.2}x, miss {:.2}%",
+                b.name,
+                b.paper.original_bytes / 1024,
+                b.paper.slowdown_d,
+                b.paper.slowdown_cp,
+                100.0 * b.paper.miss_ratio_16k
+            );
+        }
+        for p in programs::all_programs() {
+            println!("{:<12} {:>8} B text, known-answer program", p.name, p.text_bytes());
+        }
+        return Ok(());
+    }
+
+    let name = args.opt("bench").ok_or("missing --bench NAME (try --list)")?;
+    let mut cfg = SimConfig::hpca2000_baseline();
+    if let Some(kb) = args.opt("icache") {
+        let kb: u32 = kb.parse().map_err(|_| format!("bad --icache `{kb}`"))?;
+        cfg = cfg.with_icache_size(kb * 1024);
+    }
+
+    // Benchmark analogs and the known-answer programs share the namespace.
+    let program: ObjectProgram = if let Some(spec) = by_name(name) {
+        eprintln!("generating {name}...");
+        generate(&spec)
+    } else if let Some(p) = programs::all_programs().into_iter().find(|p| p.name == name) {
+        p
+    } else {
+        return Err(format!("unknown benchmark `{name}` (try --list)"));
+    };
+    let n = program.procedures.len();
+
+    let scheme_arg = args.opt("scheme").unwrap_or("native").to_ascii_lowercase();
+    let (scheme, rf) = match scheme_arg.as_str() {
+        "native" => (None, false),
+        "d" => (Some(Scheme::Dictionary), false),
+        "d+rf" => (Some(Scheme::Dictionary), true),
+        "cp" => (Some(Scheme::CodePack), false),
+        "cp+rf" => (Some(Scheme::CodePack), true),
+        "d2" => (Some(Scheme::ByteDict), false),
+        "d2+rf" => (Some(Scheme::ByteDict), true),
+        other => {
+            return Err(format!(
+                "unknown --scheme `{other}` (native|d|d+rf|cp|cp+rf|d2|d2+rf)"
+            ))
+        }
+    };
+
+    let image = match scheme {
+        None => build_native(&program).map_err(|e| e.to_string())?,
+        Some(s) => {
+            let selection = match (args.opt("select"), args.opt("threshold")) {
+                (None, None) => Selection::all_compressed(n),
+                (Some(strategy), threshold) => {
+                    let strategy = match strategy {
+                        "exec" => SelectBy::Execution,
+                        "miss" => SelectBy::Miss,
+                        other => return Err(format!("unknown --select `{other}` (exec|miss)")),
+                    };
+                    let pct: f64 = threshold
+                        .unwrap_or("20")
+                        .parse()
+                        .map_err(|_| "bad --threshold".to_string())?;
+                    eprintln!("profiling (native run) for {strategy}-based selection...");
+                    let (_, profile) =
+                        profile_native(&program, cfg, MAX_INSNS).map_err(|e| e.to_string())?;
+                    Selection::by_profile(&profile, strategy, pct / 100.0)
+                }
+                (None, Some(_)) => return Err("--threshold requires --select".into()),
+            };
+            build_compressed(&program, s, rf, &selection).map_err(|e| e.to_string())?
+        }
+    };
+
+    println!(
+        "{name} [{}]: {} procedures, code {:.1} KB ({:.1}% of native), handler {} B",
+        match scheme {
+            None => "native".to_string(),
+            Some(s) => format!("{s}{}", if rf { "+RF" } else { "" }),
+        },
+        n,
+        image.sizes.total_code_bytes() as f64 / 1024.0,
+        100.0 * image.sizes.compression_ratio(),
+        image.sizes.handler_bytes,
+    );
+
+    if args.has("layout") {
+        print!("{}", image.describe());
+    }
+
+    if let Some(ncount) = args.opt("trace") {
+        let ncount: u64 = ncount.parse().map_err(|_| "bad --trace".to_string())?;
+        let mut m = load_image(&image, cfg);
+        while m.stats().insns < ncount {
+            let pc = m.pc();
+            let disasm = m
+                .insn_at(pc)
+                .map(|i| i.to_string())
+                .unwrap_or_else(|| "<not resident>".into());
+            let before = m.stats().insns;
+            match m.step().map_err(|e| e.to_string())? {
+                rtdc_sim::Step::Exited(_) => break,
+                rtdc_sim::Step::Continue => {}
+            }
+            if m.stats().insns > before {
+                println!("{pc:#010x}: {disasm}");
+            } else {
+                println!("{pc:#010x}: <decompression exception>");
+            }
+        }
+        return Ok(());
+    }
+
+    let report = run_image(&image, cfg, MAX_INSNS).map_err(|e| e.to_string())?;
+    println!("exit code {}, output: {:?}", report.exit_code, String::from_utf8_lossy(&report.output));
+    print!("{}", format_stats(&report.stats));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rtdc-run: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

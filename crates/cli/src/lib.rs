@@ -1,0 +1,122 @@
+//! Shared plumbing for the `rtdc-*` command-line tools.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// Minimal `--flag value` argument scanner (the tools have few options;
+/// a full parser dependency is not warranted).
+#[derive(Debug)]
+pub struct Args {
+    args: Vec<String>,
+}
+
+impl Args {
+    /// Captures the process arguments (excluding the program name).
+    pub fn from_env() -> Args {
+        Args { args: std::env::args().skip(1).collect() }
+    }
+
+    /// Builds from an explicit list (tests).
+    pub fn from_vec(args: Vec<String>) -> Args {
+        Args { args }
+    }
+
+    /// The value following `--name`, if present.
+    pub fn opt(&self, name: &str) -> Option<&str> {
+        let flag = format!("--{name}");
+        self.args
+            .windows(2)
+            .find(|w| w[0] == flag)
+            .map(|w| w[1].as_str())
+    }
+
+    /// Whether the bare flag `--name` is present.
+    pub fn has(&self, name: &str) -> bool {
+        let flag = format!("--{name}");
+        self.args.contains(&flag)
+    }
+
+    /// Positional arguments (everything not part of a `--flag value` pair
+    /// or a bare `--flag`).
+    pub fn positional(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        let mut skip = false;
+        for (i, a) in self.args.iter().enumerate() {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if let Some(stripped) = a.strip_prefix("--") {
+                // A flag with a value unless it's the last token or the
+                // next token is itself a flag.
+                let _ = stripped;
+                if i + 1 < self.args.len() && !self.args[i + 1].starts_with("--") {
+                    skip = true;
+                }
+                continue;
+            }
+            out.push(a.as_str());
+        }
+        out
+    }
+}
+
+/// Formats a stats block for human consumption.
+pub fn format_stats(stats: &rtdc_sim::Stats) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "instructions    {:>14} (program {}, handler {})",
+        stats.insns, stats.program_insns, stats.handler_insns);
+    let _ = writeln!(s, "cycles          {:>14} (CPI {:.3})", stats.cycles, stats.cpi());
+    let _ = writeln!(s, "I-cache         {:>14} fetches, {} misses ({:.3}%)",
+        stats.ifetches, stats.imisses, 100.0 * stats.imiss_ratio());
+    let _ = writeln!(s, "D-cache         {:>14} accesses, {} misses ({:.3}%), {} writebacks",
+        stats.daccesses, stats.dmisses, 100.0 * stats.dmiss_ratio(), stats.writebacks);
+    let _ = writeln!(s, "branches        {:>14}, {} mispredicted ({:.2}%)",
+        stats.branches, stats.mispredicts, 100.0 * stats.mispredict_ratio());
+    let _ = writeln!(s, "reg jumps       {:>14}, {} RAS misses", stats.reg_jumps, stats.reg_jump_misses);
+    if stats.exceptions > 0 {
+        let _ = writeln!(s, "decompression   {:>14} exceptions, {} swics, {:.1} handler insns/miss",
+            stats.exceptions, stats.swics, stats.handler_insns_per_exception());
+    }
+    let b = stats.stalls;
+    let _ = writeln!(s, "stall cycles    {:>14} total", b.sum());
+    let _ = writeln!(
+        s,
+        "  imiss {} / dmiss {} / branch {} / regjump {} / loaduse {} / hilo {} / swic {} / exception {}",
+        b.imiss, b.dmiss, b.branch, b.reg_jump, b.load_use, b.hilo, b.swic, b.exception
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Args {
+        Args::from_vec(v.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn opt_and_has() {
+        let a = args(&["--bench", "cc1", "--verbose", "file.s"]);
+        assert_eq!(a.opt("bench"), Some("cc1"));
+        assert!(a.has("verbose"));
+        assert_eq!(a.opt("missing"), None);
+        assert!(!a.has("missing"));
+    }
+
+    #[test]
+    fn positionals_skip_flag_values() {
+        let a = args(&["in.s", "--out", "out.bin", "extra"]);
+        assert_eq!(a.positional(), vec!["in.s", "extra"]);
+    }
+
+    #[test]
+    fn stats_format_is_nonempty() {
+        let s = format_stats(&rtdc_sim::Stats::default());
+        assert!(s.contains("instructions"));
+        assert!(s.contains("stall cycles"));
+    }
+}

@@ -1,0 +1,275 @@
+//! Byte-aligned two-level dictionary compression ("D2") — an exploration
+//! of the paper's closing future-work question (§5.3/§6: schemes between
+//! the fast dictionary and the dense CodePack).
+//!
+//! Like the paper's own earlier scheme (Lefurgy et al., MICRO-30 1997,
+//! cited in §2), codewords are *byte-aligned* variable-length dictionary
+//! indices, so decode needs no bit-buffer — just byte loads and compares:
+//!
+//! * `1xxxxxxx` — one byte: dictionary entry `0..128` (the hottest words);
+//! * `01xxxxxx yyyyyyyy` — two bytes: entry `128 + (x<<8|y)`,
+//!   covering 16,384 more entries;
+//! * `00000000` + 4 raw little-endian bytes — escape for words outside
+//!   the dictionary.
+//!
+//! Codewords are variable length, so (as with CodePack, §3.2) a mapping
+//! table locates each compressed **cache line** (8 instructions); it uses
+//! the same two-level base+delta layout. Decoding is strictly per-line —
+//! no two-line groups — so the handler cost sits between the paper's two
+//! schemes: ~15–25 instructions per instruction decoded vs the
+//! dictionary's ~9 and CodePack's ~60.
+
+use std::collections::HashMap;
+
+/// Instructions per compressed line (one 32B I-cache line).
+pub const LINE_WORDS: usize = 8;
+
+/// Lines per mapping-table block (u32 base per block, u16 delta per line).
+pub const LINES_PER_BLOCK: usize = 256;
+
+/// One-byte-codeword dictionary entries.
+pub const ONE_BYTE_ENTRIES: usize = 128;
+
+/// Maximum dictionary size (one-byte + two-byte classes).
+pub const MAX_DICT: usize = ONE_BYTE_ENTRIES + (1 << 14);
+
+/// A byte-dictionary compressed instruction stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ByteDictCompressed {
+    dict: Vec<u32>,
+    bytes: Vec<u8>,
+    bases: Vec<u32>,
+    deltas: Vec<u16>,
+    n_words: usize,
+}
+
+impl ByteDictCompressed {
+    /// Compresses an instruction-word stream (padded with zero words to a
+    /// line boundary; [`ByteDictCompressed::decompress`] trims it back).
+    pub fn compress(words: &[u32]) -> ByteDictCompressed {
+        let n_words = words.len();
+        let padded_len = words.len().div_ceil(LINE_WORDS) * LINE_WORDS;
+        let padded: Vec<u32> = words
+            .iter()
+            .copied()
+            .chain(std::iter::repeat(0))
+            .take(padded_len)
+            .collect();
+
+        // Frequency-sorted dictionary, ties broken by value.
+        let mut freq: HashMap<u32, u64> = HashMap::new();
+        for &w in &padded {
+            *freq.entry(w).or_insert(0) += 1;
+        }
+        let mut entries: Vec<(u32, u64)> = freq.into_iter().collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        // Words appearing once compress worse as 2-byte codes than raw?
+        // 2-byte code + 4-byte entry = 6B vs 5B escape: drop singletons
+        // beyond the one-byte class.
+        entries.truncate(MAX_DICT);
+        while entries.len() > ONE_BYTE_ENTRIES
+            && entries.last().is_some_and(|&(_, c)| c == 1)
+        {
+            entries.pop();
+        }
+        let dict: Vec<u32> = entries.into_iter().map(|(w, _)| w).collect();
+        let index: HashMap<u32, usize> =
+            dict.iter().enumerate().map(|(i, &w)| (w, i)).collect();
+
+        let mut bytes = Vec::new();
+        let n_lines = padded_len / LINE_WORDS;
+        let mut bases = Vec::with_capacity(n_lines.div_ceil(LINES_PER_BLOCK));
+        let mut deltas = Vec::with_capacity(n_lines);
+        for (line, chunk) in padded.chunks(LINE_WORDS).enumerate() {
+            if line % LINES_PER_BLOCK == 0 {
+                bases.push(bytes.len() as u32);
+            }
+            let base = *bases.last().expect("pushed above");
+            deltas.push(u16::try_from(bytes.len() as u32 - base).expect("block span fits u16"));
+            for &w in chunk {
+                match index.get(&w).copied() {
+                    Some(i) if i < ONE_BYTE_ENTRIES => bytes.push(0x80 | i as u8),
+                    Some(i) => {
+                        let x = i - ONE_BYTE_ENTRIES;
+                        bytes.push(0x40 | (x >> 8) as u8);
+                        bytes.push((x & 0xff) as u8);
+                    }
+                    None => {
+                        bytes.push(0x00);
+                        bytes.extend_from_slice(&w.to_le_bytes());
+                    }
+                }
+            }
+        }
+
+        ByteDictCompressed { dict, bytes, bases, deltas, n_words }
+    }
+
+    /// Byte offset of `line` within [`ByteDictCompressed::code_bytes`].
+    pub fn line_offset(&self, line: usize) -> usize {
+        self.bases[line / LINES_PER_BLOCK] as usize + self.deltas[line] as usize
+    }
+
+    /// Decompresses one 8-instruction cache line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range or the stream is corrupt (internal
+    /// invariants of a compressed value).
+    pub fn decompress_line(&self, line: usize) -> [u32; LINE_WORDS] {
+        let mut pos = self.line_offset(line);
+        let mut out = [0u32; LINE_WORDS];
+        for slot in &mut out {
+            let tag = self.bytes[pos];
+            pos += 1;
+            *slot = if tag & 0x80 != 0 {
+                self.dict[(tag & 0x7f) as usize]
+            } else if tag & 0x40 != 0 {
+                let lo = self.bytes[pos] as usize;
+                pos += 1;
+                self.dict[ONE_BYTE_ENTRIES + (((tag & 0x3f) as usize) << 8 | lo)]
+            } else {
+                let w = u32::from_le_bytes([
+                    self.bytes[pos],
+                    self.bytes[pos + 1],
+                    self.bytes[pos + 2],
+                    self.bytes[pos + 3],
+                ]);
+                pos += 4;
+                w
+            };
+        }
+        out
+    }
+
+    /// Reconstructs the original words (padding trimmed).
+    pub fn decompress(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.n_words);
+        for line in 0..self.deltas.len() {
+            out.extend_from_slice(&self.decompress_line(line));
+        }
+        out.truncate(self.n_words);
+        out
+    }
+
+    /// Number of compressed lines.
+    pub fn line_count(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// The dictionary (32-bit words, frequency order).
+    pub fn dict(&self) -> &[u32] {
+        &self.dict
+    }
+
+    /// The compressed codeword bytes.
+    pub fn code_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mapping-table block bases.
+    pub fn bases(&self) -> &[u32] {
+        &self.bases
+    }
+
+    /// Mapping-table per-line deltas.
+    pub fn deltas(&self) -> &[u16] {
+        &self.deltas
+    }
+
+    /// Compressed size: codewords + mapping table + dictionary.
+    pub fn compressed_bytes(&self) -> usize {
+        self.bytes.len() + 4 * self.bases.len() + 2 * self.deltas.len() + 4 * self.dict.len()
+    }
+
+    /// Eq. 1 compression ratio.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.n_words == 0 {
+            return 1.0;
+        }
+        self.compressed_bytes() as f64 / (4 * self.n_words) as f64
+    }
+
+    /// Serializes the dictionary to little-endian bytes.
+    pub fn dict_bytes(&self) -> Vec<u8> {
+        self.dict.iter().flat_map(|w| w.to_le_bytes()).collect()
+    }
+
+    /// Serializes the mapping-table bases to little-endian bytes.
+    pub fn bases_bytes(&self) -> Vec<u8> {
+        self.bases.iter().flat_map(|o| o.to_le_bytes()).collect()
+    }
+
+    /// Serializes the mapping-table deltas to little-endian bytes.
+    pub fn deltas_bytes(&self) -> Vec<u8> {
+        self.deltas.iter().flat_map(|o| o.to_le_bytes()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_small() {
+        let words = vec![7u32, 7, 9, 0xdead_beef, 7, 0, 1, 2, 3];
+        let c = ByteDictCompressed::compress(&words);
+        assert_eq!(c.decompress(), words);
+    }
+
+    #[test]
+    fn hot_words_get_one_byte() {
+        let mut words = vec![0x1111_1111u32; 100];
+        words.extend([0x2222_2222; 4]);
+        let c = ByteDictCompressed::compress(&words);
+        // 104 insns -> ~104 bytes of codewords (plus padding line).
+        assert!(c.code_bytes().len() <= 112, "{}", c.code_bytes().len());
+        assert!(c.compression_ratio() < 0.45);
+        assert_eq!(c.decompress(), words);
+    }
+
+    #[test]
+    fn raw_escapes_round_trip() {
+        // All-distinct words: most fall out of the dictionary.
+        let words: Vec<u32> = (0..500u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        let c = ByteDictCompressed::compress(&words);
+        assert_eq!(c.decompress(), words);
+    }
+
+    #[test]
+    fn line_access_matches_bulk() {
+        let words: Vec<u32> = (0..64).map(|i| (i % 9) * 0x1010_0101).collect();
+        let c = ByteDictCompressed::compress(&words);
+        let bulk = c.decompress();
+        for l in 0..c.line_count() {
+            assert_eq!(&c.decompress_line(l)[..], &bulk[l * 8..(l + 1) * 8]);
+        }
+    }
+
+    #[test]
+    fn mapping_table_is_two_level() {
+        let words = vec![3u32; 300 * LINE_WORDS];
+        let c = ByteDictCompressed::compress(&words);
+        assert_eq!(c.bases().len(), 2);
+        assert_eq!(c.deltas().len(), 300);
+        assert_eq!(c.deltas()[256], 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = ByteDictCompressed::compress(&[]);
+        assert!(c.decompress().is_empty());
+        assert_eq!(c.compression_ratio(), 1.0);
+    }
+
+    #[test]
+    fn compressed_size_accounts_all_parts() {
+        let words = vec![5u32; 16];
+        let c = ByteDictCompressed::compress(&words);
+        let expected = c.code_bytes().len()
+            + 4 * c.bases().len()
+            + 2 * c.deltas().len()
+            + 4 * c.dict().len();
+        assert_eq!(c.compressed_bytes(), expected);
+    }
+}

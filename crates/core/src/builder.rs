@@ -1,0 +1,323 @@
+//! Builds [`MemoryImage`]s from [`ObjectProgram`]s: native images, and
+//! compressed images in the paper's Figure 3 layout.
+//!
+//! Compressed-image construction follows §4.2:
+//!
+//! 1. procedures are split by the [`Selection`] into a *compressed* list
+//!    and a *native* list, **preserving original link order within each
+//!    list** — this is what produces the paper's procedure-placement
+//!    side effect in hybrid programs (§5.3);
+//! 2. the compressed procedures are placed first, at the decompressed
+//!    region base; native procedures follow (their misses use the normal
+//!    cache controller);
+//! 3. the concatenated compressed-region instruction words are compressed
+//!    with the chosen scheme and emitted as data segments
+//!    (`.indices`/`.dictionary`, or mapping table + groups + half
+//!    dictionaries for CodePack);
+//! 4. the matching exception handler is assembled into handler RAM and the
+//!    C0 base registers are recorded for the loader.
+
+use rtdc_compress::bytedict::ByteDictCompressed;
+use rtdc_compress::codepack::CodePackCompressed;
+use rtdc_compress::dictionary::DictionaryCompressed;
+use rtdc_isa::program::{ObjectProgram, Placement, ProcId};
+use rtdc_isa::{encode, C0Reg, Instruction};
+use rtdc_sim::map;
+
+use crate::error::BuildError;
+use crate::handlers;
+use crate::image::{MemoryImage, Scheme, Segment, SizeReport};
+use crate::select::Selection;
+
+/// Alignment of the compressed region's end: one CodePack group (two
+/// I-cache lines), so no group straddles into the native region.
+const REGION_ALIGN: u32 = 64;
+
+fn align_up(x: u32, a: u32) -> u32 {
+    x.div_ceil(a) * a
+}
+
+/// Builds the fully-native image: all procedures contiguous at the text
+/// base, no handler, no compressed region.
+///
+/// # Errors
+///
+/// Returns [`BuildError::Link`] if the program references unknown
+/// procedures or jump targets are unreachable.
+pub fn build_native(program: &ObjectProgram) -> Result<MemoryImage, BuildError> {
+    let placement = Placement::contiguous(program, map::TEXT_BASE)?;
+    let mut text = Vec::with_capacity(program.total_insns());
+    let mut proc_regions = Vec::with_capacity(program.procedures.len());
+    for (id, _) in program.procedures.iter().enumerate() {
+        let insns = program.link_proc(ProcId(id), &placement)?;
+        let start = placement.addr(ProcId(id))?;
+        proc_regions.push((start, start + 4 * insns.len() as u32, id));
+        text.extend(insns);
+    }
+    let text_bytes: Vec<u8> = text.iter().flat_map(|&i| encode(i).to_le_bytes()).collect();
+    let data = program.patched_data(&placement)?;
+    let original = program.text_bytes();
+
+    Ok(MemoryImage {
+        name: program.name.clone(),
+        scheme: None,
+        second_regfile: false,
+        entry: placement.addr(program.entry)?,
+        initial_sp: map::STACK_TOP,
+        segments: vec![
+            Segment { name: ".text".into(), base: map::TEXT_BASE, bytes: text_bytes },
+            Segment { name: ".data".into(), base: map::DATA_BASE, bytes: data },
+        ],
+        c0_init: Vec::new(),
+        handler_range: None,
+        compressed_range: None,
+        proc_regions,
+        proc_names: program.procedures.iter().map(|p| p.name.clone()).collect(),
+        sizes: SizeReport {
+            original_text_bytes: original,
+            native_text_bytes: original,
+            compressed_payload_bytes: 0,
+            handler_bytes: 0,
+        },
+    })
+}
+
+/// Builds a compressed image under `scheme`, keeping the procedures in
+/// `selection` native, with the matching handler variant (`second_rf`
+/// selects the §4.1 second-register-file handlers).
+///
+/// Procedures keep their original link order within each region, exactly
+/// as the paper's implementation does (§5.3) — including its side effect:
+/// hybrid programs get a new procedure placement and therefore different
+/// conflict misses. [`build_compressed_ordered`] explores the paper's
+/// "unified selective compression and code placement" future work.
+///
+/// # Errors
+///
+/// * [`BuildError::SelectionMismatch`] if the selection's procedure count
+///   differs from the program's;
+/// * [`BuildError::Dictionary`] if the compressed region exceeds 64K unique
+///   instruction words (compress fewer procedures);
+/// * [`BuildError::Link`] on linking failures.
+pub fn build_compressed(
+    program: &ObjectProgram,
+    scheme: Scheme,
+    second_rf: bool,
+    selection: &Selection,
+) -> Result<MemoryImage, BuildError> {
+    let order: Vec<usize> = (0..program.procedures.len()).collect();
+    build_compressed_ordered(program, scheme, second_rf, selection, &order)
+}
+
+/// [`build_compressed`] with an explicit within-region procedure order.
+///
+/// `order` is a permutation of all procedure ids; each region (compressed,
+/// then native) lays its procedures out in the order they appear in it.
+/// Passing the identity permutation reproduces the paper's layout; a
+/// profile-driven order (see
+/// [`placement_hot_first`](crate::select::placement_hot_first)) implements
+/// the simple profile-guided placement the paper suggests as future work
+/// (§5.3, citing Pettis-Hansen).
+///
+/// # Errors
+///
+/// As [`build_compressed`], plus [`BuildError::SelectionMismatch`] if
+/// `order` is not a permutation of `0..n`.
+pub fn build_compressed_ordered(
+    program: &ObjectProgram,
+    scheme: Scheme,
+    second_rf: bool,
+    selection: &Selection,
+    order: &[usize],
+) -> Result<MemoryImage, BuildError> {
+    let n = program.procedures.len();
+    if selection.proc_count() != n {
+        return Err(BuildError::SelectionMismatch {
+            program: n,
+            selection: selection.proc_count(),
+        });
+    }
+    {
+        let mut seen = vec![false; n];
+        let valid = order.len() == n
+            && order.iter().all(|&id| {
+                if id >= n || seen[id] {
+                    false
+                } else {
+                    seen[id] = true;
+                    true
+                }
+            });
+        if !valid {
+            return Err(BuildError::SelectionMismatch { program: n, selection: order.len() });
+        }
+    }
+
+    // --- placement: compressed procs first, native procs after, the
+    // given order preserved within each region ---
+    let mut addrs = vec![0u32; n];
+    let mut cursor = map::TEXT_BASE;
+    for &id in order {
+        if !selection.is_native(id) {
+            addrs[id] = cursor;
+            cursor += program.procedures[id].byte_size();
+        }
+    }
+    let comp_end = cursor;
+    let native_base = align_up(comp_end, REGION_ALIGN);
+    let mut cursor = native_base;
+    for &id in order {
+        if selection.is_native(id) {
+            addrs[id] = cursor;
+            cursor += program.procedures[id].byte_size();
+        }
+    }
+    let native_end = cursor;
+    let placement = Placement::new(addrs)?;
+
+    // --- link and materialize both regions ---
+    let mut comp_words: Vec<u32> = Vec::new();
+    let mut native_words: Vec<u32> = Vec::new();
+    let mut proc_regions = Vec::with_capacity(n);
+    for &id in order {
+        if !selection.is_native(id) {
+            let insns = program.link_proc(ProcId(id), &placement)?;
+            let start = placement.addr(ProcId(id))?;
+            proc_regions.push((start, start + 4 * insns.len() as u32, id));
+            comp_words.extend(insns.iter().map(|&i| encode(i)));
+        }
+    }
+    // Pad the compressed region to the group-aligned boundary with nops so
+    // every line in the region decompresses.
+    while (map::TEXT_BASE + 4 * comp_words.len() as u32) < native_base {
+        comp_words.push(encode(Instruction::NOP));
+    }
+    for &id in order {
+        if selection.is_native(id) {
+            let insns = program.link_proc(ProcId(id), &placement)?;
+            let start = placement.addr(ProcId(id))?;
+            proc_regions.push((start, start + 4 * insns.len() as u32, id));
+            native_words.extend(insns.iter().map(|&i| encode(i)));
+        }
+    }
+
+    let data = program.patched_data(&placement)?;
+    let handler = match scheme {
+        Scheme::Dictionary => handlers::dictionary_handler(second_rf),
+        Scheme::CodePack => handlers::codepack_handler(second_rf),
+        Scheme::ByteDict => handlers::bytedict_handler(second_rf),
+    };
+    let handler_bytes: Vec<u8> = handler
+        .encoded_text()
+        .iter()
+        .flat_map(|w| w.to_le_bytes())
+        .collect();
+
+    // --- compress the compressed-region words and lay out segments ---
+    let mut segments = Vec::new();
+    let mut c0_init = vec![(C0Reg::DECOMP_BASE, map::TEXT_BASE)];
+    let compressed_payload;
+    match scheme {
+        Scheme::Dictionary => {
+            let c = DictionaryCompressed::compress(&comp_words)?;
+            compressed_payload = c.compressed_bytes() as u32;
+            let indices_base = map::COMPRESSED_BASE;
+            let indices = c.indices_bytes();
+            let dict_base = align_up(indices_base + indices.len() as u32, 4);
+            c0_init.push((C0Reg::DICT_BASE, dict_base));
+            c0_init.push((C0Reg::INDICES_BASE, indices_base));
+            segments.push(Segment { name: ".indices".into(), base: indices_base, bytes: indices });
+            segments.push(Segment {
+                name: ".dictionary".into(),
+                base: dict_base,
+                bytes: c.dictionary_bytes(),
+            });
+        }
+        Scheme::ByteDict => {
+            let c = ByteDictCompressed::compress(&comp_words);
+            debug_assert_eq!(
+                c.line_count() * 8,
+                comp_words.len(),
+                "compressed region must be line-aligned"
+            );
+            compressed_payload = c.compressed_bytes() as u32;
+            let bases_base = map::COMPRESSED_BASE;
+            let bases = c.bases_bytes();
+            let deltas_base = align_up(bases_base + bases.len() as u32, 4);
+            let deltas = c.deltas_bytes();
+            let code_base = align_up(deltas_base + deltas.len() as u32, 4);
+            let code = c.code_bytes().to_vec();
+            let dict_base = align_up(code_base + code.len() as u32, 4);
+            let dict = c.dict_bytes();
+            c0_init.push((C0Reg::DICT_BASE, dict_base));
+            c0_init.push((C0Reg::GROUPS_BASE, code_base));
+            c0_init.push((C0Reg::GROUPTAB_BASE, bases_base));
+            c0_init.push((C0Reg::AUX, deltas_base));
+            segments.push(Segment { name: ".linetab".into(), base: bases_base, bytes: bases });
+            segments.push(Segment { name: ".linedeltas".into(), base: deltas_base, bytes: deltas });
+            segments.push(Segment { name: ".bytecodes".into(), base: code_base, bytes: code });
+            segments.push(Segment { name: ".bytedict".into(), base: dict_base, bytes: dict });
+        }
+        Scheme::CodePack => {
+            let c = CodePackCompressed::compress(&comp_words);
+            debug_assert_eq!(
+                c.group_count() * 16,
+                comp_words.len(),
+                "compressed region must be group-aligned"
+            );
+            compressed_payload = c.compressed_bytes() as u32;
+            let bases_base = map::COMPRESSED_BASE;
+            let bases = c.bases_bytes();
+            let deltas_base = align_up(bases_base + bases.len() as u32, 4);
+            let deltas = c.deltas_bytes();
+            let groups_base = align_up(deltas_base + deltas.len() as u32, 4);
+            let groups = c.group_bytes().to_vec();
+            let hi_base = align_up(groups_base + groups.len() as u32, 4);
+            let hi = c.hi_dict_bytes();
+            let lo_base = align_up(hi_base + hi.len() as u32, 4);
+            let lo = c.lo_dict_bytes();
+            c0_init.push((C0Reg::DICT_BASE, hi_base));
+            c0_init.push((C0Reg::INDICES_BASE, lo_base));
+            c0_init.push((C0Reg::GROUPS_BASE, groups_base));
+            c0_init.push((C0Reg::GROUPTAB_BASE, bases_base));
+            c0_init.push((C0Reg::AUX, deltas_base));
+            segments.push(Segment { name: ".grouptab".into(), base: bases_base, bytes: bases });
+            segments.push(Segment { name: ".groupdeltas".into(), base: deltas_base, bytes: deltas });
+            segments.push(Segment { name: ".groups".into(), base: groups_base, bytes: groups });
+            segments.push(Segment { name: ".hidict".into(), base: hi_base, bytes: hi });
+            segments.push(Segment { name: ".lodict".into(), base: lo_base, bytes: lo });
+        }
+    }
+
+    let native_bytes: Vec<u8> = native_words.iter().flat_map(|w| w.to_le_bytes()).collect();
+    if !native_bytes.is_empty() {
+        segments.push(Segment { name: ".native".into(), base: native_base, bytes: native_bytes });
+    }
+    segments.push(Segment {
+        name: ".decompressor".into(),
+        base: map::HANDLER_BASE,
+        bytes: handler_bytes.clone(),
+    });
+    segments.push(Segment { name: ".data".into(), base: map::DATA_BASE, bytes: data });
+
+    let native_text_bytes = native_end - native_base;
+    Ok(MemoryImage {
+        name: program.name.clone(),
+        scheme: Some(scheme),
+        second_regfile: second_rf,
+        entry: placement.addr(program.entry)?,
+        initial_sp: map::STACK_TOP,
+        segments,
+        c0_init,
+        handler_range: Some((map::HANDLER_BASE, map::HANDLER_BASE + map::HANDLER_BYTES)),
+        compressed_range: (comp_end > map::TEXT_BASE).then_some((map::TEXT_BASE, native_base)),
+        proc_regions,
+        proc_names: program.procedures.iter().map(|p| p.name.clone()).collect(),
+        sizes: SizeReport {
+            original_text_bytes: program.text_bytes(),
+            native_text_bytes,
+            compressed_payload_bytes: compressed_payload,
+            handler_bytes: handler_bytes.len() as u32,
+        },
+    })
+}

@@ -1,0 +1,117 @@
+//! Errors for image building and running.
+
+use std::error::Error;
+use std::fmt;
+
+use rtdc_compress::dictionary::DictionaryOverflow;
+use rtdc_isa::program::LinkError;
+use rtdc_sim::SimError;
+
+/// Errors building a [`MemoryImage`](crate::image::MemoryImage).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// The compressed region has too many unique instructions for 16-bit
+    /// indices; compress fewer procedures (§3.1's escape hatch).
+    Dictionary(DictionaryOverflow),
+    /// Linking failed.
+    Link(LinkError),
+    /// The selection was built for a different procedure count.
+    SelectionMismatch {
+        /// Procedures in the program.
+        program: usize,
+        /// Procedures the selection was built for.
+        selection: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Dictionary(e) => write!(f, "dictionary compression failed: {e}"),
+            BuildError::Link(e) => write!(f, "link failed: {e}"),
+            BuildError::SelectionMismatch { program, selection } => write!(
+                f,
+                "selection built for {selection} procedures but program has {program}"
+            ),
+        }
+    }
+}
+
+impl Error for BuildError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BuildError::Dictionary(e) => Some(e),
+            BuildError::Link(e) => Some(e),
+            BuildError::SelectionMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<DictionaryOverflow> for BuildError {
+    fn from(e: DictionaryOverflow) -> BuildError {
+        BuildError::Dictionary(e)
+    }
+}
+
+impl From<LinkError> for BuildError {
+    fn from(e: LinkError) -> BuildError {
+        BuildError::Link(e)
+    }
+}
+
+/// Errors running an image to completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RunError {
+    /// The simulator hit a fatal condition.
+    Sim(SimError),
+    /// The image wants a second register file but the configuration (or
+    /// vice versa) disagrees — the handler would corrupt program state.
+    RegfileMismatch {
+        /// What the image's handler was built for.
+        image_rf: bool,
+        /// What the simulator config provides.
+        config_rf: bool,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Sim(e) => write!(f, "simulation failed: {e}"),
+            RunError::RegfileMismatch { image_rf, config_rf } => write!(
+                f,
+                "image built for second_regfile={image_rf} but config has second_regfile={config_rf}"
+            ),
+        }
+    }
+}
+
+impl Error for RunError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RunError::Sim(e) => Some(e),
+            RunError::RegfileMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> RunError {
+        RunError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_chains_are_informative() {
+        let e = BuildError::SelectionMismatch { program: 5, selection: 3 };
+        assert!(e.to_string().contains('5') && e.to_string().contains('3'));
+        let e = RunError::RegfileMismatch { image_rf: true, config_rf: false };
+        assert!(e.to_string().contains("second_regfile"));
+    }
+}

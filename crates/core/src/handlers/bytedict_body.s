@@ -1,0 +1,75 @@
+# L1 I-miss exception handler: byte-aligned two-level dictionary ("D2").
+# The future-work point between the paper's two schemes (§6): denser than
+# the 16-bit dictionary, far cheaper to decode than CodePack — byte loads
+# and compares only, no bit buffer. Decompresses ONE 32B line per miss.
+#
+# Register use:
+#   $2  : decoded word          $8  : tag / index scratch
+#   $9  : dictionary base       $10 : scratch
+#   $11 : compressed byte ptr   $24 : output cursor
+#   $25 : end-of-line address
+#
+# C0: c0[BADVA] faulting PC, c0[0] decompressed base, c0[1] dictionary,
+#     c0[3] codeword bytes, c0[4] line-table bases, c0[5] line deltas.
+
+# Locate the compressed line (two-level mapping table, like CodePack).
+    mfc0 $27,c0[BADVA]
+    srl  $27,$27,5
+    sll  $27,$27,5        # line-aligned output address
+    mfc0 $26,c0[0]        # decompressed base
+    sub  $8,$27,$26
+    srl  $8,$8,5          # line index
+    srl  $2,$8,8          # block index (256 lines per block)
+    sll  $2,$2,2
+    mfc0 $9,c0[GROUPTAB]
+    lw   $11,($2+$9)      # block base byte offset
+    sll  $2,$8,1
+    mfc0 $9,c0[AUX]
+    lhu  $2,($2+$9)       # line delta
+    add  $11,$11,$2
+    mfc0 $9,c0[GROUPS]
+    add  $11,$11,$9       # compressed byte pointer
+    mfc0 $9,c0[DICT]      # dictionary base
+    move $24,$27
+    add  $25,$27,32       # one cache line
+
+loop8:
+    lbu  $8,0($11)        # tag byte
+    add  $11,$11,1
+    andi $10,$8,0x80
+    beq  $10,$0,bd_not1
+# one byte: dict[tag & 0x7f]
+    andi $8,$8,0x7f
+    sll  $8,$8,2
+    lw   $2,($8+$9)
+    j    bd_store
+bd_not1:
+    andi $10,$8,0x40
+    beq  $10,$0,bd_raw
+# two bytes: dict[128 + ((tag & 0x3f) << 8 | next)]
+    andi $8,$8,0x3f
+    sll  $8,$8,8
+    lbu  $10,0($11)
+    add  $11,$11,1
+    or   $8,$8,$10
+    add  $8,$8,128
+    sll  $8,$8,2
+    lw   $2,($8+$9)
+    j    bd_store
+bd_raw:
+# escape: four raw little-endian bytes
+    lbu  $2,0($11)
+    lbu  $10,1($11)
+    sll  $10,$10,8
+    or   $2,$2,$10
+    lbu  $10,2($11)
+    sll  $10,$10,16
+    or   $2,$2,$10
+    lbu  $10,3($11)
+    sll  $10,$10,24
+    or   $2,$2,$10
+    add  $11,$11,4
+bd_store:
+    swic $2,0($24)
+    add  $24,$24,4
+    bne  $24,$25,loop8

@@ -1,0 +1,115 @@
+# L1 I-miss exception handler: CodePack-style decompression (§3.2, §4.1).
+# Decompresses one 16-instruction group (TWO 32B cache lines — the CodePack
+# algorithm constraint) by serially decoding variable-length codewords.
+#
+# Register use:
+#   $2  (v0) : read_bits result       $4  (a0) : read_bits width argument
+#   $8  (t0) : scratch                $9  (t1) : high-half dictionary base
+#   $10 (t2) : low-half dictionary    $11 (t3) : compressed byte pointer
+#   $12 (t4) : bit buffer             $13 (t5) : bit count
+#   $14 (t6) : high halfword          $15 (t7) : low halfword
+#   $24 (t8) : output cursor          $25 (t9) : end-of-group address
+#   $31 (ra) : read_bits linkage
+#
+# C0: c0[BADVA] faulting PC, c0[0] decompressed base, c0[1] high dict,
+#     c0[2] low dict, c0[3] group bytes, c0[4] group mapping table.
+
+# Locate the group: the mapping-table lookups CodePack needs and the
+# dictionary scheme avoids (§3.2). The table is two-level (block base +
+# group delta), like IBM's compact LAT.
+    mfc0 $27,c0[BADVA]
+    srl  $27,$27,6
+    sll  $27,$27,6        # group-aligned output address
+    mfc0 $26,c0[0]        # decompressed base
+    sub  $8,$27,$26       # byte offset into decompressed region
+    srl  $8,$8,6          # group index
+    srl  $2,$8,8          # block index (256 groups per block)
+    sll  $2,$2,2          # scale for 4B base entries
+    mfc0 $9,c0[GROUPTAB]
+    lw   $11,($2+$9)      # block base byte offset
+    sll  $2,$8,1          # scale for 2B delta entries
+    mfc0 $9,c0[AUX]
+    lhu  $2,($2+$9)       # group delta
+    add  $11,$11,$2       # compressed byte offset of the group
+    mfc0 $9,c0[GROUPS]
+    add  $11,$11,$9       # compressed byte pointer
+    mfc0 $9,c0[DICT]      # high-half dictionary base
+    mfc0 $10,c0[INDICES]  # low-half dictionary base
+    move $24,$27
+    add  $25,$27,64       # two cache lines
+    li   $12,0
+    li   $13,0
+
+loop16:
+# ---- high halfword: tags 0 / 10 / 110 index classes, 111 raw ----
+    li   $4,1
+    jal  read_bits
+    beq  $2,$0,hi_c0
+    li   $4,1
+    jal  read_bits
+    beq  $2,$0,hi_c1
+    li   $4,1
+    jal  read_bits
+    beq  $2,$0,hi_c2
+    li   $4,16
+    jal  read_bits
+    move $14,$2
+    j    hi_done
+hi_c0:
+    li   $4,4
+    jal  read_bits
+    j    hi_look
+hi_c1:
+    li   $4,7
+    jal  read_bits
+    add  $2,$2,16
+    j    hi_look
+hi_c2:
+    li   $4,11
+    jal  read_bits
+    add  $2,$2,144
+hi_look:
+    sll  $2,$2,1
+    lhu  $14,($2+$9)
+hi_done:
+# ---- low halfword: 00 zero, 01/10/110 index classes, 111 raw ----
+    li   $4,2
+    jal  read_bits
+    beq  $2,$0,lo_zero
+    li   $8,1
+    beq  $2,$8,lo_c1
+    li   $8,2
+    beq  $2,$8,lo_c2
+    li   $4,1
+    jal  read_bits
+    bne  $2,$0,lo_raw
+    li   $4,12
+    jal  read_bits
+    add  $2,$2,272
+    j    lo_look
+lo_raw:
+    li   $4,16
+    jal  read_bits
+    move $15,$2
+    j    lo_done
+lo_zero:
+    li   $15,0
+    j    lo_done
+lo_c1:
+    li   $4,4
+    jal  read_bits
+    j    lo_look
+lo_c2:
+    li   $4,8
+    jal  read_bits
+    add  $2,$2,16
+lo_look:
+    sll  $2,$2,1
+    lhu  $15,($2+$10)
+lo_done:
+# ---- combine and store into the I-cache ----
+    sll  $14,$14,16
+    or   $14,$14,$15
+    swic $14,0($24)
+    add  $24,$24,4
+    bne  $24,$25,loop16

@@ -1,0 +1,56 @@
+# L1 I-miss exception handler: dictionary decompression.
+# Transcribed from Figure 2 of Lefurgy/Piccininni/Mudge, HPCA 2000.
+# Loads one 32B I-cache line (8 instructions) from 16-bit indices.
+#
+# Register use:
+#   $9  (r9)  : index address
+#   $10 (r10) : base address of dictionary
+#   $11 (r11) : base of decompressed; then index into dictionary
+#   $12 (r12) : next cache line addr. (loop halt value)
+#   $26 (r26) : indices base and decompressed insn
+#   $27 (r27) : insn address to decompress
+#
+# C0 registers: c0[BADVA] faulting PC, c0[0] decompressed base,
+# c0[1] dictionary base, c0[2] indices base.
+
+# Save regs to user stack.
+# $26/$27 are reserved for the OS and do not require saving.
+    sw   $9,-4($sp)
+    sw   $10,-8($sp)
+    sw   $11,-12($sp)
+    sw   $12,-16($sp)
+
+# Load system register inputs into general registers.
+    mfc0 $27,c0[BADVA]    # the faulting PC
+    mfc0 $26,c0[0]        # decompressed base
+    mfc0 $10,c0[1]        # dictionary base
+    mfc0 $11,c0[2]        # indices base
+
+# Zero low 5 bits to get the cache line address.
+    srl  $27,$27,5
+    sll  $27,$27,5
+# $27 has the cache line address.
+
+# index_address = (C0[BADVA]-C0[0]) >> 1 + C0[2]
+    sub  $9,$27,$26       # offset into decompressed code
+    srl  $9,$9,1          # transform to offset into indices
+    add  $9,$11,$9        # load $9 with index address
+
+# Calculate next line address (stop when we reach it).
+    add  $12,$27,32
+
+loop:
+    lhu  $11,0($9)        # put index in $11
+    add  $9,$9,2          # index_address++
+    sll  $11,$11,2        # scale for 4B dictionary entry
+    lw   $26,($11+$10)    # $26 holds the instruction
+    swic $26,0($27)       # store word in cache
+    add  $27,$27,4        # advance insn address
+    bne  $27,$12,loop
+
+# Restore registers and return.
+    lw   $9,-4($sp)
+    lw   $10,-8($sp)
+    lw   $11,-12($sp)
+    lw   $12,-16($sp)
+    iret                  # return from exception handler

@@ -1,0 +1,67 @@
+# L1 I-miss exception handler: dictionary decompression, second register
+# file variant (§4.1). During the exception all register accesses use the
+# shadow file, so nothing is saved/restored, and the extra free registers
+# let the 8-iteration copy loop be fully unrolled (the paper: "eliminates
+# two add instructions and a branch instruction on each iteration").
+#
+# Register use (shadow file):
+#   $9  : index address        $10 : dictionary base
+#   $11 : scratch index        $26 : decompressed insn
+#   $27 : cache line address
+
+    mfc0 $27,c0[BADVA]    # the faulting PC
+    mfc0 $26,c0[0]        # decompressed base
+    mfc0 $10,c0[1]        # dictionary base
+    mfc0 $9,c0[2]         # indices base
+
+# Zero low 5 bits to get the cache line address.
+    srl  $27,$27,5
+    sll  $27,$27,5
+
+# index_address = (line_addr - decompressed_base) >> 1 + indices_base
+    sub  $11,$27,$26
+    srl  $11,$11,1
+    add  $9,$9,$11
+
+# Fully unrolled: 8 instructions per 32B line.
+    lhu  $11,0($9)
+    sll  $11,$11,2
+    lw   $26,($11+$10)
+    swic $26,0($27)
+
+    lhu  $11,2($9)
+    sll  $11,$11,2
+    lw   $26,($11+$10)
+    swic $26,4($27)
+
+    lhu  $11,4($9)
+    sll  $11,$11,2
+    lw   $26,($11+$10)
+    swic $26,8($27)
+
+    lhu  $11,6($9)
+    sll  $11,$11,2
+    lw   $26,($11+$10)
+    swic $26,12($27)
+
+    lhu  $11,8($9)
+    sll  $11,$11,2
+    lw   $26,($11+$10)
+    swic $26,16($27)
+
+    lhu  $11,10($9)
+    sll  $11,$11,2
+    lw   $26,($11+$10)
+    swic $26,20($27)
+
+    lhu  $11,12($9)
+    sll  $11,$11,2
+    lw   $26,($11+$10)
+    swic $26,24($27)
+
+    lhu  $11,14($9)
+    sll  $11,$11,2
+    lw   $26,($11+$10)
+    swic $26,28($27)
+
+    iret

@@ -1,0 +1,192 @@
+//! The software decompression exception handlers, in assembly.
+//!
+//! These are the paper's §4.1 artifacts: real programs, assembled by
+//! `rtdc-isa` and *executed on the simulated pipeline* from dedicated
+//! handler RAM, so their cost is measured rather than assumed. Six
+//! variants exist:
+//!
+//! | handler | paper size | ours |
+//! |---|---|---|
+//! | dictionary            | 26 insns, 75 executed/line | identical (Figure 2 transcribed) |
+//! | dictionary + 2nd RF   | unrolled, no save/restore  | 42 insns, 42 executed/line |
+//! | CodePack              | 208 insns, ~1120 executed/group | same structure; see tests |
+//! | CodePack + 2nd RF     | save/restore removed        | same minus 26 insns |
+//! | byte-dictionary "D2" (±RF) | — (our §6 future-work scheme) | ~150 executed/line |
+//!
+//! Handler ABI (programmed into C0 by the image builder): `c0[BADVA]` is
+//! the missed PC; `c0[0]` the decompressed-region base; `c0[1]`/`c0[2]`
+//! the dictionary/indices bases (dictionary scheme) or the high/low
+//! half-dictionaries (CodePack); `c0[3]`/`c0[4]` the CodePack group bytes
+//! and mapping table.
+
+use rtdc_isa::asm::{assemble, Assembled};
+use rtdc_sim::map;
+
+/// Figure 2 of the paper: the looped dictionary miss handler.
+pub const DICTIONARY_SOURCE: &str = include_str!("dictionary.s");
+
+/// The unrolled second-register-file dictionary handler (§4.1).
+pub const DICTIONARY_RF_SOURCE: &str = include_str!("dictionary_rf.s");
+
+const CODEPACK_BODY: &str = include_str!("codepack_body.s");
+const READ_BITS: &str = include_str!("read_bits.s");
+const BYTEDICT_BODY: &str = include_str!("bytedict_body.s");
+
+/// Static size of the paper's dictionary handler, in instructions.
+pub const DICTIONARY_STATIC_INSNS: usize = 26;
+
+/// Dynamic instructions the dictionary handler executes per cache line.
+pub const DICTIONARY_INSNS_PER_LINE: usize = 75;
+
+/// Dynamic instructions the unrolled +RF dictionary handler executes.
+pub const DICTIONARY_RF_INSNS_PER_LINE: usize = 42;
+
+const CP_SAVES: &str = "\
+    sw   $2,-4($sp)
+    sw   $4,-8($sp)
+    sw   $8,-12($sp)
+    sw   $9,-16($sp)
+    sw   $10,-20($sp)
+    sw   $11,-24($sp)
+    sw   $12,-28($sp)
+    sw   $13,-32($sp)
+    sw   $14,-36($sp)
+    sw   $15,-40($sp)
+    sw   $24,-44($sp)
+    sw   $25,-48($sp)
+    sw   $31,-52($sp)
+";
+
+const CP_RESTORES: &str = "\
+    lw   $2,-4($sp)
+    lw   $4,-8($sp)
+    lw   $8,-12($sp)
+    lw   $9,-16($sp)
+    lw   $10,-20($sp)
+    lw   $11,-24($sp)
+    lw   $12,-28($sp)
+    lw   $13,-32($sp)
+    lw   $14,-36($sp)
+    lw   $15,-40($sp)
+    lw   $24,-44($sp)
+    lw   $25,-48($sp)
+    lw   $31,-52($sp)
+";
+
+/// Builds the CodePack handler source (optionally the +RF variant, which
+/// needs no register save/restore because the exception uses the shadow
+/// register file).
+pub fn codepack_source(second_rf: bool) -> String {
+    if second_rf {
+        format!("{CODEPACK_BODY}    iret\n\n{READ_BITS}")
+    } else {
+        format!("{CP_SAVES}{CODEPACK_BODY}{CP_RESTORES}    iret\n\n{READ_BITS}")
+    }
+}
+
+/// Assembles the dictionary handler at the handler RAM base.
+pub fn dictionary_handler(second_rf: bool) -> Assembled {
+    let src = if second_rf {
+        DICTIONARY_RF_SOURCE
+    } else {
+        DICTIONARY_SOURCE
+    };
+    assemble(src, map::HANDLER_BASE, 0).expect("dictionary handler source is valid")
+}
+
+/// Assembles the CodePack handler at the handler RAM base.
+pub fn codepack_handler(second_rf: bool) -> Assembled {
+    assemble(&codepack_source(second_rf), map::HANDLER_BASE, 0)
+        .expect("codepack handler source is valid")
+}
+
+const BD_SAVES: &str = "\
+    sw   $2,-4($sp)
+    sw   $8,-8($sp)
+    sw   $9,-12($sp)
+    sw   $10,-16($sp)
+    sw   $11,-20($sp)
+    sw   $24,-24($sp)
+    sw   $25,-28($sp)
+";
+
+const BD_RESTORES: &str = "\
+    lw   $2,-4($sp)
+    lw   $8,-8($sp)
+    lw   $9,-12($sp)
+    lw   $10,-16($sp)
+    lw   $11,-20($sp)
+    lw   $24,-24($sp)
+    lw   $25,-28($sp)
+";
+
+/// Builds the byte-dictionary ("D2") handler source.
+pub fn bytedict_source(second_rf: bool) -> String {
+    if second_rf {
+        format!("{BYTEDICT_BODY}    iret\n")
+    } else {
+        format!("{BD_SAVES}{BYTEDICT_BODY}{BD_RESTORES}    iret\n")
+    }
+}
+
+/// Assembles the byte-dictionary ("D2") handler at the handler RAM base.
+pub fn bytedict_handler(second_rf: bool) -> Assembled {
+    assemble(&bytedict_source(second_rf), map::HANDLER_BASE, 0)
+        .expect("bytedict handler source is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictionary_handler_matches_paper_size() {
+        // "The decompressor is 208 bytes (26 instructions)" — §4.1.
+        let h = dictionary_handler(false);
+        assert_eq!(h.text.len(), DICTIONARY_STATIC_INSNS);
+        assert_eq!(h.text_bytes(), 104); // 26 insns at 4B (paper's 208B counts 64-bit PISA words)
+    }
+
+    #[test]
+    fn dictionary_rf_handler_is_unrolled() {
+        let h = dictionary_handler(true);
+        // 9 setup + 8*4 unrolled + iret.
+        assert_eq!(h.text.len(), DICTIONARY_RF_INSNS_PER_LINE);
+        // No stack traffic at all.
+        let text = h.text.iter().map(|i| i.to_string()).collect::<Vec<_>>().join("\n");
+        assert!(!text.contains("sw "), "RF variant must not save registers");
+    }
+
+    #[test]
+    fn bytedict_handlers_assemble() {
+        let plain = bytedict_handler(false);
+        let rf = bytedict_handler(true);
+        assert_eq!(plain.text.len(), rf.text.len() + 14); // 7 saves + 7 restores
+        // Smaller than CodePack's, bigger than the dictionary handler.
+        assert!(plain.text.len() > 26 && plain.text.len() < 100);
+    }
+
+    #[test]
+    fn codepack_handlers_assemble() {
+        let plain = codepack_handler(false);
+        let rf = codepack_handler(true);
+        // The RF variant drops exactly the 26 save/restore instructions.
+        assert_eq!(plain.text.len(), rf.text.len() + 26);
+        // Sanity: in the same ballpark as the paper's 208-instruction handler.
+        assert!(plain.text.len() > 80 && plain.text.len() < 250);
+    }
+
+    #[test]
+    fn handlers_fit_in_handler_ram() {
+        for a in [
+            dictionary_handler(false),
+            dictionary_handler(true),
+            codepack_handler(false),
+            codepack_handler(true),
+            bytedict_handler(false),
+            bytedict_handler(true),
+        ] {
+            assert!(a.text_bytes() <= map::HANDLER_BYTES as usize);
+        }
+    }
+}

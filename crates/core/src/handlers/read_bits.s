@@ -1,0 +1,21 @@
+# read_bits: returns the next $4 (1..16) bits of the compressed stream,
+# MSB-first, in $2. Maintains the byte pointer in $11, the bit buffer in
+# $12 and the bit count in $13; clobbers $8.
+read_bits:
+rb_fill:
+    slt  $8,$13,$4
+    beq  $8,$0,rb_have
+    lbu  $8,0($11)        # refill one byte
+    add  $11,$11,1
+    sll  $12,$12,8
+    or   $12,$12,$8
+    add  $13,$13,8
+    j    rb_fill
+rb_have:
+    sub  $13,$13,$4
+    srlv $2,$12,$13
+    li   $8,1
+    sllv $8,$8,$4
+    sub  $8,$8,1
+    and  $2,$2,$8
+    jr   $ra

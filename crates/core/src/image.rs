@@ -1,0 +1,205 @@
+//! Memory images: the loadable result of compiling an [`ObjectProgram`]
+//! into the paper's Figure 3 layout.
+//!
+//! [`ObjectProgram`]: rtdc_isa::program::ObjectProgram
+
+use rtdc_isa::C0Reg;
+
+/// Which compression scheme an image uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// 16-bit-index dictionary compression (§3.1).
+    Dictionary,
+    /// CodePack-style compression (§3.2).
+    CodePack,
+    /// Byte-aligned two-level dictionary ("D2"): the denser-but-still-fast
+    /// point the paper's conclusion asks about (§6); see
+    /// [`rtdc_compress::bytedict`].
+    ByteDict,
+}
+
+impl Scheme {
+    /// Short label used in reports ("D" / "CP", as in the paper's tables).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::Dictionary => "D",
+            Scheme::CodePack => "CP",
+            Scheme::ByteDict => "D2",
+        }
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One loadable segment of an image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Segment name (`.native`, `.indices`, `.dictionary`, ...).
+    pub name: String,
+    /// Base virtual address.
+    pub base: u32,
+    /// Contents.
+    pub bytes: Vec<u8>,
+}
+
+impl Segment {
+    /// End address (exclusive).
+    pub fn end(&self) -> u32 {
+        self.base + self.bytes.len() as u32
+    }
+}
+
+/// Code-size accounting for an image (the paper's Table 2 quantities).
+///
+/// Following §5.1, the decompressor code is *not* included in compressed
+/// program sizes; it is reported separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeReport {
+    /// Size of the original (fully native) `.text`, in bytes.
+    pub original_text_bytes: u32,
+    /// Bytes of procedures left as native code.
+    pub native_text_bytes: u32,
+    /// Bytes of the compressed representation (indices + dictionary, or
+    /// groups + mapping table + dictionaries).
+    pub compressed_payload_bytes: u32,
+    /// Size of the decompression handler (reported, not counted in the
+    /// compression ratio).
+    pub handler_bytes: u32,
+}
+
+impl SizeReport {
+    /// Total post-compression code size: native bytes + compressed payload.
+    pub fn total_code_bytes(&self) -> u32 {
+        self.native_text_bytes + self.compressed_payload_bytes
+    }
+
+    /// Eq. 1: compressed size / original size (smaller is better; can
+    /// exceed 1.0 for incompressible programs).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.original_text_bytes == 0 {
+            return 1.0;
+        }
+        self.total_code_bytes() as f64 / self.original_text_bytes as f64
+    }
+}
+
+/// A fully-built program image: segments, entry state, handler and region
+/// configuration, and per-procedure address ranges for profiling.
+#[derive(Debug, Clone)]
+pub struct MemoryImage {
+    /// Program name.
+    pub name: String,
+    /// Compression scheme, or `None` for a native image.
+    pub scheme: Option<Scheme>,
+    /// Whether the image's handler expects the second register file.
+    pub second_regfile: bool,
+    /// Entry PC.
+    pub entry: u32,
+    /// Initial stack pointer.
+    pub initial_sp: u32,
+    /// Loadable segments.
+    pub segments: Vec<Segment>,
+    /// C0 registers the loader must program (decompressor bases).
+    pub c0_init: Vec<(C0Reg, u32)>,
+    /// Handler RAM range, if a decompressor is installed.
+    pub handler_range: Option<(u32, u32)>,
+    /// Compressed code region (misses here raise the exception).
+    pub compressed_range: Option<(u32, u32)>,
+    /// Per-procedure `(start, end, proc_id)` address ranges.
+    pub proc_regions: Vec<(u32, u32, usize)>,
+    /// Procedure names, indexed by proc id.
+    pub proc_names: Vec<String>,
+    /// Code-size accounting.
+    pub sizes: SizeReport,
+}
+
+impl MemoryImage {
+    /// The segment named `name`, if present.
+    pub fn segment(&self, name: &str) -> Option<&Segment> {
+        self.segments.iter().find(|s| s.name == name)
+    }
+
+    /// Number of procedures.
+    pub fn proc_count(&self) -> usize {
+        self.proc_names.len()
+    }
+
+    /// A human-readable rendering of the memory layout — the paper's
+    /// Figure 3, for this image.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "{} ({})", self.name, match self.scheme {
+            None => "native".to_string(),
+            Some(sc) => format!("{sc}{}", if self.second_regfile { "+RF" } else { "" }),
+        });
+        if let Some((start, end)) = self.compressed_range {
+            let _ = writeln!(
+                s,
+                "  {start:#010x}..{end:#010x}  decompressed code (exists only in I-cache)"
+            );
+        }
+        let mut segs: Vec<&Segment> = self.segments.iter().collect();
+        segs.sort_by_key(|seg| seg.base);
+        for seg in segs {
+            let _ = writeln!(
+                s,
+                "  {:#010x}..{:#010x}  {:<14} {:>8} bytes",
+                seg.base,
+                seg.end(),
+                seg.name,
+                seg.bytes.len()
+            );
+        }
+        let _ = writeln!(s, "  entry {:#010x}, sp {:#010x}", self.entry, self.initial_sp);
+        let _ = writeln!(
+            s,
+            "  code: {} native + {} compressed payload = {} bytes ({:.1}% of {})",
+            self.sizes.native_text_bytes,
+            self.sizes.compressed_payload_bytes,
+            self.sizes.total_code_bytes(),
+            100.0 * self.sizes.compression_ratio(),
+            self.sizes.original_text_bytes,
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_report_ratio() {
+        let s = SizeReport {
+            original_text_bytes: 1000,
+            native_text_bytes: 200,
+            compressed_payload_bytes: 500,
+            handler_bytes: 104,
+        };
+        assert_eq!(s.total_code_bytes(), 700);
+        assert!((s.compression_ratio() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_program_ratio_is_one() {
+        let s = SizeReport {
+            original_text_bytes: 0,
+            native_text_bytes: 0,
+            compressed_payload_bytes: 0,
+            handler_bytes: 0,
+        };
+        assert_eq!(s.compression_ratio(), 1.0);
+    }
+
+    #[test]
+    fn scheme_labels_match_paper() {
+        assert_eq!(Scheme::Dictionary.to_string(), "D");
+        assert_eq!(Scheme::CodePack.to_string(), "CP");
+        assert_eq!(Scheme::ByteDict.to_string(), "D2");
+    }
+}

@@ -1,0 +1,73 @@
+//! The core of the reproduction of *"Reducing Code Size with Run-time
+//! Decompression"* (Lefurgy, Piccininni, Mudge — HPCA 2000): run-time code
+//! decompression via a **software-managed instruction cache**.
+//!
+//! Programs are stored compressed in main memory. On an I-cache miss in
+//! the compressed region, an exception vectors to a small software
+//! decompressor resident in on-chip RAM; it rebuilds the missed native
+//! cache line and writes it into the I-cache with the `swic` instruction,
+//! so the CPU is entirely unaware of compression and cached code runs at
+//! native speed.
+//!
+//! * [`handlers`] — the decompression exception handlers in assembly
+//!   (Figure 2 verbatim, plus the unrolled second-register-file variant
+//!   and both CodePack handlers); they *execute on the simulated core*.
+//! * [`image`] / [`builder`] — compressed program images in the paper's
+//!   Figure 3 memory layout, for the dictionary and CodePack schemes.
+//! * [`select`] — selective compression (§3.3): execution-based and
+//!   miss-based native-procedure selection.
+//! * [`runner`] — loading, running, and native profiling.
+//!
+//! # Example: compress, run, compare
+//!
+//! ```
+//! use rtdc::prelude::*;
+//! use rtdc_isa::program::{ObjectProgram, ObjInsn, Procedure, ProcId};
+//! use rtdc_isa::{Instruction, Reg};
+//!
+//! // A toy program: exit(5).
+//! let program = ObjectProgram {
+//!     name: "toy".into(),
+//!     procedures: vec![Procedure::new("main", vec![
+//!         ObjInsn::Insn(Instruction::Addiu { rt: Reg::A0, rs: Reg::ZERO, imm: 5 }),
+//!         ObjInsn::Insn(Instruction::Addiu { rt: Reg::V0, rs: Reg::ZERO, imm: 10 }),
+//!         ObjInsn::Insn(Instruction::Syscall),
+//!     ])],
+//!     data: Vec::new(),
+//!     entry: ProcId(0),
+//!     addr_tables: Vec::new(),
+//! };
+//!
+//! let cfg = SimConfig::hpca2000_baseline();
+//! let native = build_native(&program)?;
+//! let compressed = build_compressed(
+//!     &program, Scheme::Dictionary, false,
+//!     &Selection::all_compressed(1),
+//! )?;
+//! let a = run_image(&native, cfg, 10_000)?;
+//! let b = run_image(&compressed, cfg, 10_000)?;
+//! assert_eq!(a.exit_code, b.exit_code); // identical architectural result
+//! assert!(b.stats.cycles > a.stats.cycles); // decompression costs cycles
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod error;
+pub mod handlers;
+pub mod image;
+pub mod proccache;
+pub mod runner;
+pub mod select;
+
+/// One-stop imports for experiments and examples.
+pub mod prelude {
+    pub use crate::builder::{build_compressed, build_compressed_ordered, build_native};
+    pub use crate::error::{BuildError, RunError};
+    pub use crate::image::{MemoryImage, Scheme, SizeReport};
+    pub use crate::runner::{load_image, profile_native, run_image, RunReport};
+    pub use crate::select::{placement_hot_first, ProcedureProfile, SelectBy, Selection};
+    pub use rtdc_sim::SimConfig;
+}

@@ -1,0 +1,123 @@
+//! Loading images into the simulator and running experiments.
+
+use rtdc_isa::program::ObjectProgram;
+use rtdc_sim::{Machine, RegionProfiler, SimConfig, Stats};
+
+use crate::builder::build_native;
+use crate::error::{BuildError, RunError};
+use crate::image::MemoryImage;
+use crate::select::ProcedureProfile;
+
+/// Result of running an image to completion.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Program exit code.
+    pub exit_code: u32,
+    /// Final statistics.
+    pub stats: Stats,
+    /// Program output bytes.
+    pub output: Vec<u8>,
+}
+
+/// Loads an image into a fresh machine (segments, C0 registers, handler and
+/// compressed regions, entry PC and stack pointer).
+///
+/// The configuration's `second_regfile` flag is forced to match the image
+/// so a non-RF handler never runs with banked registers or vice versa.
+pub fn load_image(image: &MemoryImage, config: SimConfig) -> Machine {
+    let cfg = config.with_second_regfile(image.second_regfile);
+    let mut m = Machine::new(cfg);
+    for seg in &image.segments {
+        m.mem_mut().write_bytes(seg.base, &seg.bytes);
+    }
+    for &(c0, value) in &image.c0_init {
+        m.set_c0(c0, value);
+    }
+    if let Some((start, end)) = image.handler_range {
+        m.set_handler_range(start, end);
+    }
+    if let Some((start, end)) = image.compressed_range {
+        m.set_compressed_range(start, end);
+    }
+    m.set_pc(image.entry);
+    m.set_reg(rtdc_isa::Reg::SP, image.initial_sp);
+    m
+}
+
+/// Runs `image` to completion under `config`.
+///
+/// # Errors
+///
+/// Returns [`RunError::Sim`] on any simulator fault (including exceeding
+/// `max_insns`).
+pub fn run_image(image: &MemoryImage, config: SimConfig, max_insns: u64) -> Result<RunReport, RunError> {
+    let mut m = load_image(image, config);
+    let outcome = m.run(max_insns)?;
+    Ok(RunReport {
+        exit_code: outcome.exit_code,
+        stats: *m.stats(),
+        output: m.output().to_vec(),
+    })
+}
+
+/// Profiles a program natively (§3.3/§4.2: profiles come from the original
+/// uncompressed binary): runs the native image under `config` collecting
+/// per-procedure dynamic-instruction and I-miss counts.
+///
+/// # Errors
+///
+/// Build errors from the native image or simulator faults while profiling.
+pub fn profile_native(
+    program: &ObjectProgram,
+    config: SimConfig,
+    max_insns: u64,
+) -> Result<(RunReport, ProcedureProfile), ProfileError> {
+    let image = build_native(program).map_err(ProfileError::Build)?;
+    let mut m = load_image(&image, config);
+    m.attach_profiler(RegionProfiler::new(
+        image.proc_regions.clone(),
+        image.proc_count(),
+    ));
+    let outcome = m.run(max_insns).map_err(|e| ProfileError::Run(e.into()))?;
+    let profiler = m.take_profiler().expect("profiler was attached");
+    let report = RunReport {
+        exit_code: outcome.exit_code,
+        stats: *m.stats(),
+        output: m.output().to_vec(),
+    };
+    let profile = ProcedureProfile {
+        names: image.proc_names.clone(),
+        exec: profiler.exec_counts().to_vec(),
+        miss: profiler.miss_counts().to_vec(),
+        entry_trace: profiler.entry_trace().to_vec(),
+    };
+    Ok((report, profile))
+}
+
+/// Errors from [`profile_native`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProfileError {
+    /// Building the native image failed.
+    Build(BuildError),
+    /// Running the native image failed.
+    Run(RunError),
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::Build(e) => write!(f, "profiling build failed: {e}"),
+            ProfileError::Run(e) => write!(f, "profiling run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProfileError::Build(e) => Some(e),
+            ProfileError::Run(e) => Some(e),
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Differential tests: the assembly decompression handlers against the
+//! Rust codecs, on adversarial inputs.
+//!
+//! The end-to-end tests prove the handlers work on real programs, whose
+//! instruction streams are benign. Here the "text" is arbitrary random
+//! words — exercising the raw-escape codewords, dictionary-class
+//! boundaries, and bit-buffer refills — and the handler's output is read
+//! back from the I-cache lines it wrote, without ever executing the junk.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtdc::handlers;
+use rtdc_compress::codepack::CodePackCompressed;
+use rtdc_compress::dictionary::DictionaryCompressed;
+use rtdc_isa::{C0Reg, Reg};
+use rtdc_sim::{map, Machine, Mode, SimConfig};
+
+fn align4(x: u32) -> u32 {
+    x.div_ceil(4) * 4
+}
+
+fn install_handler(m: &mut Machine, asm: &rtdc_isa::asm::Assembled) {
+    for (i, w) in asm.encoded_text().iter().enumerate() {
+        m.mem_mut().write_u32(map::HANDLER_BASE + 4 * i as u32, *w);
+    }
+    m.set_handler_range(map::HANDLER_BASE, map::HANDLER_BASE + map::HANDLER_BYTES);
+}
+
+/// Runs exactly one decompression exception at `miss_pc` and returns the
+/// machine with the handler's I-cache writes in place.
+fn run_one_exception(mut m: Machine, miss_pc: u32) -> Machine {
+    m.set_reg(Reg::SP, map::STACK_TOP);
+    m.set_pc(miss_pc);
+    // Step until the handler has completed (back in Normal mode after the
+    // exception), but never execute the junk "program" itself.
+    let mut steps = 0u64;
+    loop {
+        m.step().expect("handler step");
+        steps += 1;
+        assert!(steps < 100_000, "handler did not terminate");
+        if m.stats().exceptions > 0 && m.mode() == Mode::Normal {
+            break;
+        }
+    }
+    m
+}
+
+#[test]
+fn dictionary_handler_matches_rust_decoder_on_random_words() {
+    let mut rng = StdRng::seed_from_u64(0xd1f);
+    for trial in 0..8 {
+        // 8 lines of random words drawn from a smallish pool (so indices
+        // span multiple dictionary entries but stay in 16 bits).
+        let words: Vec<u32> = (0..64)
+            .map(|_| rng.gen_range(0..5000u32).wrapping_mul(2654435761))
+            .collect();
+        let c = DictionaryCompressed::compress(&words).unwrap();
+
+        let mut m = Machine::new(SimConfig::hpca2000_baseline());
+        let indices_base = map::COMPRESSED_BASE;
+        m.mem_mut().write_bytes(indices_base, &c.indices_bytes());
+        let dict_base = align4(indices_base + c.indices_bytes().len() as u32);
+        m.mem_mut().write_bytes(dict_base, &c.dictionary_bytes());
+        m.set_c0(C0Reg::DECOMP_BASE, map::TEXT_BASE);
+        m.set_c0(C0Reg::DICT_BASE, dict_base);
+        m.set_c0(C0Reg::INDICES_BASE, indices_base);
+        m.set_compressed_range(map::TEXT_BASE, map::TEXT_BASE + 4 * words.len() as u32);
+        install_handler(&mut m, &handlers::dictionary_handler(trial % 2 == 1));
+
+        // Miss in the middle of line 3 (not at the line start).
+        let line = 3usize;
+        let miss = map::TEXT_BASE + (line * 32 + 12) as u32;
+        let m = run_one_exception(m, miss);
+
+        for i in 0..8 {
+            let addr = map::TEXT_BASE + (line * 32) as u32 + 4 * i as u32;
+            assert_eq!(
+                m.icache().read_word(addr),
+                Some(words[line * 8 + i]),
+                "trial {trial}, word {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn codepack_handler_matches_rust_decoder_on_random_words() {
+    let mut rng = StdRng::seed_from_u64(0xc0de);
+    for trial in 0..8 {
+        // Random words force raw escapes; a skewed subset exercises the
+        // short index classes and the zero-low codeword.
+        let words: Vec<u32> = (0..96)
+            .map(|_| match rng.gen_range(0..4) {
+                0 => rng.gen::<u32>(),                       // raw escapes
+                1 => rng.gen_range(0..40u32) << 16,          // zero low half
+                2 => 0x2442_0000 | rng.gen_range(0..100u32), // hot hi, small lo
+                _ => rng.gen_range(0..20_000u32).wrapping_mul(40503), // mid classes
+            })
+            .collect();
+        let c = CodePackCompressed::compress(&words);
+        let expected = c.decompress();
+
+        let mut m = Machine::new(SimConfig::hpca2000_baseline());
+        let bases_base = map::COMPRESSED_BASE;
+        m.mem_mut().write_bytes(bases_base, &c.bases_bytes());
+        let deltas_base = align4(bases_base + c.bases_bytes().len() as u32);
+        m.mem_mut().write_bytes(deltas_base, &c.deltas_bytes());
+        let groups_base = align4(deltas_base + c.deltas_bytes().len() as u32);
+        m.mem_mut().write_bytes(groups_base, c.group_bytes());
+        let hi_base = align4(groups_base + c.group_bytes().len() as u32);
+        m.mem_mut().write_bytes(hi_base, &c.hi_dict_bytes());
+        let lo_base = align4(hi_base + c.hi_dict_bytes().len() as u32);
+        m.mem_mut().write_bytes(lo_base, &c.lo_dict_bytes());
+        m.set_c0(C0Reg::DECOMP_BASE, map::TEXT_BASE);
+        m.set_c0(C0Reg::DICT_BASE, hi_base);
+        m.set_c0(C0Reg::INDICES_BASE, lo_base);
+        m.set_c0(C0Reg::GROUPS_BASE, groups_base);
+        m.set_c0(C0Reg::GROUPTAB_BASE, bases_base);
+        m.set_c0(C0Reg::AUX, deltas_base);
+        m.set_compressed_range(map::TEXT_BASE, map::TEXT_BASE + 4 * words.len() as u32);
+        install_handler(&mut m, &handlers::codepack_handler(trial % 2 == 1));
+
+        // Miss into the SECOND cache line of group 1 — the case that
+        // forces serial decode through the first 8 instructions (§3.2).
+        let group = 1usize;
+        let miss = map::TEXT_BASE + (group * 64 + 36) as u32;
+        let m = run_one_exception(m, miss);
+
+        // The handler must have materialized BOTH lines of the group.
+        for i in 0..16 {
+            let addr = map::TEXT_BASE + (group * 64) as u32 + 4 * i as u32;
+            assert_eq!(
+                m.icache().read_word(addr),
+                Some(expected[group * 16 + i]),
+                "trial {trial}, word {i}"
+            );
+        }
+        assert_eq!(m.stats().swics, 16, "one group = 16 swics");
+    }
+}
+
+#[test]
+fn bytedict_handler_matches_rust_decoder_on_random_words() {
+    use rtdc_compress::bytedict::ByteDictCompressed;
+    let mut rng = StdRng::seed_from_u64(0xb17ed1c7);
+    for trial in 0..8 {
+        // Mix of hot words (1-byte codes), mid-frequency (2-byte), and
+        // raw escapes.
+        let words: Vec<u32> = (0..80)
+            .map(|_| match rng.gen_range(0..4) {
+                0 => rng.gen::<u32>(),                               // escapes
+                1 => rng.gen_range(0..8u32).wrapping_mul(0x01010101), // hot
+                _ => rng.gen_range(0..4000u32).wrapping_mul(40503),   // 2-byte class
+            })
+            .collect();
+        let c = ByteDictCompressed::compress(&words);
+        let expected = c.decompress();
+
+        let mut m = Machine::new(SimConfig::hpca2000_baseline());
+        let bases_base = map::COMPRESSED_BASE;
+        m.mem_mut().write_bytes(bases_base, &c.bases_bytes());
+        let deltas_base = align4(bases_base + c.bases_bytes().len() as u32);
+        m.mem_mut().write_bytes(deltas_base, &c.deltas_bytes());
+        let code_base = align4(deltas_base + c.deltas_bytes().len() as u32);
+        m.mem_mut().write_bytes(code_base, c.code_bytes());
+        let dict_base = align4(code_base + c.code_bytes().len() as u32);
+        m.mem_mut().write_bytes(dict_base, &c.dict_bytes());
+        m.set_c0(C0Reg::DECOMP_BASE, map::TEXT_BASE);
+        m.set_c0(C0Reg::DICT_BASE, dict_base);
+        m.set_c0(C0Reg::GROUPS_BASE, code_base);
+        m.set_c0(C0Reg::GROUPTAB_BASE, bases_base);
+        m.set_c0(C0Reg::AUX, deltas_base);
+        m.set_compressed_range(map::TEXT_BASE, map::TEXT_BASE + 4 * words.len() as u32);
+        install_handler(&mut m, &handlers::bytedict_handler(trial % 2 == 1));
+
+        // Miss mid-line in line 5.
+        let line = 5usize;
+        let miss = map::TEXT_BASE + (line * 32 + 20) as u32;
+        let m = run_one_exception(m, miss);
+
+        for i in 0..8 {
+            let addr = map::TEXT_BASE + (line * 32) as u32 + 4 * i as u32;
+            assert_eq!(
+                m.icache().read_word(addr),
+                Some(expected[line * 8 + i]),
+                "trial {trial}, word {i}"
+            );
+        }
+        assert_eq!(m.stats().swics, 8, "one line = 8 swics");
+    }
+}

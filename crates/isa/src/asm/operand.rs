@@ -1,0 +1,196 @@
+//! Operand lexing for the assembler.
+
+use crate::asm::AsmErrorKind;
+use crate::reg::{C0Reg, Reg};
+
+/// A parsed operand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Operand {
+    /// `$t0`, `$29`, ...
+    Reg(Reg),
+    /// A numeric literal.
+    Imm(i64),
+    /// `offset($base)` — also covers `($base)` with zero offset.
+    Mem { base: Reg, offset: i64 },
+    /// `($index+$base)` — PISA register-indexed addressing.
+    MemIndexed { base: Reg, index: Reg },
+    /// `c0[NAME]` or `c0[n]`.
+    C0(C0Reg),
+    /// A symbol reference (label).
+    Sym(String),
+}
+
+pub(crate) fn parse_reg(s: &str) -> Result<Reg, AsmErrorKind> {
+    let bad = || AsmErrorKind::BadRegister(s.to_string());
+    let body = s.strip_prefix('$').ok_or_else(bad)?;
+    if let Ok(n) = body.parse::<u8>() {
+        return Reg::try_new(n).ok_or_else(bad);
+    }
+    let n = match body {
+        "zero" => 0,
+        "at" => 1,
+        "v0" => 2,
+        "v1" => 3,
+        "a0" => 4,
+        "a1" => 5,
+        "a2" => 6,
+        "a3" => 7,
+        "t0" => 8,
+        "t1" => 9,
+        "t2" => 10,
+        "t3" => 11,
+        "t4" => 12,
+        "t5" => 13,
+        "t6" => 14,
+        "t7" => 15,
+        "s0" => 16,
+        "s1" => 17,
+        "s2" => 18,
+        "s3" => 19,
+        "s4" => 20,
+        "s5" => 21,
+        "s6" => 22,
+        "s7" => 23,
+        "t8" => 24,
+        "t9" => 25,
+        "k0" => 26,
+        "k1" => 27,
+        "gp" => 28,
+        "sp" => 29,
+        "fp" => 30,
+        "ra" => 31,
+        _ => return Err(bad()),
+    };
+    Ok(Reg::new(n))
+}
+
+pub(crate) fn parse_number(s: &str) -> Result<i64, AsmErrorKind> {
+    let bad = || AsmErrorKind::BadNumber(s.to_string());
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).map_err(|_| bad())?
+    } else {
+        body.parse::<i64>().map_err(|_| bad())?
+    };
+    Ok(if neg { -value } else { value })
+}
+
+fn is_symbol(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == '.' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+/// Parses one comma-separated operand token.
+pub(crate) fn parse_operand(tok: &str) -> Result<Operand, AsmErrorKind> {
+    let tok = tok.trim();
+    if tok.starts_with("c0[") && tok.ends_with(']') {
+        let inner = &tok[3..tok.len() - 1];
+        if let Some(c) = C0Reg::from_name(inner) {
+            return Ok(Operand::C0(c));
+        }
+        let n = parse_number(inner)?;
+        if !(0..16).contains(&n) {
+            return Err(AsmErrorKind::BadNumber(inner.to_string()));
+        }
+        return Ok(Operand::C0(C0Reg::new(n as u8)));
+    }
+    if tok.starts_with('$') {
+        return Ok(Operand::Reg(parse_reg(tok)?));
+    }
+    // Memory operands: `off($r)`, `($r)`, `($ri+$rb)`
+    if let Some(open) = tok.find('(') {
+        if !tok.ends_with(')') {
+            return Err(AsmErrorKind::BadOperands(tok.to_string()));
+        }
+        let inner = &tok[open + 1..tok.len() - 1];
+        let prefix = tok[..open].trim();
+        if let Some((a, b)) = inner.split_once('+') {
+            if !prefix.is_empty() {
+                return Err(AsmErrorKind::BadOperands(tok.to_string()));
+            }
+            let index = parse_reg(a.trim())?;
+            let base = parse_reg(b.trim())?;
+            return Ok(Operand::MemIndexed { base, index });
+        }
+        let base = parse_reg(inner.trim())?;
+        let offset = if prefix.is_empty() {
+            0
+        } else {
+            parse_number(prefix)?
+        };
+        return Ok(Operand::Mem { base, offset });
+    }
+    if tok
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_digit() || c == '-')
+    {
+        return Ok(Operand::Imm(parse_number(tok)?));
+    }
+    if is_symbol(tok) {
+        return Ok(Operand::Sym(tok.to_string()));
+    }
+    Err(AsmErrorKind::BadOperands(tok.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_by_number_and_name() {
+        assert_eq!(parse_reg("$0").unwrap(), Reg::ZERO);
+        assert_eq!(parse_reg("$31").unwrap(), Reg::RA);
+        assert_eq!(parse_reg("$sp").unwrap(), Reg::SP);
+        assert!(parse_reg("$32").is_err());
+        assert!(parse_reg("$xx").is_err());
+        assert!(parse_reg("t0").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(parse_number("42").unwrap(), 42);
+        assert_eq!(parse_number("-4").unwrap(), -4);
+        assert_eq!(parse_number("0xff").unwrap(), 255);
+        assert_eq!(parse_number("-0x10").unwrap(), -16);
+        assert!(parse_number("4x").is_err());
+    }
+
+    #[test]
+    fn memory_operands() {
+        assert_eq!(
+            parse_operand("-4($sp)").unwrap(),
+            Operand::Mem { base: Reg::SP, offset: -4 }
+        );
+        assert_eq!(
+            parse_operand("($9)").unwrap(),
+            Operand::Mem { base: Reg::T1, offset: 0 }
+        );
+        assert_eq!(
+            parse_operand("($11+$10)").unwrap(),
+            Operand::MemIndexed { base: Reg::T2, index: Reg::T3 }
+        );
+    }
+
+    #[test]
+    fn c0_operands() {
+        assert_eq!(parse_operand("c0[BADVA]").unwrap(), Operand::C0(C0Reg::BADVA));
+        assert_eq!(parse_operand("c0[2]").unwrap(), Operand::C0(C0Reg::INDICES_BASE));
+        assert!(parse_operand("c0[16]").is_err());
+        assert!(parse_operand("c0[NOPE]").is_err());
+    }
+
+    #[test]
+    fn symbols() {
+        assert_eq!(parse_operand("loop").unwrap(), Operand::Sym("loop".into()));
+        assert_eq!(parse_operand("_x.y2").unwrap(), Operand::Sym("_x.y2".into()));
+        assert!(parse_operand("9abc").is_err());
+    }
+}

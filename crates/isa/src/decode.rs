@@ -1,0 +1,215 @@
+//! Instruction decoding from 32-bit words.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::encode::{cop0rs, funct, op};
+use crate::insn::Instruction;
+use crate::reg::{C0Reg, Reg};
+
+/// Error returned when a 32-bit word is not a valid instruction encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction encoding {:#010x}", self.word)
+    }
+}
+
+impl Error for DecodeError {}
+
+fn reg(field: u32) -> Reg {
+    Reg::new((field & 0x1f) as u8)
+}
+
+/// Decodes a 32-bit word into an [`Instruction`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the word does not correspond to any
+/// instruction in the set (unknown major opcode, `funct`, or COP0 form).
+///
+/// # Examples
+///
+/// ```
+/// use rtdc_isa::{decode, Instruction};
+/// assert_eq!(decode(0)?, Instruction::NOP);
+/// # Ok::<(), rtdc_isa::DecodeError>(())
+/// ```
+pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
+    use Instruction::*;
+    let opcode = word >> 26;
+    let rs = reg(word >> 21);
+    let rt = reg(word >> 16);
+    let rd = reg(word >> 11);
+    let shamt = ((word >> 6) & 0x1f) as u8;
+    let imm = (word & 0xffff) as u16;
+    let simm = imm as i16;
+    let err = Err(DecodeError { word });
+
+    let insn = match opcode {
+        op::SPECIAL => match word & 0x3f {
+            funct::SLL => Sll { rd, rt, shamt },
+            funct::SRL => Srl { rd, rt, shamt },
+            funct::SRA => Sra { rd, rt, shamt },
+            funct::SLLV => Sllv { rd, rt, rs },
+            funct::SRLV => Srlv { rd, rt, rs },
+            funct::SRAV => Srav { rd, rt, rs },
+            funct::JR => Jr { rs },
+            funct::JALR => Jalr { rd, rs },
+            funct::SYSCALL => Syscall,
+            funct::BREAK => Break {
+                code: (word >> 6) & 0xfffff,
+            },
+            funct::MFHI => Mfhi { rd },
+            funct::MTHI => Mthi { rs },
+            funct::MFLO => Mflo { rd },
+            funct::MTLO => Mtlo { rs },
+            funct::MULT => Mult { rs, rt },
+            funct::MULTU => Multu { rs, rt },
+            funct::DIV => Div { rs, rt },
+            funct::DIVU => Divu { rs, rt },
+            funct::ADD => Add { rd, rs, rt },
+            funct::ADDU => Addu { rd, rs, rt },
+            funct::SUB => Sub { rd, rs, rt },
+            funct::SUBU => Subu { rd, rs, rt },
+            funct::AND => And { rd, rs, rt },
+            funct::OR => Or { rd, rs, rt },
+            funct::XOR => Xor { rd, rs, rt },
+            funct::NOR => Nor { rd, rs, rt },
+            funct::SLT => Slt { rd, rs, rt },
+            funct::SLTU => Sltu { rd, rs, rt },
+            _ => return err,
+        },
+        op::REGIMM => match (word >> 16) & 0x1f {
+            0 => Bltz { rs, offset: simm },
+            1 => Bgez { rs, offset: simm },
+            _ => return err,
+        },
+        op::J => J {
+            target: word & 0x03ff_ffff,
+        },
+        op::JAL => Jal {
+            target: word & 0x03ff_ffff,
+        },
+        op::BEQ => Beq { rs, rt, offset: simm },
+        op::BNE => Bne { rs, rt, offset: simm },
+        op::BLEZ => Blez { rs, offset: simm },
+        op::BGTZ => Bgtz { rs, offset: simm },
+        op::ADDI => Addi { rt, rs, imm: simm },
+        op::ADDIU => Addiu { rt, rs, imm: simm },
+        op::SLTI => Slti { rt, rs, imm: simm },
+        op::SLTIU => Sltiu { rt, rs, imm: simm },
+        op::ANDI => Andi { rt, rs, imm },
+        op::ORI => Ori { rt, rs, imm },
+        op::XORI => Xori { rt, rs, imm },
+        op::LUI => Lui { rt, imm },
+        op::COP0 => match (word >> 21) & 0x1f {
+            cop0rs::MFC0 => Mfc0 {
+                rt,
+                c0: C0Reg::new(rd.number() & 0x0f),
+            },
+            cop0rs::MTC0 => Mtc0 {
+                rt,
+                c0: C0Reg::new(rd.number() & 0x0f),
+            },
+            cop0rs::CO if word & 0x3f == funct::IRET => Iret,
+            _ => return err,
+        },
+        op::SPECIAL2 => match word & 0x3f {
+            funct::LWX => Lwx {
+                rd,
+                base: rs,
+                index: rt,
+            },
+            funct::LBUX => Lbux {
+                rd,
+                base: rs,
+                index: rt,
+            },
+            funct::LHUX => Lhux {
+                rd,
+                base: rs,
+                index: rt,
+            },
+            _ => return err,
+        },
+        op::LB => Lb { rt, base: rs, offset: simm },
+        op::LH => Lh { rt, base: rs, offset: simm },
+        op::LW => Lw { rt, base: rs, offset: simm },
+        op::LBU => Lbu { rt, base: rs, offset: simm },
+        op::LHU => Lhu { rt, base: rs, offset: simm },
+        op::SB => Sb { rt, base: rs, offset: simm },
+        op::SH => Sh { rt, base: rs, offset: simm },
+        op::SW => Sw { rt, base: rs, offset: simm },
+        op::SWIC => Swic { rt, base: rs, offset: simm },
+        _ => return err,
+    };
+    Ok(insn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode;
+
+    #[test]
+    fn decode_rejects_unknown_opcode() {
+        assert!(decode(0x3f << 26).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_funct() {
+        assert!(decode(0x3e).is_err()); // SPECIAL with undefined funct
+    }
+
+    #[test]
+    fn decode_rejects_unknown_regimm() {
+        assert!(decode((op::REGIMM << 26) | (5 << 16)).is_err());
+    }
+
+    #[test]
+    fn error_display_names_word() {
+        let e = decode(0xfc00_0000).unwrap_err();
+        assert_eq!(e.to_string(), "invalid instruction encoding 0xfc000000");
+    }
+
+    #[test]
+    fn round_trip_representative_sample() {
+        use crate::{C0Reg, Reg};
+        use Instruction::*;
+        let sample = [
+            Add { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 },
+            Sll { rd: Reg::T0, rt: Reg::T1, shamt: 31 },
+            Mult { rs: Reg::A0, rt: Reg::A1 },
+            Mfhi { rd: Reg::V0 },
+            Jr { rs: Reg::RA },
+            Jalr { rd: Reg::RA, rs: Reg::T9 },
+            Syscall,
+            Break { code: 0xabcde },
+            Addiu { rt: Reg::SP, rs: Reg::SP, imm: -32 },
+            Lui { rt: Reg::T0, imm: 0x1234 },
+            Lw { rt: Reg::T0, base: Reg::SP, offset: -4 },
+            Sw { rt: Reg::T0, base: Reg::SP, offset: 8 },
+            Lwx { rd: Reg::K0, base: Reg::T2, index: Reg::T3 },
+            Lhux { rd: Reg::T0, base: Reg::T1, index: Reg::T2 },
+            Lbux { rd: Reg::T0, base: Reg::T1, index: Reg::T2 },
+            Beq { rs: Reg::T0, rt: Reg::ZERO, offset: -1 },
+            Bgez { rs: Reg::A0, offset: 12 },
+            Bltz { rs: Reg::A0, offset: -12 },
+            J { target: 0x123456 },
+            Jal { target: 0x03ff_ffff },
+            Mfc0 { rt: Reg::K1, c0: C0Reg::BADVA },
+            Mtc0 { rt: Reg::T0, c0: C0Reg::DICT_BASE },
+            Iret,
+            Swic { rt: Reg::K0, base: Reg::K1, offset: 28 },
+        ];
+        for insn in sample {
+            assert_eq!(decode(encode(insn)), Ok(insn), "{insn:?}");
+        }
+    }
+}

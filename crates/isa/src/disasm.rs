@@ -1,0 +1,106 @@
+//! Disassembly: `Display` for [`Instruction`] in assembler-compatible syntax.
+
+use std::fmt;
+
+use crate::insn::Instruction;
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instruction::*;
+        match *self {
+            Add { rd, rs, rt } => write!(f, "add {rd},{rs},{rt}"),
+            Addu { rd, rs, rt } => write!(f, "addu {rd},{rs},{rt}"),
+            Sub { rd, rs, rt } => write!(f, "sub {rd},{rs},{rt}"),
+            Subu { rd, rs, rt } => write!(f, "subu {rd},{rs},{rt}"),
+            And { rd, rs, rt } => write!(f, "and {rd},{rs},{rt}"),
+            Or { rd, rs, rt } => write!(f, "or {rd},{rs},{rt}"),
+            Xor { rd, rs, rt } => write!(f, "xor {rd},{rs},{rt}"),
+            Nor { rd, rs, rt } => write!(f, "nor {rd},{rs},{rt}"),
+            Slt { rd, rs, rt } => write!(f, "slt {rd},{rs},{rt}"),
+            Sltu { rd, rs, rt } => write!(f, "sltu {rd},{rs},{rt}"),
+            Sll { rd, rt, shamt } => write!(f, "sll {rd},{rt},{shamt}"),
+            Srl { rd, rt, shamt } => write!(f, "srl {rd},{rt},{shamt}"),
+            Sra { rd, rt, shamt } => write!(f, "sra {rd},{rt},{shamt}"),
+            Sllv { rd, rt, rs } => write!(f, "sllv {rd},{rt},{rs}"),
+            Srlv { rd, rt, rs } => write!(f, "srlv {rd},{rt},{rs}"),
+            Srav { rd, rt, rs } => write!(f, "srav {rd},{rt},{rs}"),
+            Mult { rs, rt } => write!(f, "mult {rs},{rt}"),
+            Multu { rs, rt } => write!(f, "multu {rs},{rt}"),
+            Div { rs, rt } => write!(f, "div {rs},{rt}"),
+            Divu { rs, rt } => write!(f, "divu {rs},{rt}"),
+            Mfhi { rd } => write!(f, "mfhi {rd}"),
+            Mflo { rd } => write!(f, "mflo {rd}"),
+            Mthi { rs } => write!(f, "mthi {rs}"),
+            Mtlo { rs } => write!(f, "mtlo {rs}"),
+            Jr { rs } => write!(f, "jr {rs}"),
+            Jalr { rd, rs } => write!(f, "jalr {rd},{rs}"),
+            Syscall => write!(f, "syscall"),
+            Break { code } => write!(f, "break {code}"),
+            Addi { rt, rs, imm } => write!(f, "addi {rt},{rs},{imm}"),
+            Addiu { rt, rs, imm } => write!(f, "addiu {rt},{rs},{imm}"),
+            Slti { rt, rs, imm } => write!(f, "slti {rt},{rs},{imm}"),
+            Sltiu { rt, rs, imm } => write!(f, "sltiu {rt},{rs},{imm}"),
+            Andi { rt, rs, imm } => write!(f, "andi {rt},{rs},{:#x}", imm),
+            Ori { rt, rs, imm } => write!(f, "ori {rt},{rs},{:#x}", imm),
+            Xori { rt, rs, imm } => write!(f, "xori {rt},{rs},{:#x}", imm),
+            Lui { rt, imm } => write!(f, "lui {rt},{:#x}", imm),
+            Lb { rt, base, offset } => write!(f, "lb {rt},{offset}({base})"),
+            Lbu { rt, base, offset } => write!(f, "lbu {rt},{offset}({base})"),
+            Lh { rt, base, offset } => write!(f, "lh {rt},{offset}({base})"),
+            Lhu { rt, base, offset } => write!(f, "lhu {rt},{offset}({base})"),
+            Lw { rt, base, offset } => write!(f, "lw {rt},{offset}({base})"),
+            Sb { rt, base, offset } => write!(f, "sb {rt},{offset}({base})"),
+            Sh { rt, base, offset } => write!(f, "sh {rt},{offset}({base})"),
+            Sw { rt, base, offset } => write!(f, "sw {rt},{offset}({base})"),
+            Lwx { rd, base, index } => write!(f, "lw {rd},({index}+{base})"),
+            Lhux { rd, base, index } => write!(f, "lhu {rd},({index}+{base})"),
+            Lbux { rd, base, index } => write!(f, "lbu {rd},({index}+{base})"),
+            Beq { rs, rt, offset } => write!(f, "beq {rs},{rt},{offset}"),
+            Bne { rs, rt, offset } => write!(f, "bne {rs},{rt},{offset}"),
+            Blez { rs, offset } => write!(f, "blez {rs},{offset}"),
+            Bgtz { rs, offset } => write!(f, "bgtz {rs},{offset}"),
+            Bltz { rs, offset } => write!(f, "bltz {rs},{offset}"),
+            Bgez { rs, offset } => write!(f, "bgez {rs},{offset}"),
+            J { target } => write!(f, "j {:#x}", target << 2),
+            Jal { target } => write!(f, "jal {:#x}", target << 2),
+            Mfc0 { rt, c0 } => write!(f, "mfc0 {rt},{c0}"),
+            Mtc0 { rt, c0 } => write!(f, "mtc0 {rt},{c0}"),
+            Iret => write!(f, "iret"),
+            Swic { rt, base, offset } => write!(f, "swic {rt},{offset}({base})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{C0Reg, Reg};
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        let i = Instruction::Mfc0 {
+            rt: Reg::K1,
+            c0: C0Reg::BADVA,
+        };
+        assert_eq!(i.to_string(), "mfc0 $27,c0[BADVA]");
+
+        let i = Instruction::Lwx {
+            rd: Reg::K0,
+            base: Reg::T2,
+            index: Reg::T3,
+        };
+        assert_eq!(i.to_string(), "lw $26,($11+$10)");
+
+        let i = Instruction::Swic {
+            rt: Reg::K0,
+            base: Reg::K1,
+            offset: 0,
+        };
+        assert_eq!(i.to_string(), "swic $26,0($27)");
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        assert!(!Instruction::NOP.to_string().is_empty());
+    }
+}

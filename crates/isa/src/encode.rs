@@ -1,0 +1,229 @@
+//! Instruction encoding into 32-bit words.
+//!
+//! The binary layout is the classic MIPS one: a 6-bit major opcode in
+//! bits `[31:26]`, with R-type instructions dispatched through `SPECIAL`
+//! (`funct` in bits `[5:0]`), indexed loads through `SPECIAL2`, and the
+//! paper's extensions assigned to otherwise-unused encodings (`swic` takes
+//! major opcode `0x3b`; `iret` is a COP0 operation).
+
+use crate::insn::Instruction;
+use crate::reg::{C0Reg, Reg};
+
+pub(crate) mod op {
+    pub const SPECIAL: u32 = 0x00;
+    pub const REGIMM: u32 = 0x01;
+    pub const J: u32 = 0x02;
+    pub const JAL: u32 = 0x03;
+    pub const BEQ: u32 = 0x04;
+    pub const BNE: u32 = 0x05;
+    pub const BLEZ: u32 = 0x06;
+    pub const BGTZ: u32 = 0x07;
+    pub const ADDI: u32 = 0x08;
+    pub const ADDIU: u32 = 0x09;
+    pub const SLTI: u32 = 0x0a;
+    pub const SLTIU: u32 = 0x0b;
+    pub const ANDI: u32 = 0x0c;
+    pub const ORI: u32 = 0x0d;
+    pub const XORI: u32 = 0x0e;
+    pub const LUI: u32 = 0x0f;
+    pub const COP0: u32 = 0x10;
+    pub const SPECIAL2: u32 = 0x1c;
+    pub const LB: u32 = 0x20;
+    pub const LH: u32 = 0x21;
+    pub const LW: u32 = 0x23;
+    pub const LBU: u32 = 0x24;
+    pub const LHU: u32 = 0x25;
+    pub const SB: u32 = 0x28;
+    pub const SH: u32 = 0x29;
+    pub const SW: u32 = 0x2b;
+    pub const SWIC: u32 = 0x3b;
+}
+
+pub(crate) mod funct {
+    pub const SLL: u32 = 0x00;
+    pub const SRL: u32 = 0x02;
+    pub const SRA: u32 = 0x03;
+    pub const SLLV: u32 = 0x04;
+    pub const SRLV: u32 = 0x06;
+    pub const SRAV: u32 = 0x07;
+    pub const JR: u32 = 0x08;
+    pub const JALR: u32 = 0x09;
+    pub const SYSCALL: u32 = 0x0c;
+    pub const BREAK: u32 = 0x0d;
+    pub const MFHI: u32 = 0x10;
+    pub const MTHI: u32 = 0x11;
+    pub const MFLO: u32 = 0x12;
+    pub const MTLO: u32 = 0x13;
+    pub const MULT: u32 = 0x18;
+    pub const MULTU: u32 = 0x19;
+    pub const DIV: u32 = 0x1a;
+    pub const DIVU: u32 = 0x1b;
+    pub const ADD: u32 = 0x20;
+    pub const ADDU: u32 = 0x21;
+    pub const SUB: u32 = 0x22;
+    pub const SUBU: u32 = 0x23;
+    pub const AND: u32 = 0x24;
+    pub const OR: u32 = 0x25;
+    pub const XOR: u32 = 0x26;
+    pub const NOR: u32 = 0x27;
+    pub const SLT: u32 = 0x2a;
+    pub const SLTU: u32 = 0x2b;
+    // SPECIAL2 functs
+    pub const LWX: u32 = 0x00;
+    pub const LBUX: u32 = 0x01;
+    pub const LHUX: u32 = 0x02;
+    // COP0 functs (with the CO bit set)
+    pub const IRET: u32 = 0x18;
+}
+
+pub(crate) mod cop0rs {
+    pub const MFC0: u32 = 0x00;
+    pub const MTC0: u32 = 0x04;
+    pub const CO: u32 = 0x10;
+}
+
+fn r(rs: Reg) -> u32 {
+    rs.number() as u32
+}
+
+fn c0(c: C0Reg) -> u32 {
+    c.number() as u32
+}
+
+fn rtype(funct: u32, rs: u32, rt: u32, rd: u32, shamt: u32) -> u32 {
+    (op::SPECIAL << 26) | (rs << 21) | (rt << 16) | (rd << 11) | (shamt << 6) | funct
+}
+
+fn itype(opcode: u32, rs: u32, rt: u32, imm: u16) -> u32 {
+    (opcode << 26) | (rs << 21) | (rt << 16) | imm as u32
+}
+
+/// Encodes an instruction into its 32-bit word.
+///
+/// Encoding is total: every [`Instruction`] value has exactly one word, and
+/// [`crate::decode`] inverts it (see the crate's property tests).
+///
+/// # Examples
+///
+/// ```
+/// use rtdc_isa::{encode, Instruction};
+/// assert_eq!(encode(Instruction::NOP), 0);
+/// ```
+pub fn encode(insn: Instruction) -> u32 {
+    use Instruction::*;
+    match insn {
+        Add { rd, rs, rt } => rtype(funct::ADD, r(rs), r(rt), r(rd), 0),
+        Addu { rd, rs, rt } => rtype(funct::ADDU, r(rs), r(rt), r(rd), 0),
+        Sub { rd, rs, rt } => rtype(funct::SUB, r(rs), r(rt), r(rd), 0),
+        Subu { rd, rs, rt } => rtype(funct::SUBU, r(rs), r(rt), r(rd), 0),
+        And { rd, rs, rt } => rtype(funct::AND, r(rs), r(rt), r(rd), 0),
+        Or { rd, rs, rt } => rtype(funct::OR, r(rs), r(rt), r(rd), 0),
+        Xor { rd, rs, rt } => rtype(funct::XOR, r(rs), r(rt), r(rd), 0),
+        Nor { rd, rs, rt } => rtype(funct::NOR, r(rs), r(rt), r(rd), 0),
+        Slt { rd, rs, rt } => rtype(funct::SLT, r(rs), r(rt), r(rd), 0),
+        Sltu { rd, rs, rt } => rtype(funct::SLTU, r(rs), r(rt), r(rd), 0),
+        Sll { rd, rt, shamt } => rtype(funct::SLL, 0, r(rt), r(rd), shamt as u32 & 0x1f),
+        Srl { rd, rt, shamt } => rtype(funct::SRL, 0, r(rt), r(rd), shamt as u32 & 0x1f),
+        Sra { rd, rt, shamt } => rtype(funct::SRA, 0, r(rt), r(rd), shamt as u32 & 0x1f),
+        Sllv { rd, rt, rs } => rtype(funct::SLLV, r(rs), r(rt), r(rd), 0),
+        Srlv { rd, rt, rs } => rtype(funct::SRLV, r(rs), r(rt), r(rd), 0),
+        Srav { rd, rt, rs } => rtype(funct::SRAV, r(rs), r(rt), r(rd), 0),
+        Mult { rs, rt } => rtype(funct::MULT, r(rs), r(rt), 0, 0),
+        Multu { rs, rt } => rtype(funct::MULTU, r(rs), r(rt), 0, 0),
+        Div { rs, rt } => rtype(funct::DIV, r(rs), r(rt), 0, 0),
+        Divu { rs, rt } => rtype(funct::DIVU, r(rs), r(rt), 0, 0),
+        Mfhi { rd } => rtype(funct::MFHI, 0, 0, r(rd), 0),
+        Mflo { rd } => rtype(funct::MFLO, 0, 0, r(rd), 0),
+        Mthi { rs } => rtype(funct::MTHI, r(rs), 0, 0, 0),
+        Mtlo { rs } => rtype(funct::MTLO, r(rs), 0, 0, 0),
+        Jr { rs } => rtype(funct::JR, r(rs), 0, 0, 0),
+        Jalr { rd, rs } => rtype(funct::JALR, r(rs), 0, r(rd), 0),
+        Syscall => rtype(funct::SYSCALL, 0, 0, 0, 0),
+        Break { code } => (op::SPECIAL << 26) | ((code & 0xfffff) << 6) | funct::BREAK,
+        Addi { rt, rs, imm } => itype(op::ADDI, r(rs), r(rt), imm as u16),
+        Addiu { rt, rs, imm } => itype(op::ADDIU, r(rs), r(rt), imm as u16),
+        Slti { rt, rs, imm } => itype(op::SLTI, r(rs), r(rt), imm as u16),
+        Sltiu { rt, rs, imm } => itype(op::SLTIU, r(rs), r(rt), imm as u16),
+        Andi { rt, rs, imm } => itype(op::ANDI, r(rs), r(rt), imm),
+        Ori { rt, rs, imm } => itype(op::ORI, r(rs), r(rt), imm),
+        Xori { rt, rs, imm } => itype(op::XORI, r(rs), r(rt), imm),
+        Lui { rt, imm } => itype(op::LUI, 0, r(rt), imm),
+        Lb { rt, base, offset } => itype(op::LB, r(base), r(rt), offset as u16),
+        Lbu { rt, base, offset } => itype(op::LBU, r(base), r(rt), offset as u16),
+        Lh { rt, base, offset } => itype(op::LH, r(base), r(rt), offset as u16),
+        Lhu { rt, base, offset } => itype(op::LHU, r(base), r(rt), offset as u16),
+        Lw { rt, base, offset } => itype(op::LW, r(base), r(rt), offset as u16),
+        Sb { rt, base, offset } => itype(op::SB, r(base), r(rt), offset as u16),
+        Sh { rt, base, offset } => itype(op::SH, r(base), r(rt), offset as u16),
+        Sw { rt, base, offset } => itype(op::SW, r(base), r(rt), offset as u16),
+        Swic { rt, base, offset } => itype(op::SWIC, r(base), r(rt), offset as u16),
+        Lwx { rd, base, index } => {
+            (op::SPECIAL2 << 26) | (r(base) << 21) | (r(index) << 16) | (r(rd) << 11) | funct::LWX
+        }
+        Lbux { rd, base, index } => {
+            (op::SPECIAL2 << 26) | (r(base) << 21) | (r(index) << 16) | (r(rd) << 11) | funct::LBUX
+        }
+        Lhux { rd, base, index } => {
+            (op::SPECIAL2 << 26) | (r(base) << 21) | (r(index) << 16) | (r(rd) << 11) | funct::LHUX
+        }
+        Beq { rs, rt, offset } => itype(op::BEQ, r(rs), r(rt), offset as u16),
+        Bne { rs, rt, offset } => itype(op::BNE, r(rs), r(rt), offset as u16),
+        Blez { rs, offset } => itype(op::BLEZ, r(rs), 0, offset as u16),
+        Bgtz { rs, offset } => itype(op::BGTZ, r(rs), 0, offset as u16),
+        Bltz { rs, offset } => itype(op::REGIMM, r(rs), 0, offset as u16),
+        Bgez { rs, offset } => itype(op::REGIMM, r(rs), 1, offset as u16),
+        J { target } => (op::J << 26) | (target & 0x03ff_ffff),
+        Jal { target } => (op::JAL << 26) | (target & 0x03ff_ffff),
+        Mfc0 { rt, c0: c } => (op::COP0 << 26) | (cop0rs::MFC0 << 21) | (r(rt) << 16) | (c0(c) << 11),
+        Mtc0 { rt, c0: c } => (op::COP0 << 26) | (cop0rs::MTC0 << 21) | (r(rt) << 16) | (c0(c) << 11),
+        Iret => (op::COP0 << 26) | (cop0rs::CO << 21) | funct::IRET,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    #[test]
+    fn nop_encodes_to_zero() {
+        assert_eq!(encode(Instruction::NOP), 0);
+    }
+
+    #[test]
+    fn rtype_field_placement() {
+        // add $3, $1, $2 => rs=1, rt=2, rd=3
+        let w = encode(Instruction::Add {
+            rd: Reg::new(3),
+            rs: Reg::new(1),
+            rt: Reg::new(2),
+        });
+        assert_eq!(w, (1 << 21) | (2 << 16) | (3 << 11) | funct::ADD);
+    }
+
+    #[test]
+    fn itype_sign_bits_preserved() {
+        let w = encode(Instruction::Addiu {
+            rt: Reg::T0,
+            rs: Reg::ZERO,
+            imm: -1,
+        });
+        assert_eq!(w & 0xffff, 0xffff);
+    }
+
+    #[test]
+    fn swic_uses_reserved_major_opcode() {
+        let w = encode(Instruction::Swic {
+            rt: Reg::K0,
+            base: Reg::K1,
+            offset: 4,
+        });
+        assert_eq!(w >> 26, op::SWIC);
+    }
+
+    #[test]
+    fn jump_target_masked_to_26_bits() {
+        let w = encode(Instruction::J { target: 0xffff_ffff });
+        assert_eq!(w, (op::J << 26) | 0x03ff_ffff);
+    }
+}

@@ -1,0 +1,302 @@
+//! The instruction set.
+
+use crate::reg::{C0Reg, Reg};
+
+/// One decoded 32-bit instruction.
+///
+/// The set is a classic MIPS-like 32-bit RISC integer ISA plus:
+///
+/// * **`Swic`** — *store word into instruction cache* — the paper's new
+///   cache-management instruction. It writes a register into an I-cache
+///   line so a software decompressor can materialize decompressed code
+///   directly in the cache (§3, §4).
+/// * **`Iret`** — return from the cache-miss exception handler to the
+///   missed instruction (§4).
+/// * **`Mfc0`/`Mtc0`** — move from/to coprocessor-0 system registers. On a
+///   miss the handler reads the faulting address and the decompressor's
+///   segment bases this way (Figure 2).
+/// * **Register-indexed loads** (`Lwx`, `Lhux`, `Lbux`) — `lw $26,($11+$10)`
+///   from the paper's Figure 2 handler. SimpleScalar's PISA provided these
+///   addressing modes; they keep the dictionary handler at the paper's 26
+///   static / 75 dynamic instructions per cache line.
+///
+/// There are no branch delay slots (matching PISA) and no floating-point
+/// instructions (the workloads in this reproduction are integer programs;
+/// see DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // field meanings follow MIPS conventions documented above
+pub enum Instruction {
+    // --- R-type three-register ALU ---
+    Add { rd: Reg, rs: Reg, rt: Reg },
+    Addu { rd: Reg, rs: Reg, rt: Reg },
+    Sub { rd: Reg, rs: Reg, rt: Reg },
+    Subu { rd: Reg, rs: Reg, rt: Reg },
+    And { rd: Reg, rs: Reg, rt: Reg },
+    Or { rd: Reg, rs: Reg, rt: Reg },
+    Xor { rd: Reg, rs: Reg, rt: Reg },
+    Nor { rd: Reg, rs: Reg, rt: Reg },
+    Slt { rd: Reg, rs: Reg, rt: Reg },
+    Sltu { rd: Reg, rs: Reg, rt: Reg },
+
+    // --- shifts ---
+    Sll { rd: Reg, rt: Reg, shamt: u8 },
+    Srl { rd: Reg, rt: Reg, shamt: u8 },
+    Sra { rd: Reg, rt: Reg, shamt: u8 },
+    Sllv { rd: Reg, rt: Reg, rs: Reg },
+    Srlv { rd: Reg, rt: Reg, rs: Reg },
+    Srav { rd: Reg, rt: Reg, rs: Reg },
+
+    // --- multiply / divide ---
+    Mult { rs: Reg, rt: Reg },
+    Multu { rs: Reg, rt: Reg },
+    Div { rs: Reg, rt: Reg },
+    Divu { rs: Reg, rt: Reg },
+    Mfhi { rd: Reg },
+    Mflo { rd: Reg },
+    Mthi { rs: Reg },
+    Mtlo { rs: Reg },
+
+    // --- register jumps ---
+    Jr { rs: Reg },
+    Jalr { rd: Reg, rs: Reg },
+
+    // --- traps ---
+    Syscall,
+    Break { code: u32 },
+
+    // --- I-type ALU ---
+    Addi { rt: Reg, rs: Reg, imm: i16 },
+    Addiu { rt: Reg, rs: Reg, imm: i16 },
+    Slti { rt: Reg, rs: Reg, imm: i16 },
+    Sltiu { rt: Reg, rs: Reg, imm: i16 },
+    Andi { rt: Reg, rs: Reg, imm: u16 },
+    Ori { rt: Reg, rs: Reg, imm: u16 },
+    Xori { rt: Reg, rs: Reg, imm: u16 },
+    Lui { rt: Reg, imm: u16 },
+
+    // --- loads / stores (base + signed 16-bit displacement) ---
+    Lb { rt: Reg, base: Reg, offset: i16 },
+    Lbu { rt: Reg, base: Reg, offset: i16 },
+    Lh { rt: Reg, base: Reg, offset: i16 },
+    Lhu { rt: Reg, base: Reg, offset: i16 },
+    Lw { rt: Reg, base: Reg, offset: i16 },
+    Sb { rt: Reg, base: Reg, offset: i16 },
+    Sh { rt: Reg, base: Reg, offset: i16 },
+    Sw { rt: Reg, base: Reg, offset: i16 },
+
+    // --- register-indexed loads (PISA-style addressing) ---
+    Lwx { rd: Reg, base: Reg, index: Reg },
+    Lhux { rd: Reg, base: Reg, index: Reg },
+    Lbux { rd: Reg, base: Reg, index: Reg },
+
+    // --- branches (PC-relative, no delay slot) ---
+    Beq { rs: Reg, rt: Reg, offset: i16 },
+    Bne { rs: Reg, rt: Reg, offset: i16 },
+    Blez { rs: Reg, offset: i16 },
+    Bgtz { rs: Reg, offset: i16 },
+    Bltz { rs: Reg, offset: i16 },
+    Bgez { rs: Reg, offset: i16 },
+
+    // --- absolute jumps (26-bit word target) ---
+    J { target: u32 },
+    Jal { target: u32 },
+
+    // --- coprocessor 0 / paper extensions ---
+    Mfc0 { rt: Reg, c0: C0Reg },
+    Mtc0 { rt: Reg, c0: C0Reg },
+    /// Return from exception handler to the missed instruction (§4).
+    Iret,
+    /// Store word into the instruction cache: writes `rt` to I-cache
+    /// address `base + offset` (§4). Requires a non-speculative pipeline.
+    Swic { rt: Reg, base: Reg, offset: i16 },
+}
+
+impl Instruction {
+    /// The canonical no-op (`sll $0, $0, 0`).
+    pub const NOP: Instruction = Instruction::Sll {
+        rd: Reg::ZERO,
+        rt: Reg::ZERO,
+        shamt: 0,
+    };
+
+    /// Is this a control-transfer instruction (branch, jump, trap, `iret`)?
+    pub fn is_control(&self) -> bool {
+        use Instruction::*;
+        matches!(
+            self,
+            Jr { .. }
+                | Jalr { .. }
+                | Beq { .. }
+                | Bne { .. }
+                | Blez { .. }
+                | Bgtz { .. }
+                | Bltz { .. }
+                | Bgez { .. }
+                | J { .. }
+                | Jal { .. }
+                | Syscall
+                | Break { .. }
+                | Iret
+        )
+    }
+
+    /// Is this a conditional branch?
+    pub fn is_cond_branch(&self) -> bool {
+        use Instruction::*;
+        matches!(
+            self,
+            Beq { .. } | Bne { .. } | Blez { .. } | Bgtz { .. } | Bltz { .. } | Bgez { .. }
+        )
+    }
+
+    /// Is this a memory load (including indexed forms)?
+    pub fn is_load(&self) -> bool {
+        use Instruction::*;
+        matches!(
+            self,
+            Lb { .. }
+                | Lbu { .. }
+                | Lh { .. }
+                | Lhu { .. }
+                | Lw { .. }
+                | Lwx { .. }
+                | Lhux { .. }
+                | Lbux { .. }
+        )
+    }
+
+    /// Is this a memory store (`swic` does not access data memory)?
+    pub fn is_store(&self) -> bool {
+        use Instruction::*;
+        matches!(self, Sb { .. } | Sh { .. } | Sw { .. })
+    }
+
+    /// The general-purpose registers read by this instruction.
+    ///
+    /// Used by the simulator's load-use interlock model. Registers that are
+    /// read but hardwired (`$0`) are still reported; callers that care can
+    /// filter.
+    pub fn src_regs(&self) -> (Option<Reg>, Option<Reg>) {
+        use Instruction::*;
+        match *self {
+            Add { rs, rt, .. } | Addu { rs, rt, .. } | Sub { rs, rt, .. }
+            | Subu { rs, rt, .. } | And { rs, rt, .. } | Or { rs, rt, .. }
+            | Xor { rs, rt, .. } | Nor { rs, rt, .. } | Slt { rs, rt, .. }
+            | Sltu { rs, rt, .. } | Sllv { rs, rt, .. } | Srlv { rs, rt, .. }
+            | Srav { rs, rt, .. } | Mult { rs, rt } | Multu { rs, rt }
+            | Div { rs, rt } | Divu { rs, rt } | Beq { rs, rt, .. }
+            | Bne { rs, rt, .. } => (Some(rs), Some(rt)),
+            Sll { rt, .. } | Srl { rt, .. } | Sra { rt, .. } => (Some(rt), None),
+            Mthi { rs } | Mtlo { rs } | Jr { rs } | Jalr { rs, .. } => (Some(rs), None),
+            Addi { rs, .. } | Addiu { rs, .. } | Slti { rs, .. } | Sltiu { rs, .. }
+            | Andi { rs, .. } | Ori { rs, .. } | Xori { rs, .. } => (Some(rs), None),
+            Lb { base, .. } | Lbu { base, .. } | Lh { base, .. } | Lhu { base, .. }
+            | Lw { base, .. } => (Some(base), None),
+            Sb { rt, base, .. } | Sh { rt, base, .. } | Sw { rt, base, .. }
+            | Swic { rt, base, .. } => (Some(base), Some(rt)),
+            Lwx { base, index, .. } | Lhux { base, index, .. } | Lbux { base, index, .. } => {
+                (Some(base), Some(index))
+            }
+            Blez { rs, .. } | Bgtz { rs, .. } | Bltz { rs, .. } | Bgez { rs, .. } => {
+                (Some(rs), None)
+            }
+            Mtc0 { rt, .. } => (Some(rt), None),
+            Mfhi { .. } | Mflo { .. } | Syscall | Break { .. } | Lui { .. } | J { .. }
+            | Jal { .. } | Mfc0 { .. } | Iret => (None, None),
+        }
+    }
+
+    /// The general-purpose register written by this instruction, if any.
+    pub fn dest_reg(&self) -> Option<Reg> {
+        use Instruction::*;
+        let r = match *self {
+            Add { rd, .. } | Addu { rd, .. } | Sub { rd, .. } | Subu { rd, .. }
+            | And { rd, .. } | Or { rd, .. } | Xor { rd, .. } | Nor { rd, .. }
+            | Slt { rd, .. } | Sltu { rd, .. } | Sll { rd, .. } | Srl { rd, .. }
+            | Sra { rd, .. } | Sllv { rd, .. } | Srlv { rd, .. } | Srav { rd, .. }
+            | Mfhi { rd } | Mflo { rd } | Jalr { rd, .. } | Lwx { rd, .. }
+            | Lhux { rd, .. } | Lbux { rd, .. } => rd,
+            Addi { rt, .. } | Addiu { rt, .. } | Slti { rt, .. } | Sltiu { rt, .. }
+            | Andi { rt, .. } | Ori { rt, .. } | Xori { rt, .. } | Lui { rt, .. }
+            | Lb { rt, .. } | Lbu { rt, .. } | Lh { rt, .. } | Lhu { rt, .. }
+            | Lw { rt, .. } | Mfc0 { rt, .. } => rt,
+            Jal { .. } => Reg::RA,
+            _ => return None,
+        };
+        if r == Reg::ZERO {
+            None
+        } else {
+            Some(r)
+        }
+    }
+}
+
+/// Architectural exception causes surfaced to the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExcCode {
+    /// Instruction-cache miss inside the compressed code region; the paper's
+    /// mechanism for invoking the software decompressor (§3, §4).
+    IcacheMiss,
+    /// `syscall` executed.
+    Syscall,
+    /// `break` executed.
+    Break,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nop_is_not_control() {
+        assert!(!Instruction::NOP.is_control());
+        assert!(!Instruction::NOP.is_load());
+        assert!(Instruction::NOP.dest_reg().is_none());
+    }
+
+    #[test]
+    fn classification() {
+        let beq = Instruction::Beq {
+            rs: Reg::T0,
+            rt: Reg::T1,
+            offset: -4,
+        };
+        assert!(beq.is_control());
+        assert!(beq.is_cond_branch());
+
+        let j = Instruction::J { target: 100 };
+        assert!(j.is_control());
+        assert!(!j.is_cond_branch());
+
+        let lw = Instruction::Lw {
+            rt: Reg::T0,
+            base: Reg::SP,
+            offset: -4,
+        };
+        assert!(lw.is_load());
+        assert_eq!(lw.dest_reg(), Some(Reg::T0));
+
+        let swic = Instruction::Swic {
+            rt: Reg::K0,
+            base: Reg::K1,
+            offset: 0,
+        };
+        assert!(!swic.is_store(), "swic writes the I-cache, not data memory");
+        assert!(swic.dest_reg().is_none());
+    }
+
+    #[test]
+    fn jal_writes_ra() {
+        assert_eq!(Instruction::Jal { target: 4 }.dest_reg(), Some(Reg::RA));
+    }
+
+    #[test]
+    fn writes_to_zero_are_discarded() {
+        let i = Instruction::Addiu {
+            rt: Reg::ZERO,
+            rs: Reg::ZERO,
+            imm: 1,
+        };
+        assert_eq!(i.dest_reg(), None);
+    }
+}

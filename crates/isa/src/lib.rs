@@ -1,0 +1,51 @@
+//! A 32-bit MIPS-like instruction set with the software-decompression
+//! extensions proposed in *"Reducing Code Size with Run-time Decompression"*
+//! (Lefurgy, Piccininni, Mudge — HPCA 2000).
+//!
+//! The paper re-encoded SimpleScalar's loosely-packed 64-bit PISA into a
+//! 32-bit encoding "resembling MIPS IV" so that compression results would be
+//! representative of real embedded ISAs. This crate plays that role here:
+//!
+//! * fixed 32-bit instructions with classic R/I/J formats ([`Instruction`],
+//!   [`encode`], [`decode`]);
+//! * the paper's three ISA additions (§4): [`Instruction::Swic`] (store word
+//!   into the instruction cache), [`Instruction::Iret`] (return from the
+//!   cache-miss exception handler) and [`Instruction::Mfc0`] (read the miss
+//!   address and decompressor base registers);
+//! * register-indexed loads (`lw $26,($11+$10)` in the paper's Figure 2
+//!   handler), which PISA provided and plain MIPS does not;
+//! * a two-pass [`asm`] assembler so decompression handlers can be written
+//!   in assembly source, exactly as the paper presents them;
+//! * a late-linked object model ([`program::ObjectProgram`]) in which
+//!   procedures carry symbolic calls, so selective compression can re-place
+//!   procedures into native/compressed regions *after* profiling.
+//!
+//! # Example
+//!
+//! ```
+//! use rtdc_isa::{Instruction, Reg, encode, decode};
+//!
+//! let insn = Instruction::Addiu { rt: Reg::T0, rs: Reg::ZERO, imm: 42 };
+//! let word = encode(insn);
+//! assert_eq!(decode(word)?, insn);
+//! # Ok::<(), rtdc_isa::DecodeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+mod decode;
+mod disasm;
+mod encode;
+mod insn;
+pub mod program;
+mod reg;
+
+pub use decode::{decode, DecodeError};
+pub use encode::encode;
+pub use insn::{ExcCode, Instruction};
+pub use reg::{C0Reg, Reg};
+
+/// Size of one instruction in bytes. All instructions are fixed-width.
+pub const INSN_BYTES: u32 = 4;

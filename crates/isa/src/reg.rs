@@ -1,0 +1,263 @@
+//! General-purpose and coprocessor-0 register names.
+
+use std::fmt;
+
+/// A general-purpose register, `$0` through `$31`.
+///
+/// Follows MIPS calling conventions for its named constants ([`Reg::SP`],
+/// [`Reg::RA`], ...). `$0` is hardwired to zero. `$26`/`$27` (`$k0`/`$k1`)
+/// are reserved for the operating system; the paper's decompression handler
+/// uses them without saving (Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hardwired zero register `$0`.
+    pub const ZERO: Reg = Reg(0);
+    /// Assembler temporary `$1`.
+    pub const AT: Reg = Reg(1);
+    /// Return value register `$2`.
+    pub const V0: Reg = Reg(2);
+    /// Return value register `$3`.
+    pub const V1: Reg = Reg(3);
+    /// Argument register `$4`.
+    pub const A0: Reg = Reg(4);
+    /// Argument register `$5`.
+    pub const A1: Reg = Reg(5);
+    /// Argument register `$6`.
+    pub const A2: Reg = Reg(6);
+    /// Argument register `$7`.
+    pub const A3: Reg = Reg(7);
+    /// Caller-saved temporary `$8`.
+    pub const T0: Reg = Reg(8);
+    /// Caller-saved temporary `$9`.
+    pub const T1: Reg = Reg(9);
+    /// Caller-saved temporary `$10`.
+    pub const T2: Reg = Reg(10);
+    /// Caller-saved temporary `$11`.
+    pub const T3: Reg = Reg(11);
+    /// Caller-saved temporary `$12`.
+    pub const T4: Reg = Reg(12);
+    /// Caller-saved temporary `$13`.
+    pub const T5: Reg = Reg(13);
+    /// Caller-saved temporary `$14`.
+    pub const T6: Reg = Reg(14);
+    /// Caller-saved temporary `$15`.
+    pub const T7: Reg = Reg(15);
+    /// Callee-saved register `$16`.
+    pub const S0: Reg = Reg(16);
+    /// Callee-saved register `$17`.
+    pub const S1: Reg = Reg(17);
+    /// Callee-saved register `$18`.
+    pub const S2: Reg = Reg(18);
+    /// Callee-saved register `$19`.
+    pub const S3: Reg = Reg(19);
+    /// Callee-saved register `$20`.
+    pub const S4: Reg = Reg(20);
+    /// Callee-saved register `$21`.
+    pub const S5: Reg = Reg(21);
+    /// Callee-saved register `$22`.
+    pub const S6: Reg = Reg(22);
+    /// Callee-saved register `$23`.
+    pub const S7: Reg = Reg(23);
+    /// Caller-saved temporary `$24`.
+    pub const T8: Reg = Reg(24);
+    /// Caller-saved temporary `$25`.
+    pub const T9: Reg = Reg(25);
+    /// OS-reserved register `$26`; free for exception handlers.
+    pub const K0: Reg = Reg(26);
+    /// OS-reserved register `$27`; free for exception handlers.
+    pub const K1: Reg = Reg(27);
+    /// Global pointer `$28`.
+    pub const GP: Reg = Reg(28);
+    /// Stack pointer `$29`.
+    pub const SP: Reg = Reg(29);
+    /// Frame pointer `$30`.
+    pub const FP: Reg = Reg(30);
+    /// Return address `$31`.
+    pub const RA: Reg = Reg(31);
+
+    /// Creates a register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub const fn new(n: u8) -> Reg {
+        assert!(n < 32, "register number out of range");
+        Reg(n)
+    }
+
+    /// Creates a register from its number, or `None` if out of range.
+    pub const fn try_new(n: u8) -> Option<Reg> {
+        if n < 32 {
+            Some(Reg(n))
+        } else {
+            None
+        }
+    }
+
+    /// The register number, `0..32`.
+    pub const fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Conventional assembly name (`"$sp"`, `"$t0"`, ...).
+    pub const fn name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3", "$t0", "$t1", "$t2", "$t3",
+            "$t4", "$t5", "$t6", "$t7", "$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+            "$t8", "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra",
+        ];
+        NAMES[self.0 as usize]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.0)
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+/// A coprocessor-0 (system control) register.
+///
+/// The paper programs the decompressor's segment base addresses into
+/// "special system registers" read with `mfc0` (§4, Figure 2). Registers
+/// `c0[0]..c0[5]` are those decompression-support registers; `c0[BADVA]`
+/// holds the faulting address on an instruction-cache-miss exception and
+/// `c0[EPC]` the PC to resume at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct C0Reg(u8);
+
+impl C0Reg {
+    /// Base virtual address of the decompressed code region (`c0[0]`).
+    pub const DECOMP_BASE: C0Reg = C0Reg(0);
+    /// Base address of the `.dictionary` segment (`c0[1]`).
+    /// CodePack images use it for the high-halfword dictionary.
+    pub const DICT_BASE: C0Reg = C0Reg(1);
+    /// Base address of the `.indices` segment (`c0[2]`).
+    /// CodePack images use it for the low-halfword dictionary.
+    pub const INDICES_BASE: C0Reg = C0Reg(2);
+    /// Base address of the CodePack compressed-group bytes (`c0[3]`).
+    pub const GROUPS_BASE: C0Reg = C0Reg(3);
+    /// Base address of the CodePack group mapping table (`c0[4]`).
+    pub const GROUPTAB_BASE: C0Reg = C0Reg(4);
+    /// Scratch/auxiliary decompression register (`c0[5]`).
+    pub const AUX: C0Reg = C0Reg(5);
+    /// Faulting virtual address of the missed instruction (`c0[8]`).
+    pub const BADVA: C0Reg = C0Reg(8);
+    /// Exception program counter (`c0[14]`).
+    pub const EPC: C0Reg = C0Reg(14);
+
+    /// Creates a C0 register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 16`.
+    pub const fn new(n: u8) -> C0Reg {
+        assert!(n < 16, "c0 register number out of range");
+        C0Reg(n)
+    }
+
+    /// The register number, `0..16`.
+    pub const fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Symbolic name used by the assembler, if this register has one.
+    pub const fn name(self) -> Option<&'static str> {
+        match self.0 {
+            0 => Some("DECOMP"),
+            1 => Some("DICT"),
+            2 => Some("INDICES"),
+            3 => Some("GROUPS"),
+            4 => Some("GROUPTAB"),
+            5 => Some("AUX"),
+            8 => Some("BADVA"),
+            14 => Some("EPC"),
+            _ => None,
+        }
+    }
+
+    /// Parses a symbolic C0 register name (as accepted inside `c0[...]`).
+    pub fn from_name(name: &str) -> Option<C0Reg> {
+        match name {
+            "DECOMP" => Some(Self::DECOMP_BASE),
+            "DICT" => Some(Self::DICT_BASE),
+            "INDICES" => Some(Self::INDICES_BASE),
+            "GROUPS" => Some(Self::GROUPS_BASE),
+            "GROUPTAB" => Some(Self::GROUPTAB_BASE),
+            "AUX" => Some(Self::AUX),
+            "BADVA" => Some(Self::BADVA),
+            "EPC" => Some(Self::EPC),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for C0Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.name() {
+            Some(n) => write!(f, "c0[{n}]"),
+            None => write!(f, "c0[{}]", self.0),
+        }
+    }
+}
+
+impl From<C0Reg> for u8 {
+    fn from(r: C0Reg) -> u8 {
+        r.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_numbers_round_trip() {
+        for n in 0..32 {
+            let r = Reg::new(n);
+            assert_eq!(r.number(), n);
+            assert_eq!(Reg::try_new(n), Some(r));
+        }
+        assert_eq!(Reg::try_new(32), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "register number out of range")]
+    fn reg_new_panics_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn reg_names_match_conventions() {
+        assert_eq!(Reg::ZERO.name(), "$zero");
+        assert_eq!(Reg::SP.name(), "$sp");
+        assert_eq!(Reg::RA.name(), "$ra");
+        assert_eq!(Reg::K0.name(), "$k0");
+        assert_eq!(Reg::new(9).name(), "$t1");
+    }
+
+    #[test]
+    fn c0_names_round_trip() {
+        for n in 0..16 {
+            let r = C0Reg::new(n);
+            if let Some(name) = r.name() {
+                assert_eq!(C0Reg::from_name(name), Some(r));
+            }
+        }
+        assert_eq!(C0Reg::from_name("BOGUS"), None);
+    }
+
+    #[test]
+    fn c0_display_uses_symbolic_names() {
+        assert_eq!(C0Reg::BADVA.to_string(), "c0[BADVA]");
+        assert_eq!(C0Reg::new(7).to_string(), "c0[7]");
+    }
+}

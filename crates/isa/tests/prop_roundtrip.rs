@@ -1,0 +1,123 @@
+//! Property tests: encode/decode bijection and disassemble/assemble
+//! round-trips over the whole instruction space.
+
+use proptest::prelude::*;
+use rtdc_isa::asm::assemble;
+use rtdc_isa::{decode, encode, C0Reg, Instruction, Reg};
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn any_c0() -> impl Strategy<Value = C0Reg> {
+    (0u8..16).prop_map(C0Reg::new)
+}
+
+fn any_insn() -> impl Strategy<Value = Instruction> {
+    use Instruction::*;
+    let r = any_reg;
+    prop_oneof![
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Add { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Addu { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Sub { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Subu { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| And { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Or { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Xor { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Nor { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Slt { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Sltu { rd, rs, rt }),
+        (r(), r(), 0u8..32).prop_map(|(rd, rt, shamt)| Sll { rd, rt, shamt }),
+        (r(), r(), 0u8..32).prop_map(|(rd, rt, shamt)| Srl { rd, rt, shamt }),
+        (r(), r(), 0u8..32).prop_map(|(rd, rt, shamt)| Sra { rd, rt, shamt }),
+        (r(), r(), r()).prop_map(|(rd, rt, rs)| Sllv { rd, rt, rs }),
+        (r(), r(), r()).prop_map(|(rd, rt, rs)| Srlv { rd, rt, rs }),
+        (r(), r(), r()).prop_map(|(rd, rt, rs)| Srav { rd, rt, rs }),
+        (r(), r()).prop_map(|(rs, rt)| Mult { rs, rt }),
+        (r(), r()).prop_map(|(rs, rt)| Multu { rs, rt }),
+        (r(), r()).prop_map(|(rs, rt)| Div { rs, rt }),
+        (r(), r()).prop_map(|(rs, rt)| Divu { rs, rt }),
+        r().prop_map(|rd| Mfhi { rd }),
+        r().prop_map(|rd| Mflo { rd }),
+        r().prop_map(|rs| Mthi { rs }),
+        r().prop_map(|rs| Mtlo { rs }),
+        r().prop_map(|rs| Jr { rs }),
+        (r(), r()).prop_map(|(rd, rs)| Jalr { rd, rs }),
+        Just(Syscall),
+        (0u32..(1 << 20)).prop_map(|code| Break { code }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Addi { rt, rs, imm }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Addiu { rt, rs, imm }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Slti { rt, rs, imm }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Sltiu { rt, rs, imm }),
+        (r(), r(), any::<u16>()).prop_map(|(rt, rs, imm)| Andi { rt, rs, imm }),
+        (r(), r(), any::<u16>()).prop_map(|(rt, rs, imm)| Ori { rt, rs, imm }),
+        (r(), r(), any::<u16>()).prop_map(|(rt, rs, imm)| Xori { rt, rs, imm }),
+        (r(), any::<u16>()).prop_map(|(rt, imm)| Lui { rt, imm }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Lb { rt, base, offset }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Lbu { rt, base, offset }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Lh { rt, base, offset }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Lhu { rt, base, offset }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Lw { rt, base, offset }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Sb { rt, base, offset }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Sh { rt, base, offset }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Sw { rt, base, offset }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Swic { rt, base, offset }),
+        (r(), r(), r()).prop_map(|(rd, base, index)| Lwx { rd, base, index }),
+        (r(), r(), r()).prop_map(|(rd, base, index)| Lhux { rd, base, index }),
+        (r(), r(), r()).prop_map(|(rd, base, index)| Lbux { rd, base, index }),
+        (r(), r(), any::<i16>()).prop_map(|(rs, rt, offset)| Beq { rs, rt, offset }),
+        (r(), r(), any::<i16>()).prop_map(|(rs, rt, offset)| Bne { rs, rt, offset }),
+        (r(), any::<i16>()).prop_map(|(rs, offset)| Blez { rs, offset }),
+        (r(), any::<i16>()).prop_map(|(rs, offset)| Bgtz { rs, offset }),
+        (r(), any::<i16>()).prop_map(|(rs, offset)| Bltz { rs, offset }),
+        (r(), any::<i16>()).prop_map(|(rs, offset)| Bgez { rs, offset }),
+        (0u32..(1 << 26)).prop_map(|target| J { target }),
+        (0u32..(1 << 26)).prop_map(|target| Jal { target }),
+        (r(), any_c0()).prop_map(|(rt, c0)| Mfc0 { rt, c0 }),
+        (r(), any_c0()).prop_map(|(rt, c0)| Mtc0 { rt, c0 }),
+        Just(Iret),
+    ]
+}
+
+proptest! {
+    /// encode is injective and decode inverts it.
+    #[test]
+    fn encode_decode_bijection(insn in any_insn()) {
+        let word = encode(insn);
+        prop_assert_eq!(decode(word), Ok(insn));
+    }
+
+    /// Two different instructions never share an encoding.
+    #[test]
+    fn encodings_are_distinct(a in any_insn(), b in any_insn()) {
+        if a != b {
+            prop_assert_ne!(encode(a), encode(b));
+        }
+    }
+
+    /// Decoding an arbitrary word either fails or re-encodes to itself
+    /// (no lossy acceptance of junk fields).
+    #[test]
+    fn decode_is_partial_inverse(word in any::<u32>()) {
+        if let Ok(insn) = decode(word) {
+            // Some fields are don't-care in the hardware encoding (e.g.
+            // shamt of ADD); re-encoding canonicalizes them. Decode again
+            // to check the canonical form is stable.
+            let canon = encode(insn);
+            prop_assert_eq!(decode(canon), Ok(insn));
+        }
+    }
+
+    /// Disassembly is valid assembler input for the same instruction
+    /// (jumps excluded: their text form encodes an absolute address).
+    #[test]
+    fn disasm_asm_round_trip(insn in any_insn()) {
+        let skip = matches!(insn, Instruction::J { .. } | Instruction::Jal { .. });
+        if !skip {
+            let text = insn.to_string();
+            let out = assemble(&text, 0, 0x1000_0000)
+                .unwrap_or_else(|e| panic!("`{text}` failed to assemble: {e}"));
+            prop_assert_eq!(out.text, vec![insn], "text was `{}`", text);
+        }
+    }
+}

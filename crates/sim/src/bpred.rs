@@ -1,0 +1,220 @@
+//! Branch prediction: a bimode direction predictor plus a return-address
+//! stack (the paper's Table 1 lists "bimode 2048 entries").
+//!
+//! The bimode predictor [Lee/Chen/Mudge '97] keeps two gshare-indexed
+//! direction PHTs — one biased taken, one biased not-taken — and a
+//! PC-indexed *choice* PHT that selects between them. The choice table is
+//! not updated when it mispredicted the bank but the selected bank was
+//! right, which is what removes destructive aliasing.
+
+/// Two-bit saturating counter helpers.
+fn bump(counter: &mut u8, up: bool) {
+    if up {
+        if *counter < 3 {
+            *counter += 1;
+        }
+    } else if *counter > 0 {
+        *counter -= 1;
+    }
+}
+
+fn taken(counter: u8) -> bool {
+    counter >= 2
+}
+
+/// A bimode conditional-branch direction predictor.
+///
+/// # Examples
+///
+/// ```
+/// use rtdc_sim::Bimode;
+///
+/// let mut p = Bimode::new(2048);
+/// for _ in 0..8 {
+///     p.update(0x1000, true); // train a loop branch
+/// }
+/// assert!(p.predict(0x1000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bimode {
+    choice: Vec<u8>,
+    bank_taken: Vec<u8>,
+    bank_not_taken: Vec<u8>,
+    history: u32,
+    mask: u32,
+}
+
+impl Bimode {
+    /// Creates a predictor with `entries` two-bit counters per table.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a power of two.
+    pub fn new(entries: u32) -> Bimode {
+        assert!(entries.is_power_of_two(), "entries must be a power of two");
+        Bimode {
+            choice: vec![1; entries as usize],     // weakly not-taken
+            bank_taken: vec![2; entries as usize], // weakly taken
+            bank_not_taken: vec![1; entries as usize],
+            history: 0,
+            mask: entries - 1,
+        }
+    }
+
+    fn choice_index(&self, pc: u32) -> usize {
+        ((pc >> 2) & self.mask) as usize
+    }
+
+    fn bank_index(&self, pc: u32) -> usize {
+        (((pc >> 2) ^ self.history) & self.mask) as usize
+    }
+
+    /// Predicts the direction of the conditional branch at `pc`.
+    pub fn predict(&self, pc: u32) -> bool {
+        let use_taken_bank = taken(self.choice[self.choice_index(pc)]);
+        let bank = if use_taken_bank {
+            &self.bank_taken
+        } else {
+            &self.bank_not_taken
+        };
+        taken(bank[self.bank_index(pc)])
+    }
+
+    /// Trains the predictor with the branch's `outcome`.
+    pub fn update(&mut self, pc: u32, outcome: bool) {
+        let ci = self.choice_index(pc);
+        let bi = self.bank_index(pc);
+        let use_taken_bank = taken(self.choice[ci]);
+        let bank = if use_taken_bank {
+            &mut self.bank_taken
+        } else {
+            &mut self.bank_not_taken
+        };
+        let bank_correct = taken(bank[bi]) == outcome;
+        bump(&mut bank[bi], outcome);
+        // Bimode rule: skip the choice update when the selected bank was
+        // correct despite disagreeing with the choice direction.
+        let choice_agrees = use_taken_bank == outcome;
+        if !bank_correct || choice_agrees {
+            bump(&mut self.choice[ci], outcome);
+        }
+        self.history = (self.history << 1) | outcome as u32;
+    }
+}
+
+/// A return-address stack predicting `jr $ra` targets.
+#[derive(Debug, Clone)]
+pub struct ReturnStack {
+    stack: Vec<u32>,
+    depth: usize,
+}
+
+impl ReturnStack {
+    /// Creates a RAS with room for `depth` return addresses (0 disables it).
+    pub fn new(depth: u32) -> ReturnStack {
+        ReturnStack {
+            stack: Vec::with_capacity(depth as usize),
+            depth: depth as usize,
+        }
+    }
+
+    /// Records a call's return address.
+    pub fn push(&mut self, addr: u32) {
+        if self.depth == 0 {
+            return;
+        }
+        if self.stack.len() == self.depth {
+            self.stack.remove(0); // oldest entry falls off the bottom
+        }
+        self.stack.push(addr);
+    }
+
+    /// Pops the predicted return target, if any.
+    pub fn pop(&mut self) -> Option<u32> {
+        self.stack.pop()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stack.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_always_taken() {
+        let mut p = Bimode::new(64);
+        let pc = 0x1000;
+        for _ in 0..8 {
+            p.update(pc, true);
+        }
+        assert!(p.predict(pc));
+    }
+
+    #[test]
+    fn learns_always_not_taken() {
+        let mut p = Bimode::new(64);
+        let pc = 0x1000;
+        for _ in 0..8 {
+            p.update(pc, false);
+        }
+        assert!(!p.predict(pc));
+    }
+
+    #[test]
+    fn tracks_loop_pattern_direction_majority() {
+        // A loop branch taken 9 of 10 times should be predicted taken.
+        let mut p = Bimode::new(64);
+        let pc = 0x2000;
+        for _ in 0..5 {
+            for _ in 0..9 {
+                p.update(pc, true);
+            }
+            p.update(pc, false);
+        }
+        assert!(p.predict(pc));
+    }
+
+    #[test]
+    fn ras_predicts_matched_calls() {
+        let mut ras = ReturnStack::new(8);
+        ras.push(0x100);
+        ras.push(0x200);
+        assert_eq!(ras.pop(), Some(0x200));
+        assert_eq!(ras.pop(), Some(0x100));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn ras_overflow_drops_oldest() {
+        let mut ras = ReturnStack::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3);
+        assert_eq!(ras.len(), 2);
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+    }
+
+    #[test]
+    fn zero_depth_ras_is_inert() {
+        let mut ras = ReturnStack::new(0);
+        ras.push(1);
+        assert!(ras.is_empty());
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = Bimode::new(100);
+    }
+}

@@ -1,0 +1,199 @@
+//! Simulator configuration (the paper's Table 1).
+
+/// Geometry of one level-1 cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+}
+
+impl CacheConfig {
+    /// Creates a cache geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size_bytes` is divisible by `line_bytes * assoc` and
+    /// both `line_bytes` and the resulting set count are powers of two.
+    pub fn new(size_bytes: u32, line_bytes: u32, assoc: u32) -> CacheConfig {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(assoc >= 1, "associativity must be at least 1");
+        assert_eq!(
+            size_bytes % (line_bytes * assoc),
+            0,
+            "size must be divisible by line*assoc"
+        );
+        let sets = size_bytes / (line_bytes * assoc);
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        CacheConfig { size_bytes, line_bytes, assoc }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.size_bytes / (self.line_bytes * self.assoc)
+    }
+
+    /// The set index for an address.
+    pub fn set_of(&self, addr: u32) -> u32 {
+        (addr / self.line_bytes) & (self.sets() - 1)
+    }
+
+    /// The tag for an address (line address above the index bits).
+    pub fn tag_of(&self, addr: u32) -> u32 {
+        addr / self.line_bytes / self.sets()
+    }
+
+    /// The address of the first byte of the line containing `addr`.
+    pub fn line_base(&self, addr: u32) -> u32 {
+        addr & !(self.line_bytes - 1)
+    }
+}
+
+/// Full machine configuration.
+///
+/// [`SimConfig::hpca2000_baseline`] reproduces the paper's Table 1: a
+/// 1-wide, in-order, 5-stage embedded core with 16KB/32B/2-way I-cache,
+/// 8KB/16B/2-way D-cache, a bimode branch predictor, and main memory with
+/// 10-cycle first-access / 2-cycle successive-access latency over a 64-bit
+/// bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Instruction cache geometry.
+    pub icache: CacheConfig,
+    /// Data cache geometry.
+    pub dcache: CacheConfig,
+    /// Cycles for the first bus beat of a memory access (Table 1: 10).
+    pub mem_first_cycles: u64,
+    /// Cycles for each successive beat (Table 1: 2).
+    pub mem_next_cycles: u64,
+    /// Bus width in bytes (Table 1: 64 bits = 8 bytes).
+    pub mem_bus_bytes: u32,
+    /// Entries in each bimode predictor table (Table 1: 2048).
+    pub bpred_entries: u32,
+    /// Return-address-stack depth (0 disables it).
+    pub ras_depth: u32,
+    /// Pipeline bubbles on a mispredicted branch / unpredicted register jump
+    /// (branches resolve in EX of the 5-stage pipe).
+    pub mispredict_penalty: u64,
+    /// Extra cycles for `swic`'s pipeline drain (§4: the pipeline is flushed
+    /// of preceding instructions before `swic` executes).
+    pub swic_penalty: u64,
+    /// Pipeline flush cycles when entering the miss exception handler.
+    pub exception_entry_penalty: u64,
+    /// Pipeline refill cycles when `iret` returns to the missed instruction.
+    pub exception_return_penalty: u64,
+    /// Latency before `mfhi`/`mflo` may read a multiply result.
+    pub mult_latency: u64,
+    /// Latency before `mfhi`/`mflo` may read a divide result.
+    pub div_latency: u64,
+    /// Whether the core has a second (shadow) register file used during
+    /// exceptions (§4.1's "+RF" configurations).
+    pub second_regfile: bool,
+}
+
+impl SimConfig {
+    /// The paper's Table 1 baseline configuration.
+    pub fn hpca2000_baseline() -> SimConfig {
+        SimConfig {
+            icache: CacheConfig::new(16 * 1024, 32, 2),
+            dcache: CacheConfig::new(8 * 1024, 16, 2),
+            mem_first_cycles: 10,
+            mem_next_cycles: 2,
+            mem_bus_bytes: 8,
+            bpred_entries: 2048,
+            ras_depth: 8,
+            mispredict_penalty: 2,
+            swic_penalty: 1,
+            exception_entry_penalty: 4,
+            exception_return_penalty: 4,
+            mult_latency: 3,
+            div_latency: 20,
+            second_regfile: false,
+        }
+    }
+
+    /// Baseline with a different I-cache capacity (Figure 4's 4KB/64KB
+    /// sweeps keep the 32B/2-way shape).
+    pub fn with_icache_size(mut self, size_bytes: u32) -> SimConfig {
+        self.icache = CacheConfig::new(size_bytes, self.icache.line_bytes, self.icache.assoc);
+        self
+    }
+
+    /// Baseline with the second register file enabled (the "+RF" machines).
+    pub fn with_second_regfile(mut self, enabled: bool) -> SimConfig {
+        self.second_regfile = enabled;
+        self
+    }
+
+    /// Cycles to transfer `bytes` from main memory (first + successive
+    /// beats over the bus).
+    pub fn mem_transfer_cycles(&self, bytes: u32) -> u64 {
+        let beats = bytes.div_ceil(self.mem_bus_bytes).max(1) as u64;
+        self.mem_first_cycles + (beats - 1) * self.mem_next_cycles
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig::hpca2000_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table1() {
+        let c = SimConfig::hpca2000_baseline();
+        assert_eq!(c.icache.size_bytes, 16 * 1024);
+        assert_eq!(c.icache.line_bytes, 32);
+        assert_eq!(c.icache.assoc, 2);
+        assert_eq!(c.icache.sets(), 256);
+        assert_eq!(c.dcache.size_bytes, 8 * 1024);
+        assert_eq!(c.dcache.line_bytes, 16);
+        assert_eq!(c.dcache.assoc, 2);
+        assert_eq!(c.mem_first_cycles, 10);
+        assert_eq!(c.mem_next_cycles, 2);
+        assert_eq!(c.mem_bus_bytes, 8);
+        assert_eq!(c.bpred_entries, 2048);
+    }
+
+    #[test]
+    fn line_fill_latency_matches_paper_model() {
+        let c = SimConfig::hpca2000_baseline();
+        // 32B I-line over a 64-bit bus: 4 beats = 10 + 3*2 = 16 cycles.
+        assert_eq!(c.mem_transfer_cycles(32), 16);
+        // 16B D-line: 2 beats = 10 + 2 = 12 cycles.
+        assert_eq!(c.mem_transfer_cycles(16), 12);
+        // One word still pays the first-access latency.
+        assert_eq!(c.mem_transfer_cycles(4), 10);
+    }
+
+    #[test]
+    fn cache_index_and_tag() {
+        let c = CacheConfig::new(16 * 1024, 32, 2);
+        assert_eq!(c.set_of(0), 0);
+        assert_eq!(c.set_of(32), 1);
+        assert_eq!(c.set_of(32 * 256), 0); // wraps at set count
+        assert_ne!(c.tag_of(0), c.tag_of(32 * 256));
+        assert_eq!(c.line_base(0x1234), 0x1220);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_rejected() {
+        let _ = CacheConfig::new(16 * 1024, 24, 2);
+    }
+
+    #[test]
+    fn icache_size_sweep_keeps_shape() {
+        let c = SimConfig::hpca2000_baseline().with_icache_size(4 * 1024);
+        assert_eq!(c.icache.line_bytes, 32);
+        assert_eq!(c.icache.assoc, 2);
+        assert_eq!(c.icache.sets(), 64);
+    }
+}

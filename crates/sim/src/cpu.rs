@@ -1,0 +1,1098 @@
+//! The machine model: architectural state, functional execution, and the
+//! in-order 5-stage timing model, including the paper's software-managed
+//! I-cache decompression path.
+//!
+//! # Timing model
+//!
+//! A 1-wide in-order 5-stage pipeline (the paper's Table 1 machine) is
+//! modeled as one base cycle per committed instruction plus explicit stalls
+//! for every hazard such a pipeline exposes:
+//!
+//! * I-cache miss in the **native** region: a hardware line fill
+//!   (`10 + 3×2 = 16` cycles for a 32B line over the 64-bit bus);
+//! * I-cache miss in the **compressed** region: a pipeline flush, then the
+//!   software decompression handler executes instruction-by-instruction
+//!   from its dedicated on-chip RAM (§4.1), with its own D-side stalls,
+//!   then `iret` refills the pipe;
+//! * D-cache miss: line fill (+ writeback if the victim was dirty);
+//! * load-use interlock: 1 bubble;
+//! * conditional branch mispredict (bimode) and register-jump redirect
+//!   (RAS miss): front-end refill bubbles;
+//! * multiply/divide: `mfhi`/`mflo` stall until the product is ready;
+//! * `swic`: drains preceding instructions (§4: the processor must be
+//!   non-speculative before writing the I-cache).
+//!
+//! Wrong-path fetch is not simulated; the paper excludes speculative misses
+//! everywhere, and this makes every counted miss non-speculative by
+//! construction (see DESIGN.md).
+
+use rtdc_isa::{decode, C0Reg, Instruction, Reg};
+
+use crate::bpred::{Bimode, ReturnStack};
+use crate::cache::Cache;
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::mem::MainMemory;
+use crate::profile::RegionProfiler;
+use crate::stats::Stats;
+
+/// Processor privilege/context mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Normal program execution.
+    Normal,
+    /// Inside the I-miss exception handler (between the exception and
+    /// `iret`). With [`SimConfig::second_regfile`] set, register accesses
+    /// use the shadow file in this mode.
+    Exception,
+}
+
+/// Result of one [`Machine::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// An instruction committed (or an exception was taken).
+    Continue,
+    /// The program exited via `syscall` with this code.
+    Exited(u32),
+}
+
+/// Outcome of [`Machine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// The program's exit code.
+    pub exit_code: u32,
+}
+
+enum Fetch {
+    Word(u32),
+    TookException,
+}
+
+/// The simulated machine.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: SimConfig,
+    regs: [[u32; 32]; 2],
+    hi: u32,
+    lo: u32,
+    hilo_ready: u64,
+    c0: [u32; 16],
+    pc: u32,
+    mode: Mode,
+    mem: MainMemory,
+    icache: Cache,
+    dcache: Cache,
+    bpred: Bimode,
+    ras: ReturnStack,
+    handler_range: Option<(u32, u32)>,
+    compressed_range: Option<(u32, u32)>,
+    stats: Stats,
+    profiler: Option<RegionProfiler>,
+    output: Vec<u8>,
+    last_load_dest: Option<Reg>,
+    exited: Option<u32>,
+}
+
+impl Machine {
+    /// Creates a machine with empty memory and cold caches.
+    pub fn new(cfg: SimConfig) -> Machine {
+        Machine {
+            cfg,
+            regs: [[0; 32]; 2],
+            hi: 0,
+            lo: 0,
+            hilo_ready: 0,
+            c0: [0; 16],
+            pc: 0,
+            mode: Mode::Normal,
+            mem: MainMemory::new(),
+            icache: Cache::new(cfg.icache),
+            dcache: Cache::new(cfg.dcache),
+            bpred: Bimode::new(cfg.bpred_entries),
+            ras: ReturnStack::new(cfg.ras_depth),
+            handler_range: None,
+            compressed_range: None,
+            stats: Stats::default(),
+            profiler: None,
+            output: Vec::new(),
+            last_load_dest: None,
+            exited: None,
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Read access to main memory.
+    pub fn mem(&self) -> &MainMemory {
+        &self.mem
+    }
+
+    /// Write access to main memory (program loading).
+    pub fn mem_mut(&mut self) -> &mut MainMemory {
+        &mut self.mem
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Bytes written by the program via output syscalls.
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Sets the program counter (program entry).
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Read access to the instruction cache (diagnostics: decompressed
+    /// code exists only here, per Figure 3).
+    pub fn icache(&self) -> &Cache {
+        &self.icache
+    }
+
+    /// Decodes the instruction currently visible at `addr` through the
+    /// fetch path — handler RAM, then I-cache, then main memory — without
+    /// disturbing any state. Returns `None` for undecodable words or
+    /// compressed-region addresses whose line is not resident (those
+    /// bytes exist nowhere yet). Useful for tracing and debuggers.
+    pub fn insn_at(&self, addr: u32) -> Option<Instruction> {
+        let word = if Self::in_range(self.handler_range, addr) {
+            self.mem.read_u32(addr)
+        } else if let Some(w) = self.icache.read_word(addr) {
+            w
+        } else if Self::in_range(self.compressed_range, addr) {
+            return None;
+        } else {
+            self.mem.read_u32(addr)
+        };
+        decode(word).ok()
+    }
+
+    /// Read access to the data cache (diagnostics).
+    pub fn dcache(&self) -> &Cache {
+        &self.dcache
+    }
+
+    fn bank(&self) -> usize {
+        match self.mode {
+            Mode::Exception if self.cfg.second_regfile => 1,
+            _ => 0,
+        }
+    }
+
+    /// Reads a general-purpose register in the active bank.
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[self.bank()][r.number() as usize]
+    }
+
+    /// Writes a general-purpose register in the active bank
+    /// (writes to `$0` are discarded).
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        if r != Reg::ZERO {
+            self.regs[self.bank()][r.number() as usize] = value;
+        }
+    }
+
+    /// Reads a coprocessor-0 register.
+    pub fn c0(&self, r: C0Reg) -> u32 {
+        self.c0[r.number() as usize]
+    }
+
+    /// Writes a coprocessor-0 register (image loaders program the
+    /// decompressor base registers this way).
+    pub fn set_c0(&mut self, r: C0Reg, value: u32) {
+        self.c0[r.number() as usize] = value;
+    }
+
+    /// Declares the handler RAM: fetches in `[start, end)` bypass the
+    /// I-cache at one cycle (the paper's "own small on-chip RAM", §4.1).
+    pub fn set_handler_range(&mut self, start: u32, end: u32) {
+        assert!(start < end && start.is_multiple_of(4), "bad handler range");
+        self.handler_range = Some((start, end));
+    }
+
+    /// Declares the compressed code region: an I-miss in `[start, end)`
+    /// raises the decompression exception instead of a hardware fill (§4.2).
+    pub fn set_compressed_range(&mut self, start: u32, end: u32) {
+        assert!(start <= end && start.is_multiple_of(4), "bad compressed range");
+        self.compressed_range = Some((start, end));
+    }
+
+    /// Attaches a per-procedure profiler.
+    pub fn attach_profiler(&mut self, profiler: RegionProfiler) {
+        self.profiler = Some(profiler);
+    }
+
+    /// Detaches and returns the profiler.
+    pub fn take_profiler(&mut self) -> Option<RegionProfiler> {
+        self.profiler.take()
+    }
+
+    fn in_range(range: Option<(u32, u32)>, pc: u32) -> bool {
+        matches!(range, Some((s, e)) if pc >= s && pc < e)
+    }
+
+    fn cycle(&mut self, n: u64) {
+        self.stats.cycles += n;
+        if self.mode == Mode::Exception {
+            self.stats.handler_cycles += n;
+        }
+    }
+
+    fn fetch(&mut self, pc: u32) -> Result<Fetch, SimError> {
+        if Self::in_range(self.handler_range, pc) {
+            // Dedicated on-chip RAM: single-cycle, never misses.
+            return Ok(Fetch::Word(self.mem.read_u32(pc)));
+        }
+        if self.mode == Mode::Exception {
+            // The decompressor must never fetch outside its RAM, or it
+            // could miss and replace itself (§4.1).
+            return Err(SimError::HandlerEscaped { pc });
+        }
+        self.stats.ifetches += 1;
+        if self.icache.touch(pc) {
+            let word = self.icache.read_word(pc).expect("hit line has data");
+            return Ok(Fetch::Word(word));
+        }
+        self.stats.imisses += 1;
+        if let Some(p) = self.profiler.as_mut() {
+            p.record_miss(pc);
+        }
+        if Self::in_range(self.compressed_range, pc) {
+            // Software-managed miss: raise the decompression exception.
+            let (handler_base, _) = self
+                .handler_range
+                .ok_or(SimError::NoHandlerInstalled { pc })?;
+            self.stats.imisses_compressed += 1;
+            self.stats.exceptions += 1;
+            self.c0[C0Reg::BADVA.number() as usize] = pc;
+            self.c0[C0Reg::EPC.number() as usize] = pc;
+            self.mode = Mode::Exception;
+            self.pc = handler_base;
+            self.last_load_dest = None;
+            let penalty = self.cfg.exception_entry_penalty;
+            self.cycle(penalty);
+            self.stats.stalls.exception += penalty;
+            return Ok(Fetch::TookException);
+        }
+        // Hardware-managed miss: fill the line from main memory.
+        self.stats.imisses_native += 1;
+        let line_bytes = self.cfg.icache.line_bytes;
+        let base = self.cfg.icache.line_base(pc);
+        let data = self.mem.read_bytes(base, line_bytes as usize);
+        self.icache.fill(base, &data);
+        self.cycle(self.cfg.mem_transfer_cycles(line_bytes));
+        self.stats.stalls.imiss += self.cfg.mem_transfer_cycles(line_bytes);
+        let word = self.icache.read_word(pc).expect("just filled");
+        Ok(Fetch::Word(word))
+    }
+
+    /// Models one D-cache access for timing (functional data lives in main
+    /// memory; the D-cache tracks tags, LRU, and dirty bits).
+    fn daccess(&mut self, addr: u32, is_store: bool) {
+        self.stats.daccesses += 1;
+        if self.dcache.touch(addr) {
+            if is_store {
+                self.dcache.mark_dirty(addr);
+            }
+            return;
+        }
+        self.stats.dmisses += 1;
+        let line_bytes = self.cfg.dcache.line_bytes;
+        let base = self.cfg.dcache.line_base(addr);
+        let data = self.mem.read_bytes(base, line_bytes as usize);
+        let ev = self.dcache.fill(base, &data);
+        if ev.dirty {
+            self.stats.writebacks += 1;
+            self.cycle(self.cfg.mem_transfer_cycles(line_bytes));
+            self.stats.stalls.dmiss += self.cfg.mem_transfer_cycles(line_bytes);
+        }
+        self.cycle(self.cfg.mem_transfer_cycles(line_bytes));
+        self.stats.stalls.dmiss += self.cfg.mem_transfer_cycles(line_bytes);
+        if is_store {
+            self.dcache.mark_dirty(addr);
+        }
+    }
+
+    /// Executes one instruction (or takes one exception).
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`]: invalid encodings, unaligned accesses, handler
+    /// protocol violations, or unknown syscalls.
+    pub fn step(&mut self) -> Result<Step, SimError> {
+        if let Some(code) = self.exited {
+            return Ok(Step::Exited(code));
+        }
+        let pc = self.pc;
+        if !pc.is_multiple_of(4) {
+            return Err(SimError::UnalignedFetch { pc });
+        }
+        let word = match self.fetch(pc)? {
+            Fetch::Word(w) => w,
+            Fetch::TookException => return Ok(Step::Continue),
+        };
+        let insn = decode(word).map_err(|_| SimError::InvalidInstruction { pc, word })?;
+
+        self.stats.insns += 1;
+        self.cycle(1);
+        if self.mode == Mode::Exception {
+            self.stats.handler_insns += 1;
+        } else {
+            self.stats.program_insns += 1;
+            if let Some(p) = self.profiler.as_mut() {
+                p.record_exec(pc);
+            }
+        }
+
+        if let Some(dest) = self.last_load_dest.take() {
+            let (a, b) = insn.src_regs();
+            if a == Some(dest) || b == Some(dest) {
+                self.cycle(1); // load-use interlock bubble
+                self.stats.stalls.load_use += 1;
+            }
+        }
+
+        self.execute(pc, insn)?;
+        Ok(match self.exited {
+            Some(code) => Step::Exited(code),
+            None => Step::Continue,
+        })
+    }
+
+    fn branch(&mut self, pc: u32, taken: bool, offset: i16) -> u32 {
+        self.stats.branches += 1;
+        let predicted = self.bpred.predict(pc);
+        self.bpred.update(pc, taken);
+        if predicted != taken {
+            self.stats.mispredicts += 1;
+            self.cycle(self.cfg.mispredict_penalty);
+            self.stats.stalls.branch += self.cfg.mispredict_penalty;
+        }
+        if taken {
+            pc.wrapping_add(4).wrapping_add((offset as i32 as u32) << 2)
+        } else {
+            pc.wrapping_add(4)
+        }
+    }
+
+    fn check_align(&self, pc: u32, addr: u32, align: u32) -> Result<(), SimError> {
+        if !addr.is_multiple_of(align) {
+            Err(SimError::UnalignedAccess { pc, addr })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn syscall(&mut self, pc: u32) -> Result<(), SimError> {
+        let code = self.reg(Reg::V0);
+        let a0 = self.reg(Reg::A0);
+        match code {
+            1 => {
+                // print_int
+                let s = (a0 as i32).to_string();
+                self.output.extend_from_slice(s.as_bytes());
+            }
+            4 => {
+                // print_str: NUL-terminated, capped defensively
+                let mut addr = a0;
+                for _ in 0..4096 {
+                    let b = self.mem.read_u8(addr);
+                    if b == 0 {
+                        break;
+                    }
+                    self.output.push(b);
+                    addr = addr.wrapping_add(1);
+                }
+            }
+            10 => self.exited = Some(a0),
+            11 => self.output.push(a0 as u8),
+            other => return Err(SimError::UnknownSyscall { pc, code: other }),
+        }
+        Ok(())
+    }
+
+    fn execute(&mut self, pc: u32, insn: Instruction) -> Result<(), SimError> {
+        use Instruction::*;
+        let mut next = pc.wrapping_add(4);
+        match insn {
+            Add { rd, rs, rt } | Addu { rd, rs, rt } => {
+                let v = self.reg(rs).wrapping_add(self.reg(rt));
+                self.set_reg(rd, v);
+            }
+            Sub { rd, rs, rt } | Subu { rd, rs, rt } => {
+                let v = self.reg(rs).wrapping_sub(self.reg(rt));
+                self.set_reg(rd, v);
+            }
+            And { rd, rs, rt } => { let v = self.reg(rs) & self.reg(rt); self.set_reg(rd, v); }
+            Or { rd, rs, rt } => { let v = self.reg(rs) | self.reg(rt); self.set_reg(rd, v); }
+            Xor { rd, rs, rt } => { let v = self.reg(rs) ^ self.reg(rt); self.set_reg(rd, v); }
+            Nor { rd, rs, rt } => { let v = !(self.reg(rs) | self.reg(rt)); self.set_reg(rd, v); }
+            Slt { rd, rs, rt } => {
+                let v = ((self.reg(rs) as i32) < (self.reg(rt) as i32)) as u32;
+                self.set_reg(rd, v);
+            }
+            Sltu { rd, rs, rt } => {
+                let v = (self.reg(rs) < self.reg(rt)) as u32;
+                self.set_reg(rd, v);
+            }
+            Sll { rd, rt, shamt } => { let v = self.reg(rt) << shamt; self.set_reg(rd, v); }
+            Srl { rd, rt, shamt } => { let v = self.reg(rt) >> shamt; self.set_reg(rd, v); }
+            Sra { rd, rt, shamt } => {
+                let v = ((self.reg(rt) as i32) >> shamt) as u32;
+                self.set_reg(rd, v);
+            }
+            Sllv { rd, rt, rs } => { let v = self.reg(rt) << (self.reg(rs) & 31); self.set_reg(rd, v); }
+            Srlv { rd, rt, rs } => { let v = self.reg(rt) >> (self.reg(rs) & 31); self.set_reg(rd, v); }
+            Srav { rd, rt, rs } => {
+                let v = ((self.reg(rt) as i32) >> (self.reg(rs) & 31)) as u32;
+                self.set_reg(rd, v);
+            }
+            Mult { rs, rt } => {
+                let p = (self.reg(rs) as i32 as i64) * (self.reg(rt) as i32 as i64);
+                self.lo = p as u32;
+                self.hi = (p >> 32) as u32;
+                self.hilo_ready = self.stats.cycles + self.cfg.mult_latency;
+            }
+            Multu { rs, rt } => {
+                let p = (self.reg(rs) as u64) * (self.reg(rt) as u64);
+                self.lo = p as u32;
+                self.hi = (p >> 32) as u32;
+                self.hilo_ready = self.stats.cycles + self.cfg.mult_latency;
+            }
+            Div { rs, rt } => {
+                let (a, b) = (self.reg(rs) as i32, self.reg(rt) as i32);
+                if b == 0 {
+                    self.lo = 0;
+                    self.hi = 0;
+                } else {
+                    self.lo = a.wrapping_div(b) as u32;
+                    self.hi = a.wrapping_rem(b) as u32;
+                }
+                self.hilo_ready = self.stats.cycles + self.cfg.div_latency;
+            }
+            Divu { rs, rt } => {
+                let (a, b) = (self.reg(rs), self.reg(rt));
+                self.lo = a.checked_div(b).unwrap_or(0);
+                self.hi = a.checked_rem(b).unwrap_or(0);
+                self.hilo_ready = self.stats.cycles + self.cfg.div_latency;
+            }
+            Mfhi { rd } => {
+                if self.stats.cycles < self.hilo_ready {
+                    let wait = self.hilo_ready - self.stats.cycles;
+                    self.cycle(wait);
+                    self.stats.stalls.hilo += wait;
+                }
+                let v = self.hi;
+                self.set_reg(rd, v);
+            }
+            Mflo { rd } => {
+                if self.stats.cycles < self.hilo_ready {
+                    let wait = self.hilo_ready - self.stats.cycles;
+                    self.cycle(wait);
+                    self.stats.stalls.hilo += wait;
+                }
+                let v = self.lo;
+                self.set_reg(rd, v);
+            }
+            Mthi { rs } => self.hi = self.reg(rs),
+            Mtlo { rs } => self.lo = self.reg(rs),
+            Jr { rs } => {
+                let target = self.reg(rs);
+                self.stats.reg_jumps += 1;
+                if self.ras.pop() != Some(target) {
+                    self.stats.reg_jump_misses += 1;
+                    self.cycle(self.cfg.mispredict_penalty);
+                    self.stats.stalls.reg_jump += self.cfg.mispredict_penalty;
+                }
+                next = target;
+            }
+            Jalr { rd, rs } => {
+                let target = self.reg(rs);
+                self.set_reg(rd, pc.wrapping_add(4));
+                self.ras.push(pc.wrapping_add(4));
+                self.stats.reg_jumps += 1;
+                // Indirect-call target resolves in EX: front-end redirect.
+                self.cycle(self.cfg.mispredict_penalty);
+                self.stats.stalls.reg_jump += self.cfg.mispredict_penalty;
+                next = target;
+            }
+            Syscall => self.syscall(pc)?,
+            Break { code } => return Err(SimError::BreakExecuted { pc, code }),
+            Addi { rt, rs, imm } | Addiu { rt, rs, imm } => {
+                let v = self.reg(rs).wrapping_add(imm as i32 as u32);
+                self.set_reg(rt, v);
+            }
+            Slti { rt, rs, imm } => {
+                let v = ((self.reg(rs) as i32) < imm as i32) as u32;
+                self.set_reg(rt, v);
+            }
+            Sltiu { rt, rs, imm } => {
+                let v = (self.reg(rs) < imm as i32 as u32) as u32;
+                self.set_reg(rt, v);
+            }
+            Andi { rt, rs, imm } => { let v = self.reg(rs) & imm as u32; self.set_reg(rt, v); }
+            Ori { rt, rs, imm } => { let v = self.reg(rs) | imm as u32; self.set_reg(rt, v); }
+            Xori { rt, rs, imm } => { let v = self.reg(rs) ^ imm as u32; self.set_reg(rt, v); }
+            Lui { rt, imm } => self.set_reg(rt, (imm as u32) << 16),
+            Lb { rt, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as i32 as u32);
+                self.daccess(addr, false);
+                let v = self.mem.read_u8(addr) as i8 as i32 as u32;
+                self.set_reg(rt, v);
+                self.last_load_dest = Some(rt);
+            }
+            Lbu { rt, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as i32 as u32);
+                self.daccess(addr, false);
+                let v = self.mem.read_u8(addr) as u32;
+                self.set_reg(rt, v);
+                self.last_load_dest = Some(rt);
+            }
+            Lh { rt, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as i32 as u32);
+                self.check_align(pc, addr, 2)?;
+                self.daccess(addr, false);
+                let v = self.mem.read_u16(addr) as i16 as i32 as u32;
+                self.set_reg(rt, v);
+                self.last_load_dest = Some(rt);
+            }
+            Lhu { rt, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as i32 as u32);
+                self.check_align(pc, addr, 2)?;
+                self.daccess(addr, false);
+                let v = self.mem.read_u16(addr) as u32;
+                self.set_reg(rt, v);
+                self.last_load_dest = Some(rt);
+            }
+            Lw { rt, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as i32 as u32);
+                self.check_align(pc, addr, 4)?;
+                self.daccess(addr, false);
+                let v = self.mem.read_u32(addr);
+                self.set_reg(rt, v);
+                self.last_load_dest = Some(rt);
+            }
+            Lwx { rd, base, index } => {
+                let addr = self.reg(base).wrapping_add(self.reg(index));
+                self.check_align(pc, addr, 4)?;
+                self.daccess(addr, false);
+                let v = self.mem.read_u32(addr);
+                self.set_reg(rd, v);
+                self.last_load_dest = Some(rd);
+            }
+            Lhux { rd, base, index } => {
+                let addr = self.reg(base).wrapping_add(self.reg(index));
+                self.check_align(pc, addr, 2)?;
+                self.daccess(addr, false);
+                let v = self.mem.read_u16(addr) as u32;
+                self.set_reg(rd, v);
+                self.last_load_dest = Some(rd);
+            }
+            Lbux { rd, base, index } => {
+                let addr = self.reg(base).wrapping_add(self.reg(index));
+                self.daccess(addr, false);
+                let v = self.mem.read_u8(addr) as u32;
+                self.set_reg(rd, v);
+                self.last_load_dest = Some(rd);
+            }
+            Sb { rt, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as i32 as u32);
+                self.daccess(addr, true);
+                let v = self.reg(rt) as u8;
+                self.mem.write_u8(addr, v);
+            }
+            Sh { rt, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as i32 as u32);
+                self.check_align(pc, addr, 2)?;
+                self.daccess(addr, true);
+                let v = self.reg(rt) as u16;
+                self.mem.write_u16(addr, v);
+            }
+            Sw { rt, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as i32 as u32);
+                self.check_align(pc, addr, 4)?;
+                self.daccess(addr, true);
+                let v = self.reg(rt);
+                self.mem.write_u32(addr, v);
+            }
+            Swic { rt, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as i32 as u32);
+                self.check_align(pc, addr, 4)?;
+                let word = self.reg(rt);
+                self.icache.write_word_alloc(addr, word);
+                self.stats.swics += 1;
+                self.cycle(self.cfg.swic_penalty);
+                self.stats.stalls.swic += self.cfg.swic_penalty;
+            }
+            Beq { rs, rt, offset } => {
+                let taken = self.reg(rs) == self.reg(rt);
+                next = self.branch(pc, taken, offset);
+            }
+            Bne { rs, rt, offset } => {
+                let taken = self.reg(rs) != self.reg(rt);
+                next = self.branch(pc, taken, offset);
+            }
+            Blez { rs, offset } => {
+                let taken = (self.reg(rs) as i32) <= 0;
+                next = self.branch(pc, taken, offset);
+            }
+            Bgtz { rs, offset } => {
+                let taken = (self.reg(rs) as i32) > 0;
+                next = self.branch(pc, taken, offset);
+            }
+            Bltz { rs, offset } => {
+                let taken = (self.reg(rs) as i32) < 0;
+                next = self.branch(pc, taken, offset);
+            }
+            Bgez { rs, offset } => {
+                let taken = (self.reg(rs) as i32) >= 0;
+                next = self.branch(pc, taken, offset);
+            }
+            J { target } => {
+                next = (pc.wrapping_add(4) & 0xf000_0000) | (target << 2);
+            }
+            Jal { target } => {
+                self.set_reg(Reg::RA, pc.wrapping_add(4));
+                self.ras.push(pc.wrapping_add(4));
+                next = (pc.wrapping_add(4) & 0xf000_0000) | (target << 2);
+            }
+            Mfc0 { rt, c0 } => {
+                let v = self.c0(c0);
+                self.set_reg(rt, v);
+            }
+            Mtc0 { rt, c0 } => {
+                let v = self.reg(rt);
+                self.set_c0(c0, v);
+            }
+            Iret => {
+                if self.mode != Mode::Exception {
+                    return Err(SimError::IretOutsideHandler { pc });
+                }
+                // Count the refill against the handler before leaving it.
+                self.cycle(self.cfg.exception_return_penalty);
+                self.stats.stalls.exception += self.cfg.exception_return_penalty;
+                self.mode = Mode::Normal;
+                self.last_load_dest = None;
+                next = self.c0(C0Reg::EPC);
+            }
+        }
+        self.pc = next;
+        Ok(())
+    }
+
+    /// Runs until exit or until `max_insns` instructions have committed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from [`Machine::step`], or
+    /// [`SimError::InsnLimitExceeded`] if the program does not exit in time.
+    pub fn run(&mut self, max_insns: u64) -> Result<RunOutcome, SimError> {
+        loop {
+            match self.step()? {
+                Step::Exited(code) => return Ok(RunOutcome { exit_code: code }),
+                Step::Continue => {
+                    if self.stats.insns >= max_insns {
+                        return Err(SimError::InsnLimitExceeded { limit: max_insns });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdc_isa::asm::assemble;
+    use rtdc_isa::encode;
+
+    const TEXT: u32 = 0x1000;
+    const DATA: u32 = 0x1000_0000;
+
+    fn load(m: &mut Machine, base: u32, src: &str) {
+        let out = assemble(src, base, DATA).expect("test asm");
+        for (i, w) in out.encoded_text().iter().enumerate() {
+            m.mem_mut().write_u32(base + 4 * i as u32, *w);
+        }
+        for (i, b) in out.data.iter().enumerate() {
+            m.mem_mut().write_u8(DATA + i as u32, *b);
+        }
+    }
+
+    fn machine(src: &str) -> Machine {
+        let mut m = Machine::new(SimConfig::hpca2000_baseline());
+        load(&mut m, TEXT, src);
+        m.set_pc(TEXT);
+        m.set_reg(Reg::SP, crate::map::STACK_TOP);
+        m
+    }
+
+    #[test]
+    fn exit_syscall_terminates() {
+        let mut m = machine("li $v0,10\nli $a0,7\nsyscall\n");
+        let out = m.run(100).unwrap();
+        assert_eq!(out.exit_code, 7);
+        assert_eq!(m.stats().insns, 3);
+    }
+
+    #[test]
+    fn arithmetic_and_memory_round_trip() {
+        let mut m = machine(
+            "li $t0,1234\nla $t1,buf\nsw $t0,0($t1)\nlw $t2,0($t1)\n\
+             move $a0,$t2\nli $v0,1\nsyscall\nli $v0,10\nli $a0,0\nsyscall\n\
+             .data\nbuf: .space 4\n",
+        );
+        m.run(100).unwrap();
+        assert_eq!(m.output(), b"1234");
+    }
+
+    #[test]
+    fn print_string_syscall() {
+        let mut m = machine(
+            "la $a0,msg\nli $v0,4\nsyscall\nli $v0,10\nli $a0,0\nsyscall\n\
+             .data\nmsg: .byte 104,105,0\n",
+        );
+        m.run(100).unwrap();
+        assert_eq!(m.output(), b"hi");
+    }
+
+    #[test]
+    fn first_fetch_pays_line_fill() {
+        let mut m = machine("li $v0,10\nli $a0,0\nsyscall\n");
+        m.run(100).unwrap();
+        // One I-line fill (16 cycles) + 3 base cycles.
+        assert_eq!(m.stats().imisses, 1);
+        assert_eq!(m.stats().cycles, 16 + 3);
+    }
+
+    #[test]
+    fn dcache_miss_then_hit() {
+        let mut m = machine(
+            "la $t1,buf\nlw $t0,0($t1)\nlw $t2,4($t1)\nli $v0,10\nli $a0,0\nsyscall\n\
+             .data\nbuf: .word 1,2,3,4\n",
+        );
+        m.run(100).unwrap();
+        assert_eq!(m.stats().daccesses, 2);
+        assert_eq!(m.stats().dmisses, 1); // both words share one 16B line
+    }
+
+    #[test]
+    fn load_use_interlock_costs_one_bubble() {
+        let a = {
+            let mut m = machine(
+                "la $t1,buf\nlw $t0,0($t1)\nadd $t2,$t0,$t0\nli $v0,10\nli $a0,0\nsyscall\n.data\nbuf: .word 9\n",
+            );
+            m.run(100).unwrap();
+            m.stats().cycles
+        };
+        let b = {
+            let mut m = machine(
+                "la $t1,buf\nlw $t0,0($t1)\nadd $t2,$t3,$t3\nli $v0,10\nli $a0,0\nsyscall\n.data\nbuf: .word 9\n",
+            );
+            m.run(100).unwrap();
+            m.stats().cycles
+        };
+        assert_eq!(a, b + 1);
+    }
+
+    #[test]
+    fn loop_branch_predicted_after_warmup() {
+        let mut m = machine(
+            "li $t0,0\nli $t1,100\nloop: add $t0,$t0,1\nbne $t0,$t1,loop\nli $v0,10\nli $a0,0\nsyscall\n",
+        );
+        m.run(10_000).unwrap();
+        let s = m.stats();
+        assert_eq!(s.branches, 100);
+        assert!(s.mispredicts <= 6, "mispredicts = {}", s.mispredicts);
+    }
+
+    #[test]
+    fn ras_predicts_returns() {
+        let mut m = machine(
+            "jal f\njal f\nli $v0,10\nli $a0,0\nsyscall\nf: jr $ra\n",
+        );
+        m.run(100).unwrap();
+        assert_eq!(m.stats().reg_jumps, 2);
+        assert_eq!(m.stats().reg_jump_misses, 0);
+    }
+
+    #[test]
+    fn mult_result_needs_latency() {
+        let fast = {
+            let mut m = machine("li $t0,6\nli $t1,7\nmult $t0,$t1\nnop\nnop\nnop\nmflo $t2\nli $v0,10\nmove $a0,$t2\nsyscall\n");
+            let out = m.run(100).unwrap();
+            assert_eq!(out.exit_code, 42);
+            m.stats().cycles
+        };
+        let stalled = {
+            let mut m = machine("li $t0,6\nli $t1,7\nmult $t0,$t1\nmflo $t2\nnop\nnop\nnop\nli $v0,10\nmove $a0,$t2\nsyscall\n");
+            let out = m.run(100).unwrap();
+            assert_eq!(out.exit_code, 42);
+            m.stats().cycles
+        };
+        assert!(stalled > fast, "mflo right after mult must stall");
+    }
+
+    #[test]
+    fn division_works_and_div_by_zero_is_zero() {
+        let mut m = machine(
+            "li $t0,43\nli $t1,5\ndiv $t0,$t1\nmflo $a0\nmfhi $t3\nli $v0,1\nsyscall\n\
+             li $t1,0\ndiv $t0,$t1\nmflo $a0\nli $v0,1\nsyscall\nli $v0,10\nli $a0,0\nsyscall\n",
+        );
+        m.run(200).unwrap();
+        assert_eq!(m.output(), b"80");
+    }
+
+    /// End-to-end software-managed miss: a one-line "decompressor" that
+    /// materializes `li $a0,99; li $v0,10; syscall` into the I-cache.
+    #[test]
+    fn compressed_region_miss_invokes_handler_and_swic_code_runs() {
+        let mut m = Machine::new(SimConfig::hpca2000_baseline());
+        // The handler writes a fixed 8-word line at the missed address.
+        // Line contents: li $a0,99 / li $v0,10 / syscall / 5x nop
+        let words = [
+            encode(Instruction::Addiu { rt: Reg::A0, rs: Reg::ZERO, imm: 99 }),
+            encode(Instruction::Addiu { rt: Reg::V0, rs: Reg::ZERO, imm: 10 }),
+            encode(Instruction::Syscall),
+            0, 0, 0, 0, 0,
+        ];
+        // Stash the line in .data so the handler can copy it.
+        for (i, w) in words.iter().enumerate() {
+            m.mem_mut().write_u32(DATA + 4 * i as u32, *w);
+        }
+        let handler_src = "\
+            mfc0 $27,c0[BADVA]\n\
+            srl $27,$27,5\n\
+            sll $27,$27,5\n\
+            la $26,src\n\
+            add $12,$27,32\n\
+        copy: lw $9,0($26)\n\
+            swic $9,0($27)\n\
+            add $26,$26,4\n\
+            add $27,$27,4\n\
+            bne $27,$12,copy\n\
+            iret\n\
+            .data\nsrc: .space 32\n";
+        let h = assemble(handler_src, crate::map::HANDLER_BASE, DATA).unwrap();
+        for (i, w) in h.encoded_text().iter().enumerate() {
+            m.mem_mut().write_u32(crate::map::HANDLER_BASE + 4 * i as u32, *w);
+        }
+        m.set_handler_range(
+            crate::map::HANDLER_BASE,
+            crate::map::HANDLER_BASE + crate::map::HANDLER_BYTES,
+        );
+        m.set_compressed_range(TEXT, TEXT + 0x100);
+        m.set_reg(Reg::SP, crate::map::STACK_TOP);
+        m.set_pc(TEXT);
+
+        // NOTE: handler saves no registers — fine here, nothing else runs.
+        let out = m.run(1000).unwrap();
+        assert_eq!(out.exit_code, 99);
+        let s = m.stats();
+        assert_eq!(s.exceptions, 1);
+        assert_eq!(s.imisses_compressed, 1);
+        assert_eq!(s.imisses_native, 0);
+        assert_eq!(s.swics, 8);
+        assert!(s.handler_insns > 0);
+        // The three program instructions committed outside the handler.
+        assert_eq!(s.program_insns, 3);
+    }
+
+    #[test]
+    fn second_regfile_isolates_handler_registers() {
+        let cfg = SimConfig::hpca2000_baseline().with_second_regfile(true);
+        let mut m = Machine::new(cfg);
+        m.set_reg(Reg::T0, 1111); // bank 0
+        assert_eq!(m.reg(Reg::T0), 1111);
+        // Flip into exception mode manually and check banking.
+        m.mode = Mode::Exception;
+        assert_eq!(m.reg(Reg::T0), 0);
+        m.set_reg(Reg::T0, 2222);
+        m.mode = Mode::Normal;
+        assert_eq!(m.reg(Reg::T0), 1111);
+    }
+
+    #[test]
+    fn iret_outside_handler_is_an_error() {
+        let mut m = machine("iret\n");
+        assert!(matches!(
+            m.run(10),
+            Err(SimError::IretOutsideHandler { .. })
+        ));
+    }
+
+    #[test]
+    fn compressed_miss_without_handler_is_an_error() {
+        let mut m = machine("nop\n");
+        m.set_compressed_range(TEXT, TEXT + 0x100);
+        assert!(matches!(
+            m.run(10),
+            Err(SimError::NoHandlerInstalled { .. })
+        ));
+    }
+
+    #[test]
+    fn runaway_program_hits_insn_limit() {
+        let mut m = machine("loop: b loop\n");
+        assert_eq!(
+            m.run(50),
+            Err(SimError::InsnLimitExceeded { limit: 50 })
+        );
+    }
+
+    #[test]
+    fn break_is_fatal() {
+        let mut m = machine("break 3\n");
+        assert!(matches!(
+            m.run(10),
+            Err(SimError::BreakExecuted { code: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn unaligned_word_access_is_an_error() {
+        let mut m = machine("li $t0,1\nlw $t1,0($t0)\n");
+        assert!(matches!(m.run(10), Err(SimError::UnalignedAccess { .. })));
+    }
+
+    #[test]
+    fn profiler_attributes_exec_and_misses() {
+        let src = "li $v0,10\nli $a0,0\nsyscall\n";
+        let mut m = machine(src);
+        m.attach_profiler(RegionProfiler::new(vec![(TEXT, TEXT + 12, 0)], 1));
+        m.run(100).unwrap();
+        let p = m.take_profiler().unwrap();
+        assert_eq!(p.exec_counts(), &[3]);
+        assert_eq!(p.miss_counts(), &[1]);
+    }
+
+    #[test]
+    fn zero_register_stays_zero() {
+        let mut m = machine("add $0,$0,1\nmove $a0,$0\nli $v0,10\nsyscall\n");
+        let out = m.run(100).unwrap();
+        assert_eq!(out.exit_code, 0);
+    }
+
+    #[test]
+    fn stall_accounting_is_complete() {
+        // Every cycle is either an instruction's base cycle or attributed
+        // to exactly one stall cause.
+        let mut m = machine(
+            "la $t1,buf\nli $t0,50\n\
+             loop: lw $t2,0($t1)\nadd $t3,$t2,$t2\nmult $t2,$t3\nmflo $t4\n\
+             sw $t4,4($t1)\nadd $t0,$t0,-1\nbgtz $t0,loop\n\
+             li $v0,10\nli $a0,0\nsyscall\n.data\nbuf: .word 3,0\n",
+        );
+        m.run(10_000).unwrap();
+        let s = m.stats();
+        assert_eq!(s.insns + s.stalls.sum(), s.cycles, "{:?}", s.stalls);
+        assert!(s.stalls.load_use > 0);
+        assert!(s.stalls.hilo > 0);
+        assert!(s.stalls.imiss > 0);
+        assert!(s.stalls.dmiss > 0);
+    }
+
+    #[test]
+    fn handler_escaping_its_ram_is_fatal() {
+        // A handler that jumps outside the handler RAM must be caught
+        // (§4.1: it could miss and replace itself).
+        let mut m = Machine::new(SimConfig::hpca2000_baseline());
+        let h = assemble("li $26,0x2000\njr $26\n", crate::map::HANDLER_BASE, DATA).unwrap();
+        for (i, w) in h.encoded_text().iter().enumerate() {
+            m.mem_mut().write_u32(crate::map::HANDLER_BASE + 4 * i as u32, *w);
+        }
+        m.set_handler_range(
+            crate::map::HANDLER_BASE,
+            crate::map::HANDLER_BASE + crate::map::HANDLER_BYTES,
+        );
+        m.set_compressed_range(TEXT, TEXT + 0x100);
+        m.set_pc(TEXT);
+        assert!(matches!(m.run(100), Err(SimError::HandlerEscaped { pc: 0x2000 })));
+    }
+
+    #[test]
+    fn unaligned_pc_is_fatal() {
+        let mut m = machine("nop\n");
+        m.set_pc(TEXT + 2);
+        assert!(matches!(m.run(10), Err(SimError::UnalignedFetch { .. })));
+    }
+
+    #[test]
+    fn unknown_syscall_is_fatal() {
+        let mut m = machine("li $v0,99\nsyscall\n");
+        assert!(matches!(
+            m.run(10),
+            Err(SimError::UnknownSyscall { code: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn print_int_handles_negative_values() {
+        let mut m = machine("li $a0,-42\nli $v0,1\nsyscall\nli $v0,10\nli $a0,0\nsyscall\n");
+        m.run(100).unwrap();
+        assert_eq!(m.output(), b"-42");
+    }
+
+    #[test]
+    fn dirty_lines_cost_a_writeback_on_eviction() {
+        // Store to many conflicting lines: evictions of dirty lines must
+        // be counted and cost extra cycles.
+        let src = "\
+            la $t0,buf\nli $t1,40\n\
+            loop: sw $t1,0($t0)\n\
+            addiu $t0,$t0,4096\n\
+            addiu $t1,$t1,-1\n\
+            bgtz $t1,loop\n\
+            li $v0,10\nli $a0,0\nsyscall\n.data\nbuf: .space 4\n";
+        let mut m = machine(src);
+        m.run(1000).unwrap();
+        assert!(m.stats().writebacks > 0, "stats: {:?}", m.stats());
+    }
+
+    #[test]
+    fn indexed_loads_execute() {
+        let mut m = machine(
+            "la $t0,buf\nli $t1,4\nlw $a0,($t1+$t0)\nli $v0,10\nsyscall\n\
+             .data\nbuf: .word 11,22\n",
+        );
+        let out = m.run(100).unwrap();
+        assert_eq!(out.exit_code, 22);
+    }
+
+    #[test]
+    fn cache_accessors_reflect_execution() {
+        let mut m = machine("li $v0,10\nli $a0,0\nsyscall\n");
+        m.run(100).unwrap();
+        assert!(m.icache().valid_lines() >= 1);
+        assert_eq!(m.dcache().valid_lines(), 0);
+    }
+
+    #[test]
+    fn jalr_pays_indirect_redirect_and_pushes_ras() {
+        let mut m = machine(
+            "la $t0,f\njalr $t0\nli $v0,10\nli $a0,0\nsyscall\nf: jr $ra\n.data\n",
+        );
+        // `la f` needs the label in text: assemble resolves it since f is
+        // in the same unit.
+        m.run(100).unwrap();
+        assert_eq!(m.stats().reg_jumps, 2); // jalr + jr
+        assert_eq!(m.stats().reg_jump_misses, 0); // RAS predicted the return
+    }
+}

@@ -1,0 +1,110 @@
+//! Simulation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// A fatal simulation condition.
+///
+/// These indicate bugs in the simulated program (or in a decompression
+/// handler), protocol violations, or runaway execution — never recoverable
+/// architectural events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The fetched word is not a valid instruction encoding.
+    InvalidInstruction {
+        /// Faulting PC.
+        pc: u32,
+        /// The undecodable word.
+        word: u32,
+    },
+    /// The PC was not 4-byte aligned.
+    UnalignedFetch {
+        /// Faulting PC.
+        pc: u32,
+    },
+    /// A load/store address violated its natural alignment.
+    UnalignedAccess {
+        /// PC of the access.
+        pc: u32,
+        /// The unaligned address.
+        addr: u32,
+    },
+    /// A compressed-region miss occurred with no handler RAM configured.
+    NoHandlerInstalled {
+        /// The missed address.
+        pc: u32,
+    },
+    /// The exception handler fetched outside its dedicated RAM (it could
+    /// miss and replace itself — forbidden by §4.1).
+    HandlerEscaped {
+        /// Offending fetch address.
+        pc: u32,
+    },
+    /// `iret` executed outside the exception handler.
+    IretOutsideHandler {
+        /// PC of the `iret`.
+        pc: u32,
+    },
+    /// `break` executed (generated programs signal fatal errors this way).
+    BreakExecuted {
+        /// PC of the `break`.
+        pc: u32,
+        /// The break code.
+        code: u32,
+    },
+    /// An unknown syscall number was requested.
+    UnknownSyscall {
+        /// PC of the `syscall`.
+        pc: u32,
+        /// The unrecognized code (from `$v0`).
+        code: u32,
+    },
+    /// The instruction budget was exhausted before the program exited.
+    InsnLimitExceeded {
+        /// The limit that was hit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use SimError::*;
+        match *self {
+            InvalidInstruction { pc, word } => {
+                write!(f, "invalid instruction {word:#010x} at pc {pc:#x}")
+            }
+            UnalignedFetch { pc } => write!(f, "unaligned fetch at pc {pc:#x}"),
+            UnalignedAccess { pc, addr } => {
+                write!(f, "unaligned access to {addr:#x} at pc {pc:#x}")
+            }
+            NoHandlerInstalled { pc } => {
+                write!(f, "compressed-region miss at {pc:#x} with no handler installed")
+            }
+            HandlerEscaped { pc } => {
+                write!(f, "exception handler fetched outside handler RAM at {pc:#x}")
+            }
+            IretOutsideHandler { pc } => write!(f, "iret outside exception handler at {pc:#x}"),
+            BreakExecuted { pc, code } => write!(f, "break {code} executed at {pc:#x}"),
+            UnknownSyscall { pc, code } => write!(f, "unknown syscall {code} at {pc:#x}"),
+            InsnLimitExceeded { limit } => {
+                write!(f, "instruction limit of {limit} exceeded before exit")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::InvalidInstruction { pc: 0x1000, word: 0xfc00_0000 };
+        assert_eq!(e.to_string(), "invalid instruction 0xfc000000 at pc 0x1000");
+        let e = SimError::InsnLimitExceeded { limit: 10 };
+        assert!(e.to_string().contains("limit of 10"));
+    }
+}

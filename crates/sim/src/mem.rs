@@ -1,0 +1,163 @@
+//! Sparse paged main memory.
+//!
+//! Functional storage only — access *timing* is the CPU model's job.
+//! Backed by 64KB pages allocated on first touch, so the simulated 32-bit
+//! address space costs only what the program actually uses.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 16;
+const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
+
+/// Byte-addressable little-endian main memory.
+///
+/// # Examples
+///
+/// ```
+/// use rtdc_sim::MainMemory;
+///
+/// let mut m = MainMemory::new();
+/// m.write_u32(0x1000, 0x1234_5678);
+/// assert_eq!(m.read_u16(0x1000), 0x5678);
+/// assert_eq!(m.read_u8(0x1003), 0x12);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct MainMemory {
+    pages: HashMap<u32, Box<[u8; PAGE_BYTES]>>,
+}
+
+impl MainMemory {
+    /// Creates an empty memory; every byte reads as zero until written.
+    pub fn new() -> MainMemory {
+        MainMemory::default()
+    }
+
+    fn page(&self, addr: u32) -> Option<&[u8; PAGE_BYTES]> {
+        self.pages.get(&(addr >> PAGE_SHIFT)).map(|p| &**p)
+    }
+
+    fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_BYTES] {
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0; PAGE_BYTES]))
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match self.page(addr) {
+            Some(p) => p[(addr as usize) & (PAGE_BYTES - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        let off = (addr as usize) & (PAGE_BYTES - 1);
+        self.page_mut(addr)[off] = value;
+    }
+
+    /// Reads a little-endian halfword (no alignment requirement here; the
+    /// CPU model enforces alignment).
+    pub fn read_u16(&self, addr: u32) -> u16 {
+        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+    }
+
+    /// Writes a little-endian halfword.
+    pub fn write_u16(&mut self, addr: u32, value: u16) {
+        let [a, b] = value.to_le_bytes();
+        self.write_u8(addr, a);
+        self.write_u8(addr.wrapping_add(1), b);
+    }
+
+    /// Reads a little-endian word.
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        // Fast path: aligned word within one page.
+        let off = (addr as usize) & (PAGE_BYTES - 1);
+        if addr.is_multiple_of(4) {
+            if let Some(p) = self.page(addr) {
+                return u32::from_le_bytes([p[off], p[off + 1], p[off + 2], p[off + 3]]);
+            }
+            return 0;
+        }
+        u32::from_le_bytes([
+            self.read_u8(addr),
+            self.read_u8(addr.wrapping_add(1)),
+            self.read_u8(addr.wrapping_add(2)),
+            self.read_u8(addr.wrapping_add(3)),
+        ])
+    }
+
+    /// Writes a little-endian word.
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        let bytes = value.to_le_bytes();
+        if addr.is_multiple_of(4) {
+            let off = (addr as usize) & (PAGE_BYTES - 1);
+            let p = self.page_mut(addr);
+            p[off..off + 4].copy_from_slice(&bytes);
+            return;
+        }
+        for (i, b) in bytes.into_iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Bulk-writes `bytes` starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Bulk-reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| self.read_u8(addr.wrapping_add(i as u32)))
+            .collect()
+    }
+
+    /// Number of 64KB pages materialized (for footprint diagnostics).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let m = MainMemory::new();
+        assert_eq!(m.read_u8(0), 0);
+        assert_eq!(m.read_u32(0xdead_bee0), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn word_round_trip_little_endian() {
+        let mut m = MainMemory::new();
+        m.write_u32(0x1000, 0x1234_5678);
+        assert_eq!(m.read_u32(0x1000), 0x1234_5678);
+        assert_eq!(m.read_u8(0x1000), 0x78);
+        assert_eq!(m.read_u8(0x1003), 0x12);
+        assert_eq!(m.read_u16(0x1000), 0x5678);
+        assert_eq!(m.read_u16(0x1002), 0x1234);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = MainMemory::new();
+        let addr = (1 << 16) - 2;
+        m.write_u32(addr, 0xaabb_ccdd);
+        assert_eq!(m.read_u32(addr), 0xaabb_ccdd);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn bulk_round_trip() {
+        let mut m = MainMemory::new();
+        let data: Vec<u8> = (0..100).collect();
+        m.write_bytes(0x8000, &data);
+        assert_eq!(m.read_bytes(0x8000, 100), data);
+    }
+}

@@ -1,0 +1,157 @@
+//! Per-region (per-procedure) execution and miss profiling.
+//!
+//! Selective compression (§3.3) needs two profiles per procedure: dynamic
+//! instruction counts (execution-based selection) and non-speculative
+//! I-cache miss counts (miss-based selection). The simulator attributes
+//! both to caller-supplied address regions.
+
+/// Attributes committed instructions and I-misses to address regions, and
+/// records the region **entry trace** (each execution of a region's first
+/// instruction), which procedure-granularity decompression models replay.
+///
+/// # Examples
+///
+/// ```
+/// use rtdc_sim::RegionProfiler;
+///
+/// let mut p = RegionProfiler::new(vec![(0x1000, 0x1100, 0)], 1);
+/// p.record_exec(0x1000); // procedure entry
+/// p.record_exec(0x1004);
+/// p.record_miss(0x1020);
+/// assert_eq!(p.exec_counts(), &[2]);
+/// assert_eq!(p.miss_counts(), &[1]);
+/// assert_eq!(p.entry_trace(), &[0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegionProfiler {
+    /// Sorted, disjoint half-open ranges with a region id each.
+    ranges: Vec<(u32, u32, usize)>,
+    exec: Vec<u64>,
+    miss: Vec<u64>,
+    entries: Vec<u32>,
+}
+
+/// Cap on recorded entries (procedure calls); programs in this repository
+/// make a few thousand to a few hundred thousand calls.
+const ENTRY_TRACE_CAP: usize = 8_000_000;
+
+impl RegionProfiler {
+    /// Creates a profiler over `regions` (`(start, end, id)` half-open byte
+    /// ranges; ids may repeat if a region is split).
+    ///
+    /// # Panics
+    ///
+    /// Panics if ranges overlap or are unsorted after normalization.
+    pub fn new(mut regions: Vec<(u32, u32, usize)>, region_count: usize) -> RegionProfiler {
+        regions.sort_by_key(|r| r.0);
+        for w in regions.windows(2) {
+            assert!(w[0].1 <= w[1].0, "profiler regions overlap");
+        }
+        assert!(
+            regions.iter().all(|r| r.2 < region_count),
+            "region id out of bounds"
+        );
+        RegionProfiler {
+            ranges: regions,
+            exec: vec![0; region_count],
+            miss: vec![0; region_count],
+            entries: Vec::new(),
+        }
+    }
+
+    fn lookup_range(&self, pc: u32) -> Option<(u32, usize)> {
+        let i = self.ranges.partition_point(|&(start, _, _)| start <= pc);
+        if i == 0 {
+            return None;
+        }
+        let (start, end, id) = self.ranges[i - 1];
+        (pc >= start && pc < end).then_some((start, id))
+    }
+
+    fn lookup(&self, pc: u32) -> Option<usize> {
+        self.lookup_range(pc).map(|(_, id)| id)
+    }
+
+    /// Records one committed instruction at `pc`.
+    pub fn record_exec(&mut self, pc: u32) {
+        if let Some((start, id)) = self.lookup_range(pc) {
+            self.exec[id] += 1;
+            if pc == start && self.entries.len() < ENTRY_TRACE_CAP {
+                self.entries.push(id as u32);
+            }
+        }
+    }
+
+    /// Records one I-cache miss at `pc`.
+    pub fn record_miss(&mut self, pc: u32) {
+        if let Some(id) = self.lookup(pc) {
+            self.miss[id] += 1;
+        }
+    }
+
+    /// Per-region committed instruction counts.
+    pub fn exec_counts(&self) -> &[u64] {
+        &self.exec
+    }
+
+    /// Per-region I-miss counts.
+    pub fn miss_counts(&self) -> &[u64] {
+        &self.miss
+    }
+
+    /// The region entry trace: region ids in the order their first
+    /// instruction executed (i.e. the dynamic call sequence when regions
+    /// are procedures). Truncated at a large cap; compare its length with
+    /// the sum of entry counts if exactness matters.
+    pub fn entry_trace(&self) -> &[u32] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attributes_to_correct_region() {
+        let mut p = RegionProfiler::new(vec![(0x100, 0x200, 0), (0x200, 0x280, 1)], 2);
+        p.record_exec(0x100);
+        p.record_exec(0x1fc);
+        p.record_exec(0x200);
+        p.record_miss(0x27c);
+        assert_eq!(p.exec_counts(), &[2, 1]);
+        assert_eq!(p.miss_counts(), &[0, 1]);
+    }
+
+    #[test]
+    fn out_of_range_ignored() {
+        let mut p = RegionProfiler::new(vec![(0x100, 0x200, 0)], 1);
+        p.record_exec(0xff);
+        p.record_exec(0x200);
+        assert_eq!(p.exec_counts(), &[0]);
+    }
+
+    #[test]
+    fn entry_trace_records_first_instruction_executions() {
+        let mut p = RegionProfiler::new(vec![(0x100, 0x200, 0), (0x200, 0x280, 1)], 2);
+        p.record_exec(0x100); // enter region 0
+        p.record_exec(0x104);
+        p.record_exec(0x200); // enter region 1
+        p.record_exec(0x100); // re-enter region 0
+        assert_eq!(p.entry_trace(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn split_region_shares_id() {
+        let mut p = RegionProfiler::new(vec![(0x0, 0x10, 0), (0x20, 0x30, 0)], 1);
+        p.record_exec(0x0);
+        p.record_exec(0x20);
+        assert_eq!(p.exec_counts(), &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_regions_rejected() {
+        let _ = RegionProfiler::new(vec![(0, 0x20, 0), (0x10, 0x30, 1)], 2);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests: the set-associative cache against a reference model.
+
+use std::collections::HashMap;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rtdc_sim::{Cache, CacheConfig};
+
+/// Reference model: per-set LRU lists of line addresses.
+struct ModelCache {
+    cfg: CacheConfig,
+    sets: HashMap<u32, Vec<u32>>, // most-recent at the back
+}
+
+impl ModelCache {
+    fn new(cfg: CacheConfig) -> ModelCache {
+        ModelCache { cfg, sets: HashMap::new() }
+    }
+
+    fn set_of(&self, addr: u32) -> u32 {
+        self.cfg.set_of(addr)
+    }
+
+    fn line(&self, addr: u32) -> u32 {
+        self.cfg.line_base(addr)
+    }
+
+    fn touch(&mut self, addr: u32) -> bool {
+        let line = self.line(addr);
+        let set = self.sets.entry(self.set_of(addr)).or_default();
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            set.remove(pos);
+            set.push(line);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fill(&mut self, addr: u32) {
+        let line = self.line(addr);
+        let assoc = self.cfg.assoc as usize;
+        let set = self.sets.entry(self.set_of(addr)).or_default();
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            set.remove(pos);
+        } else if set.len() == assoc {
+            set.remove(0); // evict LRU
+        }
+        set.push(line);
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Touch(u32),
+    Fill(u32),
+    WriteWord(u32),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    // Addresses in a few KB so sets collide often.
+    let addr = 0u32..0x2000;
+    vec(
+        prop_oneof![
+            addr.clone().prop_map(Op::Touch),
+            addr.clone().prop_map(Op::Fill),
+            addr.prop_map(|a| Op::WriteWord(a & !3)),
+        ],
+        1..400,
+    )
+}
+
+proptest! {
+    /// Hit/miss behaviour and LRU replacement match the reference model
+    /// for every geometry and op sequence.
+    #[test]
+    fn cache_matches_reference_model(
+        ops in ops(),
+        geometry in prop_oneof![
+            Just((256u32, 16u32, 1u32)),
+            Just((256, 16, 2)),
+            Just((512, 32, 2)),
+            Just((1024, 32, 4)),
+        ],
+    ) {
+        let cfg = CacheConfig::new(geometry.0, geometry.1, geometry.2);
+        let mut real = Cache::new(cfg);
+        let mut model = ModelCache::new(cfg);
+        let line = vec![0u8; cfg.line_bytes as usize];
+        for op in ops {
+            match op {
+                Op::Touch(a) => {
+                    prop_assert_eq!(real.touch(a), model.touch(a), "touch {:#x}", a);
+                }
+                Op::Fill(a) => {
+                    real.fill(cfg.line_base(a), &line);
+                    model.fill(a);
+                }
+                Op::WriteWord(a) => {
+                    real.write_word_alloc(a, 0xdead_beef);
+                    model.fill(a);
+                    model.touch(a);
+                }
+            }
+        }
+    }
+
+    /// A word written with `write_word_alloc` reads back until evicted,
+    /// and a line never aliases a different address.
+    #[test]
+    fn swic_written_words_read_back(addrs in vec(0u32..0x1000, 1..50)) {
+        let cfg = CacheConfig::new(1024, 32, 2);
+        let mut c = Cache::new(cfg);
+        for (i, &a) in addrs.iter().enumerate() {
+            let a = a & !3;
+            c.write_word_alloc(a, i as u32);
+            prop_assert_eq!(c.read_word(a), Some(i as u32));
+        }
+    }
+
+    /// `probe` never changes observable state.
+    #[test]
+    fn probe_is_pure(addrs in vec(0u32..0x1000, 1..60)) {
+        let cfg = CacheConfig::new(512, 16, 2);
+        let mut a = Cache::new(cfg);
+        let mut b = Cache::new(cfg);
+        let line = vec![7u8; 16];
+        for &addr in &addrs {
+            a.fill(cfg.line_base(addr), &line);
+            b.fill(cfg.line_base(addr), &line);
+            // Extra probes on `a` only.
+            for &p in &addrs {
+                let _ = a.probe(p);
+            }
+        }
+        for &addr in &addrs {
+            prop_assert_eq!(a.probe(addr), b.probe(addr));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Golden timing tests: exact cycle counts for small programs under the
+//! Table 1 baseline configuration.
+//!
+//! These lock the timing model against accidental drift. If a deliberate
+//! model change shifts a number here, update the constant *and* re-run the
+//! table/figure harnesses so EXPERIMENTS.md stays truthful.
+
+use rtdc_isa::asm::assemble;
+use rtdc_isa::Reg;
+use rtdc_sim::{map, Machine, SimConfig};
+
+fn run(src: &str) -> rtdc_sim::Stats {
+    let mut m = Machine::new(SimConfig::hpca2000_baseline());
+    let out = assemble(src, map::TEXT_BASE, map::DATA_BASE).expect("asm");
+    for (i, w) in out.encoded_text().iter().enumerate() {
+        m.mem_mut().write_u32(map::TEXT_BASE + 4 * i as u32, *w);
+    }
+    for (i, b) in out.data.iter().enumerate() {
+        m.mem_mut().write_u8(map::DATA_BASE + i as u32, *b);
+    }
+    m.set_pc(map::TEXT_BASE);
+    m.set_reg(Reg::SP, map::STACK_TOP);
+    m.run(100_000).expect("run");
+    *m.stats()
+}
+
+const EXIT: &str = "li $v0,10\nli $a0,0\nsyscall\n";
+
+#[test]
+fn straight_line_cost_is_base_plus_one_line_fill() {
+    // 8 instructions = exactly one 32B I-line: 16-cycle fill + 8 base.
+    let s = run("nop\nnop\nnop\nnop\nnop\n li $v0,10\nli $a0,0\nsyscall\n");
+    assert_eq!(s.insns, 8);
+    assert_eq!(s.cycles, 16 + 8);
+}
+
+#[test]
+fn crossing_a_line_boundary_pays_a_second_fill() {
+    // 9 instructions span two I-lines: 2 fills.
+    let s = run("nop\nnop\nnop\nnop\nnop\nnop\n li $v0,10\nli $a0,0\nsyscall\n");
+    assert_eq!(s.insns, 9);
+    assert_eq!(s.cycles, 2 * 16 + 9);
+}
+
+#[test]
+fn dcache_load_miss_costs_12_cycles() {
+    // la(2) + lw + exit(3) = 6 insns, one I-line, one D-line fill (16B = 12).
+    let s = run(&format!("la $t0,x\nlw $t1,0($t0)\n{EXIT}.data\nx: .word 1\n"));
+    assert_eq!(s.insns, 6);
+    assert_eq!(s.cycles, 16 + 12 + 6);
+}
+
+#[test]
+fn load_use_adds_exactly_one_bubble() {
+    let a = run(&format!("la $t0,x\nlw $t1,0($t0)\nadd $t2,$t1,$t1\n{EXIT}.data\nx: .word 1\n"));
+    let b = run(&format!("la $t0,x\nlw $t1,0($t0)\nadd $t2,$t3,$t3\n{EXIT}.data\nx: .word 1\n"));
+    assert_eq!(a.cycles, b.cycles + 1);
+}
+
+#[test]
+fn taken_loop_cycles_are_deterministic() {
+    // A 100-iteration counted loop: base cycles + fills + the predictor's
+    // warmup/exit mispredicts. Golden total locks branch timing.
+    let s = run(&format!(
+        "li $t0,100\nloop: add $t0,$t0,-1\nbgtz $t0,loop\n{EXIT}"
+    ));
+    // li + 100x(add,bgtz) + li,li,syscall = 204 committed instructions.
+    assert_eq!(s.insns, 204);
+    assert_eq!(s.branches, 100);
+    // 204 base + 16 I-fill + 2 mispredicts (first taken on a cold
+    // counter, final not-taken) x 2 cycles.
+    assert_eq!(s.mispredicts, 2);
+    assert_eq!(s.cycles, 204 + 16 + 4);
+}
+
+#[test]
+fn call_return_with_ras_costs_no_redirects() {
+    let s = run(&format!("jal f\n{EXIT}f: jr $ra\n"));
+    assert_eq!(s.reg_jump_misses, 0);
+    // 6 insns (jal, 3 exit, jr... = 5 insns total: jal,li,li,syscall,jr)
+    assert_eq!(s.insns, 5);
+    assert_eq!(s.cycles, 16 + 5);
+}
+
+#[test]
+fn mult_then_immediate_mflo_stalls_to_latency() {
+    let near = run(&format!("li $t0,3\nli $t1,4\nmult $t0,$t1\nmflo $t2\n{EXIT}"));
+    let far = run(&format!(
+        "li $t0,3\nli $t1,4\nmult $t0,$t1\nnop\nnop\nnop\nmflo $t2\n{EXIT}"
+    ));
+    // With mult_latency=3: immediate mflo stalls 2 extra cycles (one
+    // cycle already elapsed issuing mflo's base cycle).
+    assert_eq!(near.stalls.hilo, 2);
+    assert_eq!(far.stalls.hilo, 0);
+}
+
+#[test]
+fn swic_costs_its_penalty_and_writes_the_cache() {
+    let s = run(&format!("li $t0,0x2000\nli $t1,77\nswic $t1,0($t0)\n{EXIT}"));
+    assert_eq!(s.swics, 1);
+    assert_eq!(s.stalls.swic, 1);
+    assert_eq!(s.cycles, 16 + 6 + 1);
+}
+
+#[test]
+fn store_miss_then_hit_in_same_line() {
+    let s = run(&format!(
+        "la $t0,x\nsw $0,0($t0)\nsw $0,4($t0)\nsw $0,8($t0)\n{EXIT}.data\nx: .space 16\n"
+    ));
+    assert_eq!(s.daccesses, 3);
+    assert_eq!(s.dmisses, 1); // 16B D-line holds all three words
+    assert_eq!(s.cycles, 16 + 12 + 8);
+}

@@ -1,0 +1,348 @@
+//! Real, hand-written programs with known answers.
+//!
+//! The synthetic benchmark analogs reproduce the paper's *statistics*;
+//! these small real algorithms validate the whole stack's *semantics*:
+//! each computes a value with an independently known answer (a CRC, a
+//! checksum of a sorted array, a matrix product) and prints it, so a
+//! single mis-decompressed instruction anywhere in the
+//! compress→miss→handler→swic→fetch pipeline is caught against ground
+//! truth, not just against the native run.
+//!
+//! Each program is written as assembly procedure bodies with explicit
+//! cross-procedure calls, so they participate in late linking and
+//! selective compression like any benchmark.
+
+use rtdc_isa::asm::assemble;
+use rtdc_isa::program::{ObjInsn, ObjectProgram, ProcId, Procedure};
+use rtdc_sim::map;
+
+/// Assembles one procedure body (branches local, no cross-proc calls).
+///
+/// # Panics
+///
+/// Panics on invalid assembly — these sources are fixed program text.
+fn body(src: &str) -> Vec<ObjInsn> {
+    let full = format!("{src}\n.data\n{DATA_LAYOUT}");
+    let out = assemble(&full, 0, map::DATA_BASE).expect("program body assembles");
+    // Absolute jumps would encode addresses relative to the assembly base
+    // and silently break when the procedure is re-placed at link time —
+    // use PC-relative branches (`b label`) inside procedure bodies.
+    assert!(
+        !out.text.iter().any(|i| matches!(i, rtdc_isa::Instruction::J { .. } | rtdc_isa::Instruction::Jal { .. })),
+        "procedure bodies must not contain absolute jumps"
+    );
+    out.text.into_iter().map(ObjInsn::Insn).collect()
+}
+
+/// Shared `.data` layout for every program in this module: a 64-word
+/// array, a 16-word scratch area, and two 4x4 matrices.
+const DATA_LAYOUT: &str = "\
+array:   .space 256
+scratch: .space 64
+mat_a:   .space 64
+mat_b:   .space 64
+mat_c:   .space 64
+";
+
+/// Standard epilogue: print `$s1` as an integer, newline, exit with the
+/// low 7 bits.
+fn epilogue() -> Vec<ObjInsn> {
+    body(
+        "move $a0,$s1\nli $v0,1\nsyscall\n\
+         li $a0,10\nli $v0,11\nsyscall\n\
+         andi $a0,$s1,0x7f\nli $v0,10\nsyscall\n",
+    )
+}
+
+/// Insertion sort of a 64-element pseudorandom array, then a weighted
+/// checksum of the sorted result.
+///
+/// Procedures: `main` (fill + checksum), `sort` (insertion sort),
+/// `next_rand` (a 32-bit xorshift step).
+pub fn sort_program() -> ObjectProgram {
+    // main: fill array with xorshift values, call sort, checksum.
+    let mut main = Vec::new();
+    main.extend(body(
+        "li $s0,64\n\
+         li $s2,0x12345678\n\
+         la $s3,array\n",
+    ));
+    // fill loop: s2 = next_rand(s2); store
+    let fill_top = main.len();
+    main.extend(body("move $a0,$s2\n"));
+    main.push(ObjInsn::Call(ProcId(2))); // next_rand
+    main.extend(body(
+        "move $s2,$v0\n\
+         sw $s2,0($s3)\n\
+         add $s3,$s3,4\n\
+         add $s0,$s0,-1\n",
+    ));
+    {
+        let pos = main.len() + 1;
+        let off = fill_top as i64 - pos as i64;
+        main.extend(body(&format!("bgtz $s0,{off}\n")));
+    }
+    main.push(ObjInsn::Call(ProcId(1))); // sort
+    // checksum: s1 = sum(i * a[i])
+    main.extend(body(
+        "li $s1,0\nli $s0,0\nla $s3,array\n\
+         ck: lw $t0,0($s3)\n\
+         mult $t0,$s0\n\
+         mflo $t0\n\
+         add $s1,$s1,$t0\n\
+         add $s3,$s3,4\n\
+         add $s0,$s0,1\n\
+         li $t1,64\n\
+         bne $s0,$t1,ck\n",
+    ));
+    main.extend(epilogue());
+
+    // sort: insertion sort over array[0..64]
+    let sort = body(
+        "la $t9,array\n\
+         li $t0,1\n              # i
+outer:   sll $t1,$t0,2\n\
+         add $t1,$t1,$t9\n\
+         lw $t2,0($t1)\n         # key
+         move $t3,$t0\n          # j
+inner:   blez $t3,place\n\
+         sll $t4,$t3,2\n\
+         add $t4,$t4,$t9\n\
+         lw $t5,-4($t4)\n        # a[j-1]
+         slt $t6,$t2,$t5\n       # key < a[j-1]?
+         beq $t6,$0,place\n\
+         sw $t5,0($t4)\n         # shift right
+         add $t3,$t3,-1\n\
+         b inner\n
+place:   sll $t4,$t3,2\n\
+         add $t4,$t4,$t9\n\
+         sw $t2,0($t4)\n\
+         add $t0,$t0,1\n\
+         li $t7,64\n\
+         bne $t0,$t7,outer\n\
+         jr $ra\n",
+    );
+
+    // next_rand: xorshift32 (a0 -> v0)
+    let next_rand = body(
+        "move $v0,$a0\n\
+         sll $t0,$v0,13\nxor $v0,$v0,$t0\n\
+         srl $t0,$v0,17\nxor $v0,$v0,$t0\n\
+         sll $t0,$v0,5\nxor $v0,$v0,$t0\n\
+         jr $ra\n",
+    );
+
+    ObjectProgram {
+        name: "sort".into(),
+        procedures: vec![
+            Procedure::new("main", main),
+            Procedure::new("sort", sort),
+            Procedure::new("next_rand", next_rand),
+        ],
+        data: vec![0; 512],
+        entry: ProcId(0),
+        addr_tables: Vec::new(),
+    }
+}
+
+/// Bitwise CRC-32 (polynomial 0xEDB88320) over the bytes 0..=255.
+///
+/// The expected output is the standard CRC-32 of that byte sequence:
+/// `0x29058C73` printed as a signed decimal (688229491).
+pub fn crc32_program() -> ObjectProgram {
+    let mut main = Vec::new();
+    main.extend(body(
+        "li $s0,0\n               # byte value
+         li $s1,-1\n              # crc = 0xFFFFFFFF",
+    ));
+    let loop_top = main.len();
+    main.extend(body("move $a0,$s1\nmove $a1,$s0\n"));
+    main.push(ObjInsn::Call(ProcId(1))); // crc_byte
+    main.extend(body("move $s1,$v0\nadd $s0,$s0,1\nli $t0,256\n"));
+    {
+        let pos = main.len() + 1;
+        let off = loop_top as i64 - pos as i64;
+        main.extend(body(&format!("bne $s0,$t0,{off}\n")));
+    }
+    main.extend(body("nor $s1,$s1,$0\n")); // crc = ~crc
+    main.extend(epilogue());
+
+    // crc_byte(crc in a0, byte in a1) -> v0
+    let crc_byte = body(
+        "xor $v0,$a0,$a1\n\
+         li $t0,8\n\
+         lui $t1,0xedb8\n\
+         ori $t1,$t1,0x8320\n\
+bit:     andi $t2,$v0,1\n\
+         srl $v0,$v0,1\n\
+         beq $t2,$0,skip\n\
+         xor $v0,$v0,$t1\n\
+skip:    add $t0,$t0,-1\n\
+         bgtz $t0,bit\n\
+         jr $ra\n",
+    );
+
+    ObjectProgram {
+        name: "crc32".into(),
+        procedures: vec![Procedure::new("main", main), Procedure::new("crc_byte", crc_byte)],
+        data: vec![0; 512],
+        entry: ProcId(0),
+        addr_tables: Vec::new(),
+    }
+}
+
+/// 4x4 integer matrix multiply with known operands; prints the trace of
+/// the product matrix.
+pub fn matmul_program() -> ObjectProgram {
+    let mut main = Vec::new();
+    // Fill A[i][j] = i + 2j + 1, B[i][j] = 3i - j + 2 (all mod arithmetic).
+    main.extend(body(
+        "la $t9,mat_a\nla $t8,mat_b\nli $t0,0\n\
+fill:    srl $t1,$t0,2\n          # i
+         andi $t2,$t0,3\n          # j
+         sll $t3,$t2,1\n\
+         add $t3,$t3,$t1\n\
+         add $t3,$t3,1\n           # a = i + 2j + 1
+         sll $t4,$t0,2\n\
+         add $t5,$t9,$t4\n\
+         sw $t3,0($t5)\n\
+         sll $t6,$t1,1\n\
+         add $t6,$t6,$t1\n         # 3i
+         sub $t6,$t6,$t2\n\
+         add $t6,$t6,2\n           # b = 3i - j + 2
+         add $t5,$t8,$t4\n\
+         sw $t6,0($t5)\n\
+         add $t0,$t0,1\n\
+         li $t7,16\n\
+         bne $t0,$t7,fill\n",
+    ));
+    main.push(ObjInsn::Call(ProcId(1))); // multiply
+    // trace of C
+    main.extend(body(
+        "li $s1,0\nla $t9,mat_c\nli $t0,0\n\
+tr:      sll $t1,$t0,2\n\
+         sll $t2,$t0,4\n\
+         add $t2,$t2,$t1\n         # 20*i bytes = row i, col i
+         add $t3,$t9,$t2\n\
+         lw $t4,0($t3)\n\
+         add $s1,$s1,$t4\n\
+         add $t0,$t0,1\n\
+         li $t5,4\n\
+         bne $t0,$t5,tr\n",
+    ));
+    main.extend(epilogue());
+
+    // multiply: C = A*B, straightforward triple loop.
+    let multiply = body(
+        "la $t9,mat_a\nla $t8,mat_b\nla $t7,mat_c\n\
+         li $t0,0\n                # i
+mi:      li $t1,0\n                # j
+mj:      li $t2,0\n                # k
+         li $t6,0\n                # acc
+mk:      sll $t3,$t0,4\n\
+         sll $t4,$t2,2\n\
+         add $t3,$t3,$t4\n\
+         lw $t5,($t3+$t9)\n        # A[i][k]
+         sll $t3,$t2,4\n\
+         sll $t4,$t1,2\n\
+         add $t3,$t3,$t4\n\
+         lw $t4,($t3+$t8)\n        # B[k][j]
+         mult $t5,$t4\n\
+         mflo $t5\n\
+         add $t6,$t6,$t5\n\
+         add $t2,$t2,1\n\
+         li $t5,4\n\
+         bne $t2,$t5,mk\n\
+         sll $t3,$t0,4\n\
+         sll $t4,$t1,2\n\
+         add $t3,$t3,$t4\n\
+         add $t3,$t3,$t7\n\
+         sw $t6,0($t3)\n\
+         add $t1,$t1,1\n\
+         li $t5,4\n\
+         bne $t1,$t5,mj\n\
+         add $t0,$t0,1\n\
+         li $t5,4\n\
+         bne $t0,$t5,mi\n\
+         jr $ra\n",
+    );
+
+    ObjectProgram {
+        name: "matmul".into(),
+        procedures: vec![Procedure::new("main", main), Procedure::new("multiply", multiply)],
+        data: vec![0; 512],
+        entry: ProcId(0),
+        addr_tables: Vec::new(),
+    }
+}
+
+/// Naive substring search: counts occurrences of a 3-byte pattern in a
+/// generated byte string.
+pub fn strsearch_program() -> ObjectProgram {
+    let mut main = Vec::new();
+    // Fill 200 bytes of scratch-backed text with (i*7+3)&0x0f, pattern at
+    // array: the bytes [10,1,8] appear periodically by construction.
+    main.extend(body(
+        "la $t9,array\nli $t0,0\n\
+fill:    sll $t1,$t0,1\n\
+         add $t1,$t1,$t0\n\
+         sll $t2,$t0,2\n\
+         add $t1,$t1,$t2\n        # 7*i
+         add $t1,$t1,3\n\
+         andi $t1,$t1,0x0f\n\
+         add $t3,$t9,$t0\n\
+         sb $t1,0($t3)\n\
+         add $t0,$t0,1\n\
+         li $t4,200\n\
+         bne $t0,$t4,fill\n",
+    ));
+    main.push(ObjInsn::Call(ProcId(1))); // search
+    main.extend(body("move $s1,$v0\n"));
+    main.extend(epilogue());
+
+    // search: count positions where text[i..i+3] == [10, 1, 8].
+    let search = body(
+        "la $t9,array\nli $v0,0\nli $t0,0\n\
+s1:      add $t1,$t9,$t0\n\
+         lbu $t2,0($t1)\n\
+         li $t3,10\n\
+         bne $t2,$t3,s2\n\
+         lbu $t2,1($t1)\n\
+         li $t3,1\n\
+         bne $t2,$t3,s2\n\
+         lbu $t2,2($t1)\n\
+         li $t3,8\n\
+         bne $t2,$t3,s2\n\
+         add $v0,$v0,1\n\
+s2:      add $t0,$t0,1\n\
+         li $t4,197\n\
+         bne $t0,$t4,s1\n\
+         jr $ra\n",
+    );
+
+    ObjectProgram {
+        name: "strsearch".into(),
+        procedures: vec![Procedure::new("main", main), Procedure::new("search", search)],
+        data: vec![0; 512],
+        entry: ProcId(0),
+        addr_tables: Vec::new(),
+    }
+}
+
+/// All known-answer programs.
+pub fn all_programs() -> Vec<ObjectProgram> {
+    vec![sort_program(), crc32_program(), matmul_program(), strsearch_program()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programs_are_well_formed() {
+        for p in all_programs() {
+            assert!(p.total_insns() > 20, "{}", p.name);
+            assert!(!p.procedures.is_empty());
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Umbrella crate for the `rtdc` reproduction of *"Reducing Code Size with
+//! Run-time Decompression"* (Lefurgy, Piccininni, Mudge — HPCA 2000).
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can use a single dependency:
+//!
+//! * [`isa`] — the 32-bit MIPS-like ISA with `swic`/`iret`/`mfc0`.
+//! * [`sim`] — the cycle-level embedded-core simulator.
+//! * [`compress`] — dictionary, CodePack-style, and LZRW1 compression.
+//! * [`core`] — compressed images, software decompression handlers,
+//!   selective compression, and the experiment runner.
+//! * [`workloads`] — synthetic stand-ins for the paper's benchmark suite.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+#![forbid(unsafe_code)]
+
+pub use rtdc as core;
+pub use rtdc_compress as compress;
+pub use rtdc_isa as isa;
+pub use rtdc_sim as sim;
+pub use rtdc_workloads as workloads;
