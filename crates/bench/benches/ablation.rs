@@ -31,14 +31,9 @@ fn main() {
                 let orig = build_compressed(&program, Scheme::Dictionary, false, &sel).unwrap();
                 let orig_run = run_image(&orig, cfg, MAX_INSNS).unwrap();
                 let order = placement_hot_first(&profile, strategy);
-                let hot = build_compressed_ordered(
-                    &program,
-                    Scheme::Dictionary,
-                    false,
-                    &sel,
-                    &order,
-                )
-                .unwrap();
+                let hot =
+                    build_compressed_ordered(&program, Scheme::Dictionary, false, &sel, &order)
+                        .unwrap();
                 let hot_run = run_image(&hot, cfg, MAX_INSNS).unwrap();
                 assert_eq!(orig_run.output, native.output);
                 assert_eq!(hot_run.output, native.output);

@@ -5,42 +5,66 @@
 //! without the second register file. Each data point is the benchmark's
 //! native-run miss ratio at that cache size against the compressed run's
 //! slowdown — the scatter the paper plots.
+//!
+//! Benchmarks fan out across worker threads (`--jobs N` / `RTDC_JOBS`,
+//! default: available parallelism); each benchmark's block of lines is
+//! built by its worker and printed in benchmark order, so the output is
+//! byte-identical for any job count.
+
+use std::fmt::Write as _;
 
 use rtdc::prelude::*;
-use rtdc_bench::experiments::{pct, run_native, run_scheme, MAX_INSNS};
+use rtdc_bench::experiments::{pct, run_native, run_scheme};
+use rtdc_bench::jobs::{jobs_from_env, parallel_map};
 use rtdc_sim::SimConfig;
-use rtdc_workloads::{all_benchmarks, generate_cached};
+use rtdc_workloads::{all_benchmarks, generate_cached, BenchmarkSpec};
+
+fn bench_block(spec: &BenchmarkSpec, scheme: Scheme, sizes: &[u32]) -> String {
+    let program = generate_cached(spec);
+    let all = Selection::all_compressed(program.procedures.len());
+    let mut out = String::new();
+    for &size in sizes {
+        let cfg = SimConfig::hpca2000_baseline().with_icache_size(size);
+        let native = run_native(spec, cfg);
+        let base = native.stats.cycles as f64;
+        let plain = run_scheme(spec, scheme, false, &all, cfg);
+        let rf = run_scheme(spec, scheme, true, &all, cfg);
+        assert_eq!(plain.output, native.output, "{} {scheme:?}", spec.name);
+        writeln!(
+            out,
+            "{:<12} {:>5}K {:>12} {:>10.2} {:>10.2}",
+            spec.name,
+            size / 1024,
+            pct(native.stats.imiss_ratio()),
+            plain.stats.cycles as f64 / base,
+            rf.stats.cycles as f64 / base,
+        )
+        .expect("write to string");
+    }
+    out
+}
 
 fn main() {
     println!("== Figure 4: Effect of I-cache miss ratio on execution time ==\n");
     let sizes = [4 * 1024u32, 16 * 1024, 64 * 1024];
+    let specs = all_benchmarks();
+    let jobs = jobs_from_env();
 
-    for (panel, scheme) in [("(a) Dictionary", Scheme::Dictionary), ("(b) CodePack", Scheme::CodePack)] {
+    for (panel, scheme) in [
+        ("(a) Dictionary", Scheme::Dictionary),
+        ("(b) CodePack", Scheme::CodePack),
+    ] {
         println!("{panel}");
         println!(
             "{:<12} {:>6} {:>12} {:>10} {:>10}",
-            "benchmark", "I$", "miss ratio", scheme.label(), format!("{}+RF", scheme.label())
+            "benchmark",
+            "I$",
+            "miss ratio",
+            scheme.label(),
+            format!("{}+RF", scheme.label())
         );
-        for spec in all_benchmarks() {
-            let program = generate_cached(&spec);
-            let all = Selection::all_compressed(program.procedures.len());
-            for &size in &sizes {
-                let cfg = SimConfig::hpca2000_baseline().with_icache_size(size);
-                let native = run_native(&spec, cfg);
-                let base = native.stats.cycles as f64;
-                let plain = run_scheme(&spec, scheme, false, &all, cfg);
-                let rf = run_scheme(&spec, scheme, true, &all, cfg);
-                assert_eq!(plain.output, native.output, "{} {scheme:?}", spec.name);
-                let _ = MAX_INSNS;
-                println!(
-                    "{:<12} {:>5}K {:>12} {:>10.2} {:>10.2}",
-                    spec.name,
-                    size / 1024,
-                    pct(native.stats.imiss_ratio()),
-                    plain.stats.cycles as f64 / base,
-                    rf.stats.cycles as f64 / base,
-                );
-            }
+        for block in parallel_map(&specs, jobs, |spec| bench_block(spec, scheme, &sizes)) {
+            print!("{block}");
         }
         println!();
     }

@@ -1,16 +1,42 @@
-//! Criterion micro-benchmarks of the pure algorithm kernels: compression
-//! and decompression throughput for the three algorithms, and raw
-//! simulator speed. These are the implementation-performance numbers
-//! (host-side), complementing the simulated-machine results of the
-//! table/figure harnesses.
+//! Micro-benchmarks of the pure algorithm kernels: compression and
+//! decompression throughput for the three algorithms, and raw simulator
+//! speed. These are the implementation-performance numbers (host-side),
+//! complementing the simulated-machine results of the table/figure
+//! harnesses.
+//!
+//! Uses a tiny self-contained timing harness (median of repeated runs)
+//! instead of criterion so the workspace builds with no network access.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Instant;
+
 use rtdc::prelude::*;
 use rtdc_compress::codepack::CodePackCompressed;
 use rtdc_compress::dictionary::DictionaryCompressed;
 use rtdc_compress::lzrw1;
 use rtdc_sim::SimConfig;
 use rtdc_workloads::{generate, spec};
+
+/// Times `f` over `iters` runs and reports the median per-run time.
+fn bench<T>(name: &str, throughput_bytes: Option<u64>, iters: usize, mut f: impl FnMut() -> T) {
+    // One warm-up run, then timed runs.
+    std::hint::black_box(f());
+    let mut samples: Vec<f64> = (0..iters.max(3))
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+    match throughput_bytes {
+        Some(bytes) => {
+            let mibps = bytes as f64 / median / (1024.0 * 1024.0);
+            println!("{name:<28} {:>10.3} ms   {mibps:>9.1} MiB/s", median * 1e3);
+        }
+        None => println!("{name:<28} {:>10.3} ms", median * 1e3),
+    }
+}
 
 /// A realistic instruction-word stream: the pegwit analog's linked text.
 fn sample_text() -> Vec<u32> {
@@ -23,50 +49,44 @@ fn sample_text() -> Vec<u32> {
         .collect()
 }
 
-fn bench_compressors(c: &mut Criterion) {
+fn bench_compressors() {
     let words = sample_text();
     let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
-    let mut g = c.benchmark_group("compress");
-    g.throughput(Throughput::Bytes(bytes.len() as u64));
-    g.bench_function(BenchmarkId::new("dictionary", words.len()), |b| {
-        b.iter(|| DictionaryCompressed::compress(&words).unwrap())
+    let n = bytes.len() as u64;
+    println!("== compress ({} words) ==", words.len());
+    bench("dictionary", Some(n), 10, || {
+        DictionaryCompressed::compress(&words).unwrap()
     });
-    g.bench_function(BenchmarkId::new("codepack", words.len()), |b| {
-        b.iter(|| CodePackCompressed::compress(&words))
+    bench("codepack", Some(n), 10, || {
+        CodePackCompressed::compress(&words)
     });
-    g.bench_function(BenchmarkId::new("lzrw1", words.len()), |b| {
-        b.iter(|| lzrw1::compress(&bytes))
-    });
-    g.finish();
+    bench("lzrw1", Some(n), 10, || lzrw1::compress(&bytes));
 
     let dict = DictionaryCompressed::compress(&words).unwrap();
     let cp = CodePackCompressed::compress(&words);
     let lz = lzrw1::compress(&bytes);
-    let mut g = c.benchmark_group("decompress");
-    g.throughput(Throughput::Bytes(bytes.len() as u64));
-    g.bench_function("dictionary", |b| b.iter(|| dict.decompress()));
-    g.bench_function("codepack", |b| b.iter(|| cp.decompress()));
-    g.bench_function("lzrw1", |b| b.iter(|| lzrw1::decompress(&lz).unwrap()));
-    g.finish();
+    println!("== decompress ==");
+    bench("dictionary", Some(n), 10, || dict.decompress());
+    bench("codepack", Some(n), 10, || cp.decompress());
+    bench("lzrw1", Some(n), 10, || lzrw1::decompress(&lz).unwrap());
 }
 
-fn bench_simulator(c: &mut Criterion) {
+fn run_100k(image: &MemoryImage, cfg: SimConfig) -> u64 {
+    let mut m = load_image(image, cfg);
+    while m.stats().insns < 100_000 {
+        if !matches!(m.step().expect("step"), rtdc_sim::Step::Continue) {
+            break;
+        }
+    }
+    m.stats().cycles
+}
+
+fn bench_simulator() {
     let program = generate(&spec::pegwit());
     let native = build_native(&program).expect("native build");
     let cfg = SimConfig::hpca2000_baseline();
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(10);
-    g.bench_function("native_100k_insns", |b| {
-        b.iter(|| {
-            let mut m = load_image(&native, cfg);
-            while m.stats().insns < 100_000 {
-                if !matches!(m.step().expect("step"), rtdc_sim::Step::Continue) {
-                    break;
-                }
-            }
-            m.stats().cycles
-        })
-    });
+    println!("== simulator (100k insns) ==");
+    bench("native_100k_insns", None, 10, || run_100k(&native, cfg));
     let compressed = build_compressed(
         &program,
         Scheme::Dictionary,
@@ -74,19 +94,12 @@ fn bench_simulator(c: &mut Criterion) {
         &Selection::all_compressed(program.procedures.len()),
     )
     .expect("compressed build");
-    g.bench_function("dictionary_100k_insns", |b| {
-        b.iter(|| {
-            let mut m = load_image(&compressed, cfg);
-            while m.stats().insns < 100_000 {
-                if !matches!(m.step().expect("step"), rtdc_sim::Step::Continue) {
-                    break;
-                }
-            }
-            m.stats().cycles
-        })
+    bench("dictionary_100k_insns", None, 10, || {
+        run_100k(&compressed, cfg)
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_compressors, bench_simulator);
-criterion_main!(benches);
+fn main() {
+    bench_compressors();
+    bench_simulator();
+}

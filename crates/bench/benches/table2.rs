@@ -5,8 +5,13 @@
 //! dictionary/CodePack/LZRW1 compression ratios. Paper values are printed
 //! alongside for comparison (absolute dynamic counts are scaled down by
 //! design; see EXPERIMENTS.md).
+//!
+//! Benchmarks fan out across worker threads (`--jobs N` / `RTDC_JOBS`,
+//! default: available parallelism); rows print in benchmark order, so the
+//! output is byte-identical for any job count.
 
-use rtdc_bench::experiments::{pct, table2_row};
+use rtdc_bench::experiments::{pct, table2_rows};
+use rtdc_bench::jobs::jobs_from_env;
 use rtdc_sim::SimConfig;
 use rtdc_workloads::all_benchmarks;
 
@@ -26,8 +31,9 @@ fn main() {
         "CP ratio",
         "LZRW1 ratio",
     );
-    for spec in all_benchmarks() {
-        let r = table2_row(&spec, cfg);
+    let specs = all_benchmarks();
+    let rows = table2_rows(&specs, cfg, jobs_from_env());
+    for (spec, r) in specs.iter().zip(&rows) {
         let p = spec.paper;
         println!(
             "{:<12} {:>10} {:>7} ({:>6}) {:>11} {:>11} {:>11} {:>7} ({:>6}) {:>7} ({:>6}) {:>7} ({:>6})",

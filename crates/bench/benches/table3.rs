@@ -4,8 +4,13 @@
 //! with second register file (D+RF), CodePack (CP), and CodePack with
 //! second register file (CP+RF), all fully compressed. Every compressed
 //! run is checked for architectural equivalence against the native run.
+//!
+//! Benchmarks fan out across worker threads (`--jobs N` / `RTDC_JOBS`,
+//! default: available parallelism); rows print in benchmark order, so the
+//! output is byte-identical for any job count.
 
-use rtdc_bench::experiments::table3_row;
+use rtdc_bench::experiments::table3_rows;
+use rtdc_bench::jobs::jobs_from_env;
 use rtdc_sim::SimConfig;
 use rtdc_workloads::all_benchmarks;
 
@@ -17,8 +22,9 @@ fn main() {
         "{:<12} {:>14} {:>15} {:>15} {:>15} {:>15}",
         "benchmark", "native cycles", "D", "D+RF", "CP", "CP+RF"
     );
-    for spec in all_benchmarks() {
-        let r = table3_row(&spec, cfg);
+    let specs = all_benchmarks();
+    let rows = table3_rows(&specs, cfg, jobs_from_env());
+    for (spec, r) in specs.iter().zip(&rows) {
         let p = spec.paper;
         println!(
             "{:<12} {:>14} {:>7.2} ({:>5.2}) {:>7.2} ({:>5.2}) {:>7.2} ({:>5.2}) {:>7.2} ({:>5.2})",

@@ -10,7 +10,17 @@ fn main() {
     let only: Option<String> = std::env::args().nth(1);
     println!(
         "{:<12} {:>9} {:>9} | {:>7} {:>7} | {:>6} {:>6} | {:>6} {:>6} | {:>6} {:>6}",
-        "bench", "dyn(K)", "origKB", "miss%", "paper%", "dict%", "paper", "cp%", "paper", "lz%", "paper"
+        "bench",
+        "dyn(K)",
+        "origKB",
+        "miss%",
+        "paper%",
+        "dict%",
+        "paper",
+        "cp%",
+        "paper",
+        "lz%",
+        "paper"
     );
     for spec in all_benchmarks() {
         if let Some(f) = &only {

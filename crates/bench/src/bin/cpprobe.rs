@@ -41,14 +41,8 @@ fn main() {
         let mut counts: Vec<u64> = freq.values().copied().collect();
         counts.sort_unstable_by(|a, b| b.cmp(a));
         let total: u64 = counts.iter().sum();
-        let cum = |k: usize| -> f64 {
-            counts.iter().take(k).sum::<u64>() as f64 / total as f64
-        };
-        let zeros = if zero_special {
-            n as u64 - total
-        } else {
-            0
-        };
+        let cum = |k: usize| -> f64 { counts.iter().take(k).sum::<u64>() as f64 / total as f64 };
+        let zeros = if zero_special { n as u64 - total } else { 0 };
         println!(
             "{label}: {} distinct, zero {:.1}%, top16 {:.1}%, top144 {:.1}%, top2192 {:.1}%, top4368 {:.1}%",
             counts.len(),

@@ -1,0 +1,115 @@
+//! `simperf` — simulator-throughput baseline (sim-MIPS).
+//!
+//! Runs every benchmark analog natively and under the four compressed
+//! schemes, then prints a hand-rolled JSON report of simulated
+//! instructions, host wall-clock, and sim-MIPS (millions of simulated
+//! instructions per host second) per scheme and per benchmark.
+//!
+//! Regenerate the checked-in baseline with:
+//!
+//! ```sh
+//! cargo run --release -p rtdc-bench --bin simperf > BENCH_sim.json
+//! ```
+//!
+//! Runs are strictly serial — throughput numbers measured while other
+//! workers compete for the same cores would understate the simulator, so
+//! this binary deliberately does not fan out.
+
+use std::time::Duration;
+
+use rtdc::prelude::*;
+use rtdc_bench::experiments::{run_native, run_scheme};
+use rtdc_sim::SimConfig;
+use rtdc_workloads::{all_benchmarks, generate_cached};
+
+struct Cell {
+    name: &'static str,
+    scheme: &'static str,
+    insns: u64,
+    wall: Duration,
+    mips: f64,
+}
+
+fn json_row(indent: &str, c: &Cell) -> String {
+    format!(
+        "{indent}{{\"name\": \"{}\", \"scheme\": \"{}\", \"insns\": {}, \"wall_secs\": {:.4}, \"sim_mips\": {:.2}}}",
+        c.name,
+        c.scheme,
+        c.insns,
+        c.wall.as_secs_f64(),
+        c.mips
+    )
+}
+
+fn main() {
+    let cfg = SimConfig::hpca2000_baseline();
+    let mut cells: Vec<Cell> = Vec::new();
+
+    for spec in all_benchmarks() {
+        let program = generate_cached(&spec);
+        let all = Selection::all_compressed(program.procedures.len());
+        let native = run_native(&spec, cfg);
+        cells.push(Cell {
+            name: spec.name,
+            scheme: "native",
+            insns: native.stats.insns,
+            wall: native.wall,
+            mips: native.sim_mips(),
+        });
+        for (label, scheme, rf) in [
+            ("d", Scheme::Dictionary, false),
+            ("d+rf", Scheme::Dictionary, true),
+            ("cp", Scheme::CodePack, false),
+            ("cp+rf", Scheme::CodePack, true),
+        ] {
+            let r = run_scheme(&spec, scheme, rf, &all, cfg);
+            assert_eq!(r.output, native.output, "{} {label}: diverged", spec.name);
+            cells.push(Cell {
+                name: spec.name,
+                scheme: label,
+                insns: r.stats.insns,
+                wall: r.wall,
+                mips: r.sim_mips(),
+            });
+        }
+        eprintln!("{}: done", spec.name);
+    }
+
+    // Per-scheme aggregates (total simulated work / total host time).
+    let schemes = ["native", "d", "d+rf", "cp", "cp+rf"];
+    let totals: Vec<Cell> = schemes
+        .iter()
+        .map(|&s| {
+            let (mut insns, mut wall) = (0u64, Duration::ZERO);
+            for c in cells.iter().filter(|c| c.scheme == s) {
+                insns += c.insns;
+                wall += c.wall;
+            }
+            let secs = wall.as_secs_f64();
+            Cell {
+                name: "all",
+                scheme: s,
+                insns,
+                wall,
+                mips: if secs > 0.0 {
+                    insns as f64 / secs / 1e6
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+
+    println!("{{");
+    println!("  \"note\": \"sim-MIPS baseline; wall-clock numbers are host-dependent\",");
+    println!("  \"config\": \"hpca2000_baseline (16KB I-cache, decode cache on)\",");
+    println!("  \"schemes\": [");
+    let rows: Vec<String> = totals.iter().map(|c| json_row("    ", c)).collect();
+    println!("{}", rows.join(",\n"));
+    println!("  ],");
+    println!("  \"benchmarks\": [");
+    let rows: Vec<String> = cells.iter().map(|c| json_row("    ", c)).collect();
+    println!("{}", rows.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

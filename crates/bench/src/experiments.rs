@@ -121,6 +121,18 @@ pub fn table3_row(spec: &BenchmarkSpec, cfg: SimConfig) -> Table3Row {
     }
 }
 
+/// Measures every Table 2 row, fanning the benchmarks out across `jobs`
+/// workers. Rows come back in the order of `specs`, so output formatting
+/// is identical for any job count.
+pub fn table2_rows(specs: &[BenchmarkSpec], cfg: SimConfig, jobs: usize) -> Vec<Table2Row> {
+    crate::jobs::parallel_map(specs, jobs, |spec| table2_row(spec, cfg))
+}
+
+/// Measures every Table 3 row across `jobs` workers, in `specs` order.
+pub fn table3_rows(specs: &[BenchmarkSpec], cfg: SimConfig, jobs: usize) -> Vec<Table3Row> {
+    crate::jobs::parallel_map(specs, jobs, |spec| table3_row(spec, cfg))
+}
+
 /// Formats a ratio as a percentage with one decimal.
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", 100.0 * x)

@@ -27,8 +27,14 @@ fn main() -> ExitCode {
         eprintln!("usage: rtdc-asm <input.s> [--out code.bin] [--text-base ADDR] [--data-base ADDR] [--symbols]");
         return ExitCode::FAILURE;
     };
-    let text_base = args.opt("text-base").and_then(parse_addr).unwrap_or(rtdc_sim::map::TEXT_BASE);
-    let data_base = args.opt("data-base").and_then(parse_addr).unwrap_or(rtdc_sim::map::DATA_BASE);
+    let text_base = args
+        .opt("text-base")
+        .and_then(parse_addr)
+        .unwrap_or(rtdc_sim::map::TEXT_BASE);
+    let data_base = args
+        .opt("data-base")
+        .and_then(parse_addr)
+        .unwrap_or(rtdc_sim::map::DATA_BASE);
 
     let source = match std::fs::read_to_string(input) {
         Ok(s) => s,
@@ -69,7 +75,11 @@ fn main() -> ExitCode {
         }
     } else if !args.has("symbols") {
         for (i, w) in words.iter().enumerate() {
-            println!("{:#010x}: {w:08x}  {}", text_base + 4 * i as u32, out.text[i]);
+            println!(
+                "{:#010x}: {w:08x}  {}",
+                text_base + 4 * i as u32,
+                out.text[i]
+            );
         }
     }
     ExitCode::SUCCESS

@@ -40,7 +40,10 @@ fn main() -> ExitCode {
         }
     }
     if bytes.len() % 4 != 0 {
-        eprintln!("rtdc-dis: warning: {} trailing bytes ignored", bytes.len() % 4);
+        eprintln!(
+            "rtdc-dis: warning: {} trailing bytes ignored",
+            bytes.len() % 4
+        );
     }
     ExitCode::SUCCESS
 }

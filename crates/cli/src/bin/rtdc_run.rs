@@ -1,5 +1,5 @@
-//! `rtdc-run` — run a benchmark analog under any scheme and print a full
-//! statistics report.
+//! `rtdc-run` — run benchmark analogs under any scheme and print full
+//! statistics reports.
 //!
 //! ```sh
 //! rtdc-run --bench go                      # native run
@@ -8,55 +8,47 @@
 //! rtdc-run --bench go --scheme d --select miss --threshold 20
 //! rtdc-run --bench go --scheme d --icache 64
 //! rtdc-run --bench go --scheme d --layout  # print the Figure-3 layout
-//! rtdc-run --bench crc32 --trace 20         # trace the first N instructions
+//! rtdc-run --bench crc32 --trace 20        # trace the first N instructions
+//! rtdc-run --bench cc1,go,perl --jobs 4    # several benchmarks, fanned out
 //! rtdc-run --list                          # list benchmarks
 //! ```
+//!
+//! `--bench` accepts a comma-separated list; each benchmark's report is
+//! built in full by its worker and printed in list order, so stdout is
+//! byte-identical for any `--jobs` value (the default is 1 — serial).
+//! `--layout` and `--trace` only apply to a single benchmark.
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use rtdc::prelude::*;
+use rtdc_bench::jobs::parallel_map;
 use rtdc_cli::{format_stats, Args};
-use rtdc_sim::SimConfig;
 use rtdc_isa::program::ObjectProgram;
+use rtdc_sim::SimConfig;
 use rtdc_workloads::{all_benchmarks, by_name, generate, programs};
 
 const MAX_INSNS: u64 = 2_000_000_000;
 
-fn run() -> Result<(), String> {
-    let args = Args::from_env();
-    if args.has("list") {
-        for b in all_benchmarks() {
-            println!(
-                "{:<12} {:>8} KB text, paper: D {:.2}x CP {:.2}x, miss {:.2}%",
-                b.name,
-                b.paper.original_bytes / 1024,
-                b.paper.slowdown_d,
-                b.paper.slowdown_cp,
-                100.0 * b.paper.miss_ratio_16k
-            );
-        }
-        for p in programs::all_programs() {
-            println!("{:<12} {:>8} B text, known-answer program", p.name, p.text_bytes());
-        }
-        return Ok(());
-    }
-
-    let name = args.opt("bench").ok_or("missing --bench NAME (try --list)")?;
-    let mut cfg = SimConfig::hpca2000_baseline();
-    if let Some(kb) = args.opt("icache") {
-        let kb: u32 = kb.parse().map_err(|_| format!("bad --icache `{kb}`"))?;
-        cfg = cfg.with_icache_size(kb * 1024);
-    }
-
-    // Benchmark analogs and the known-answer programs share the namespace.
-    let program: ObjectProgram = if let Some(spec) = by_name(name) {
+/// Resolves a benchmark-analog or known-answer program by name.
+fn resolve(name: &str) -> Result<ObjectProgram, String> {
+    if let Some(spec) = by_name(name) {
         eprintln!("generating {name}...");
-        generate(&spec)
-    } else if let Some(p) = programs::all_programs().into_iter().find(|p| p.name == name) {
-        p
+        Ok(generate(&spec))
+    } else if let Some(p) = programs::all_programs()
+        .into_iter()
+        .find(|p| p.name == name)
+    {
+        Ok(p)
     } else {
-        return Err(format!("unknown benchmark `{name}` (try --list)"));
-    };
+        Err(format!("unknown benchmark `{name}` (try --list)"))
+    }
+}
+
+/// Builds the image for one benchmark and runs it, returning the full
+/// stdout report as a string (so parallel workers cannot interleave).
+fn run_one(name: &str, args: &Args, cfg: SimConfig, with_layout: bool) -> Result<String, String> {
+    let program = resolve(name)?;
     let n = program.procedures.len();
 
     let scheme_arg = args.opt("scheme").unwrap_or("native").to_ascii_lowercase();
@@ -101,7 +93,9 @@ fn run() -> Result<(), String> {
         }
     };
 
-    println!(
+    let mut out = String::new();
+    writeln!(
+        out,
         "{name} [{}]: {} procedures, code {:.1} KB ({:.1}% of native), handler {} B",
         match scheme {
             None => "native".to_string(),
@@ -111,38 +105,149 @@ fn run() -> Result<(), String> {
         image.sizes.total_code_bytes() as f64 / 1024.0,
         100.0 * image.sizes.compression_ratio(),
         image.sizes.handler_bytes,
-    );
+    )
+    .expect("write to string");
 
-    if args.has("layout") {
-        print!("{}", image.describe());
+    if with_layout {
+        write!(out, "{}", image.describe()).expect("write to string");
     }
 
-    if let Some(ncount) = args.opt("trace") {
-        let ncount: u64 = ncount.parse().map_err(|_| "bad --trace".to_string())?;
-        let mut m = load_image(&image, cfg);
-        while m.stats().insns < ncount {
-            let pc = m.pc();
-            let disasm = m
-                .insn_at(pc)
-                .map(|i| i.to_string())
-                .unwrap_or_else(|| "<not resident>".into());
-            let before = m.stats().insns;
-            match m.step().map_err(|e| e.to_string())? {
-                rtdc_sim::Step::Exited(_) => break,
-                rtdc_sim::Step::Continue => {}
-            }
-            if m.stats().insns > before {
-                println!("{pc:#010x}: {disasm}");
-            } else {
-                println!("{pc:#010x}: <decompression exception>");
-            }
+    let report = run_image(&image, cfg, MAX_INSNS).map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "exit code {}, output: {:?}",
+        report.exit_code,
+        String::from_utf8_lossy(&report.output)
+    )
+    .expect("write to string");
+    write!(out, "{}", format_stats(&report.stats)).expect("write to string");
+    eprintln!(
+        "{name}: {:.1} sim-MIPS ({} insns in {:.3}s)",
+        report.sim_mips(),
+        report.stats.insns,
+        report.wall.as_secs_f64()
+    );
+    Ok(out)
+}
+
+/// Traces the first `ncount` instructions of one benchmark to stdout.
+fn trace_one(name: &str, args: &Args, cfg: SimConfig, ncount: u64) -> Result<(), String> {
+    // Trace wants a compressed image too; reuse run_one's builder path by
+    // duplicating only the parts it needs (resolve + scheme + build).
+    let program = resolve(name)?;
+    let scheme_arg = args.opt("scheme").unwrap_or("native").to_ascii_lowercase();
+    let n = program.procedures.len();
+    let image = match scheme_arg.as_str() {
+        "native" => build_native(&program).map_err(|e| e.to_string())?,
+        "d" | "d+rf" | "cp" | "cp+rf" | "d2" | "d2+rf" => {
+            let (s, rf) = match scheme_arg.as_str() {
+                "d" => (Scheme::Dictionary, false),
+                "d+rf" => (Scheme::Dictionary, true),
+                "cp" => (Scheme::CodePack, false),
+                "cp+rf" => (Scheme::CodePack, true),
+                "d2" => (Scheme::ByteDict, false),
+                _ => (Scheme::ByteDict, true),
+            };
+            build_compressed(&program, s, rf, &Selection::all_compressed(n))
+                .map_err(|e| e.to_string())?
+        }
+        other => {
+            return Err(format!(
+                "unknown --scheme `{other}` (native|d|d+rf|cp|cp+rf|d2|d2+rf)"
+            ))
+        }
+    };
+    let mut m = load_image(&image, cfg);
+    while m.stats().insns < ncount {
+        let pc = m.pc();
+        let disasm = m
+            .insn_at(pc)
+            .map(|i| i.to_string())
+            .unwrap_or_else(|| "<not resident>".into());
+        let before = m.stats().insns;
+        match m.step().map_err(|e| e.to_string())? {
+            rtdc_sim::Step::Exited(_) => break,
+            rtdc_sim::Step::Continue => {}
+        }
+        if m.stats().insns > before {
+            println!("{pc:#010x}: {disasm}");
+        } else {
+            println!("{pc:#010x}: <decompression exception>");
+        }
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::from_env();
+    if args.has("list") {
+        for b in all_benchmarks() {
+            println!(
+                "{:<12} {:>8} KB text, paper: D {:.2}x CP {:.2}x, miss {:.2}%",
+                b.name,
+                b.paper.original_bytes / 1024,
+                b.paper.slowdown_d,
+                b.paper.slowdown_cp,
+                100.0 * b.paper.miss_ratio_16k
+            );
+        }
+        for p in programs::all_programs() {
+            println!(
+                "{:<12} {:>8} B text, known-answer program",
+                p.name,
+                p.text_bytes()
+            );
         }
         return Ok(());
     }
 
-    let report = run_image(&image, cfg, MAX_INSNS).map_err(|e| e.to_string())?;
-    println!("exit code {}, output: {:?}", report.exit_code, String::from_utf8_lossy(&report.output));
-    print!("{}", format_stats(&report.stats));
+    let bench_arg = args
+        .opt("bench")
+        .ok_or("missing --bench NAME (try --list)")?;
+    let names: Vec<&str> = bench_arg.split(',').filter(|s| !s.is_empty()).collect();
+    if names.is_empty() {
+        return Err("missing --bench NAME (try --list)".into());
+    }
+
+    let mut cfg = SimConfig::hpca2000_baseline();
+    if let Some(kb) = args.opt("icache") {
+        let kb: u32 = kb.parse().map_err(|_| format!("bad --icache `{kb}`"))?;
+        cfg = cfg.with_icache_size(kb * 1024);
+    }
+    let jobs: usize = match args.opt("jobs") {
+        Some(j) => j
+            .parse::<usize>()
+            .map_err(|_| format!("bad --jobs `{j}`"))?
+            .max(1),
+        None => 1,
+    };
+
+    if let Some(ncount) = args.opt("trace") {
+        if names.len() > 1 {
+            return Err("--trace only applies to a single --bench".into());
+        }
+        let ncount: u64 = ncount.parse().map_err(|_| "bad --trace".to_string())?;
+        return trace_one(names[0], &args, cfg, ncount);
+    }
+    let with_layout = args.has("layout");
+    if with_layout && names.len() > 1 {
+        return Err("--layout only applies to a single --bench".into());
+    }
+
+    let reports = parallel_map(&names, jobs, |name| run_one(name, &args, cfg, with_layout));
+    let mut failed = false;
+    for (name, r) in names.iter().zip(reports) {
+        match r {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                failed = true;
+                eprintln!("rtdc-run: {name}: {e}");
+            }
+        }
+    }
+    if failed {
+        return Err("one or more benchmarks failed".into());
+    }
     Ok(())
 }
 

@@ -15,7 +15,9 @@ pub struct Args {
 impl Args {
     /// Captures the process arguments (excluding the program name).
     pub fn from_env() -> Args {
-        Args { args: std::env::args().skip(1).collect() }
+        Args {
+            args: std::env::args().skip(1).collect(),
+        }
     }
 
     /// Builds from an explicit list (tests).
@@ -66,19 +68,52 @@ impl Args {
 /// Formats a stats block for human consumption.
 pub fn format_stats(stats: &rtdc_sim::Stats) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "instructions    {:>14} (program {}, handler {})",
-        stats.insns, stats.program_insns, stats.handler_insns);
-    let _ = writeln!(s, "cycles          {:>14} (CPI {:.3})", stats.cycles, stats.cpi());
-    let _ = writeln!(s, "I-cache         {:>14} fetches, {} misses ({:.3}%)",
-        stats.ifetches, stats.imisses, 100.0 * stats.imiss_ratio());
-    let _ = writeln!(s, "D-cache         {:>14} accesses, {} misses ({:.3}%), {} writebacks",
-        stats.daccesses, stats.dmisses, 100.0 * stats.dmiss_ratio(), stats.writebacks);
-    let _ = writeln!(s, "branches        {:>14}, {} mispredicted ({:.2}%)",
-        stats.branches, stats.mispredicts, 100.0 * stats.mispredict_ratio());
-    let _ = writeln!(s, "reg jumps       {:>14}, {} RAS misses", stats.reg_jumps, stats.reg_jump_misses);
+    let _ = writeln!(
+        s,
+        "instructions    {:>14} (program {}, handler {})",
+        stats.insns, stats.program_insns, stats.handler_insns
+    );
+    let _ = writeln!(
+        s,
+        "cycles          {:>14} (CPI {:.3})",
+        stats.cycles,
+        stats.cpi()
+    );
+    let _ = writeln!(
+        s,
+        "I-cache         {:>14} fetches, {} misses ({:.3}%)",
+        stats.ifetches,
+        stats.imisses,
+        100.0 * stats.imiss_ratio()
+    );
+    let _ = writeln!(
+        s,
+        "D-cache         {:>14} accesses, {} misses ({:.3}%), {} writebacks",
+        stats.daccesses,
+        stats.dmisses,
+        100.0 * stats.dmiss_ratio(),
+        stats.writebacks
+    );
+    let _ = writeln!(
+        s,
+        "branches        {:>14}, {} mispredicted ({:.2}%)",
+        stats.branches,
+        stats.mispredicts,
+        100.0 * stats.mispredict_ratio()
+    );
+    let _ = writeln!(
+        s,
+        "reg jumps       {:>14}, {} RAS misses",
+        stats.reg_jumps, stats.reg_jump_misses
+    );
     if stats.exceptions > 0 {
-        let _ = writeln!(s, "decompression   {:>14} exceptions, {} swics, {:.1} handler insns/miss",
-            stats.exceptions, stats.swics, stats.handler_insns_per_exception());
+        let _ = writeln!(
+            s,
+            "decompression   {:>14} exceptions, {} swics, {:.1} handler insns/miss",
+            stats.exceptions,
+            stats.swics,
+            stats.handler_insns_per_exception()
+        );
     }
     let b = stats.stalls;
     let _ = writeln!(s, "stall cycles    {:>14} total", b.sum());

@@ -1,0 +1,43 @@
+//! Seeded determinism of the `rtdc-run` fan-out: the same multi-benchmark
+//! invocation must produce byte-identical stdout for any `--jobs` value.
+//! Workers build each benchmark's report as a single string and the main
+//! thread prints them in list order, so parallelism can reorder *work* but
+//! never *output*.
+
+use std::process::Command;
+
+fn run_stdout(args: &[&str]) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_rtdc-run"))
+        .args(args)
+        .output()
+        .expect("spawn rtdc-run");
+    assert!(
+        out.status.success(),
+        "rtdc-run {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+#[test]
+fn jobs_one_and_eight_are_byte_identical() {
+    // Known-answer programs: no generation step, so the test stays fast
+    // while still exercising four parallel workers end to end.
+    let benches = ["--bench", "sort,crc32,matmul,strsearch", "--scheme", "d"];
+    let serial = run_stdout(&[&benches[..], &["--jobs", "1"]].concat());
+    let parallel = run_stdout(&[&benches[..], &["--jobs", "8"]].concat());
+    assert_eq!(
+        serial, parallel,
+        "stdout diverged between --jobs 1 and --jobs 8"
+    );
+    assert!(!serial.is_empty());
+}
+
+#[test]
+fn multi_bench_reports_in_list_order() {
+    let out = run_stdout(&["--bench", "crc32,sort", "--jobs", "4"]);
+    let text = String::from_utf8(out).expect("utf8 stdout");
+    let crc = text.find("crc32 [native]").expect("crc32 header present");
+    let sort = text.find("sort [native]").expect("sort header present");
+    assert!(crc < sort, "reports out of order:\n{text}");
+}

@@ -78,7 +78,10 @@ impl<'a> BitReader<'a> {
 
     /// Creates a reader starting at byte offset `byte_offset`.
     pub fn at_byte(bytes: &'a [u8], byte_offset: usize) -> BitReader<'a> {
-        BitReader { bytes, pos: byte_offset * 8 }
+        BitReader {
+            bytes,
+            pos: byte_offset * 8,
+        }
     }
 
     /// Reads `width` bits, most significant first.

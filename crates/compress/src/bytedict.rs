@@ -67,14 +67,11 @@ impl ByteDictCompressed {
         // 2-byte code + 4-byte entry = 6B vs 5B escape: drop singletons
         // beyond the one-byte class.
         entries.truncate(MAX_DICT);
-        while entries.len() > ONE_BYTE_ENTRIES
-            && entries.last().is_some_and(|&(_, c)| c == 1)
-        {
+        while entries.len() > ONE_BYTE_ENTRIES && entries.last().is_some_and(|&(_, c)| c == 1) {
             entries.pop();
         }
         let dict: Vec<u32> = entries.into_iter().map(|(w, _)| w).collect();
-        let index: HashMap<u32, usize> =
-            dict.iter().enumerate().map(|(i, &w)| (w, i)).collect();
+        let index: HashMap<u32, usize> = dict.iter().enumerate().map(|(i, &w)| (w, i)).collect();
 
         let mut bytes = Vec::new();
         let n_lines = padded_len / LINE_WORDS;
@@ -102,7 +99,13 @@ impl ByteDictCompressed {
             }
         }
 
-        ByteDictCompressed { dict, bytes, bases, deltas, n_words }
+        ByteDictCompressed {
+            dict,
+            bytes,
+            bases,
+            deltas,
+            n_words,
+        }
     }
 
     /// Byte offset of `line` within [`ByteDictCompressed::code_bytes`].
@@ -266,10 +269,8 @@ mod tests {
     fn compressed_size_accounts_all_parts() {
         let words = vec![5u32; 16];
         let c = ByteDictCompressed::compress(&words);
-        let expected = c.code_bytes().len()
-            + 4 * c.bases().len()
-            + 2 * c.deltas().len()
-            + 4 * c.dict().len();
+        let expected =
+            c.code_bytes().len() + 4 * c.bases().len() + 2 * c.deltas().len() + 4 * c.dict().len();
         assert_eq!(c.compressed_bytes(), expected);
     }
 }

@@ -173,11 +173,7 @@ impl CodePackCompressed {
             false,
             MAX_HI_DICT,
         );
-        let lo_dict = build_dict(
-            padded_words.iter().map(|w| *w as u16),
-            true,
-            MAX_LO_DICT,
-        );
+        let lo_dict = build_dict(padded_words.iter().map(|w| *w as u16), true, MAX_LO_DICT);
         let hi_index: HashMap<u16, usize> =
             hi_dict.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         let lo_index: HashMap<u16, usize> =
@@ -205,7 +201,14 @@ impl CodePackCompressed {
             groups.extend_from_slice(&w.into_bytes());
         }
 
-        CodePackCompressed { hi_dict, lo_dict, groups, bases, deltas, n_words }
+        CodePackCompressed {
+            hi_dict,
+            lo_dict,
+            groups,
+            bases,
+            deltas,
+            n_words,
+        }
     }
 
     /// Decompresses one 16-instruction group.
@@ -348,7 +351,11 @@ mod tests {
         let words = vec![0u32; 160];
         let c = CodePackCompressed::compress(&words);
         // Each word: hi "00"+4 idx + lo "00" = 8 bits => 1 byte/insn + table.
-        assert!(c.compression_ratio() < 0.4, "ratio = {}", c.compression_ratio());
+        assert!(
+            c.compression_ratio() < 0.4,
+            "ratio = {}",
+            c.compression_ratio()
+        );
         assert_eq!(c.decompress(), words);
     }
 
@@ -365,7 +372,11 @@ mod tests {
             .collect();
         let c = CodePackCompressed::compress(&words);
         assert_eq!(c.decompress(), words);
-        assert!(c.compression_ratio() < 0.6, "ratio = {}", c.compression_ratio());
+        assert!(
+            c.compression_ratio() < 0.6,
+            "ratio = {}",
+            c.compression_ratio()
+        );
     }
 
     #[test]

@@ -65,11 +65,16 @@ impl DictionaryCompressed {
                 next as u16
             });
             if dictionary.len() > MAX_ENTRIES {
-                return Err(DictionaryOverflow { unique: dictionary.len() });
+                return Err(DictionaryOverflow {
+                    unique: dictionary.len(),
+                });
             }
             indices.push(idx);
         }
-        Ok(DictionaryCompressed { dictionary, indices })
+        Ok(DictionaryCompressed {
+            dictionary,
+            indices,
+        })
     }
 
     /// Reconstructs the original instruction words.
@@ -113,7 +118,10 @@ impl DictionaryCompressed {
 
     /// Serializes the `.dictionary` segment to little-endian bytes.
     pub fn dictionary_bytes(&self) -> Vec<u8> {
-        self.dictionary.iter().flat_map(|w| w.to_le_bytes()).collect()
+        self.dictionary
+            .iter()
+            .flat_map(|w| w.to_le_bytes())
+            .collect()
     }
 }
 

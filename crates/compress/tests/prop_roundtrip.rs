@@ -1,57 +1,90 @@
-//! Property tests: every compressor is lossless over arbitrary inputs.
+//! Randomized tests: every compressor is lossless over arbitrary inputs
+//! (seeded, offline — no external property-testing framework).
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use rtdc_compress::codepack::CodePackCompressed;
 use rtdc_compress::dictionary::DictionaryCompressed;
 use rtdc_compress::lzrw1;
+use rtdc_rng::Rng64;
+
+const TRIALS: usize = 128;
 
 /// Word streams with adjustable repetitiveness: values drawn from a pool
 /// of `pool_bits` distinct words, like instruction streams.
-fn word_stream() -> impl Strategy<Value = Vec<u32>> {
-    (1u32..12).prop_flat_map(|pool_bits| {
-        vec(0u32..(1 << pool_bits), 0..600).prop_map(move |v| {
-            // Spread pool indices over the word space deterministically.
-            v.into_iter().map(|x| x.wrapping_mul(0x9e37_79b9)).collect()
+fn word_stream(rng: &mut Rng64) -> Vec<u32> {
+    let pool_bits = rng.gen_range(1u32..12);
+    let len = rng.gen_range(0..600);
+    (0..len)
+        // Spread pool indices over the word space deterministically.
+        .map(|_| {
+            rng.gen_range(0u32..(1 << pool_bits))
+                .wrapping_mul(0x9e37_79b9)
         })
-    })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn dictionary_round_trips(words in word_stream()) {
-        let c = DictionaryCompressed::compress(&words).expect("pool < 64K uniques");
-        prop_assert_eq!(c.decompress(), words);
-    }
+fn random_words(rng: &mut Rng64, lo: usize, hi: usize) -> Vec<u32> {
+    (0..rng.gen_range(lo..hi)).map(|_| rng.gen_u32()).collect()
+}
 
-    #[test]
-    fn dictionary_size_formula(words in word_stream()) {
+fn random_bytes(rng: &mut Rng64, lo: usize, hi: usize) -> Vec<u8> {
+    (0..rng.gen_range(lo..hi))
+        .map(|_| rng.gen_range(0u8..=255))
+        .collect()
+}
+
+#[test]
+fn dictionary_round_trips() {
+    let mut rng = Rng64::seed_from_u64(0xc03d_0001);
+    for _ in 0..TRIALS {
+        let words = word_stream(&mut rng);
+        let c = DictionaryCompressed::compress(&words).expect("pool < 64K uniques");
+        assert_eq!(c.decompress(), words);
+    }
+}
+
+#[test]
+fn dictionary_size_formula() {
+    let mut rng = Rng64::seed_from_u64(0xc03d_0002);
+    for _ in 0..TRIALS {
+        let words = word_stream(&mut rng);
         let c = DictionaryCompressed::compress(&words).unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             c.compressed_bytes(),
             2 * words.len() + 4 * c.dictionary().len()
         );
         // Every index must be in range.
         for &i in c.indices() {
-            prop_assert!((i as usize) < c.dictionary().len());
+            assert!((i as usize) < c.dictionary().len());
         }
     }
+}
 
-    #[test]
-    fn codepack_round_trips(words in word_stream()) {
+#[test]
+fn codepack_round_trips() {
+    let mut rng = Rng64::seed_from_u64(0xc03d_0003);
+    for _ in 0..TRIALS {
+        let words = word_stream(&mut rng);
         let c = CodePackCompressed::compress(&words);
-        prop_assert_eq!(c.decompress(), words);
+        assert_eq!(c.decompress(), words);
     }
+}
 
-    #[test]
-    fn codepack_round_trips_on_raw_noise(words in vec(any::<u32>(), 0..300)) {
-        // Fully random words force the raw-escape paths.
+#[test]
+fn codepack_round_trips_on_raw_noise() {
+    // Fully random words force the raw-escape paths.
+    let mut rng = Rng64::seed_from_u64(0xc03d_0004);
+    for _ in 0..TRIALS {
+        let words = random_words(&mut rng, 0, 300);
         let c = CodePackCompressed::compress(&words);
-        prop_assert_eq!(c.decompress(), words);
+        assert_eq!(c.decompress(), words);
     }
+}
 
-    #[test]
-    fn codepack_group_access_matches_bulk(words in vec(any::<u32>(), 16..200)) {
+#[test]
+fn codepack_group_access_matches_bulk() {
+    let mut rng = Rng64::seed_from_u64(0xc03d_0005);
+    for _ in 0..TRIALS {
+        let words = random_words(&mut rng, 16, 200);
         let c = CodePackCompressed::compress(&words);
         let bulk = c.decompress();
         for g in 0..c.group_count() {
@@ -59,30 +92,48 @@ proptest! {
             for (i, &w) in group.iter().enumerate() {
                 let idx = g * 16 + i;
                 if idx < bulk.len() {
-                    prop_assert_eq!(w, bulk[idx]);
+                    assert_eq!(w, bulk[idx]);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn lzrw1_round_trips(data in vec(any::<u8>(), 0..4000)) {
+#[test]
+fn lzrw1_round_trips() {
+    let mut rng = Rng64::seed_from_u64(0xc03d_0006);
+    for _ in 0..TRIALS {
+        let data = random_bytes(&mut rng, 0, 4000);
         let c = lzrw1::compress(&data);
-        prop_assert_eq!(lzrw1::decompress(&c), Some(data));
+        assert_eq!(lzrw1::decompress(&c), Some(data));
     }
+}
 
-    #[test]
-    fn lzrw1_round_trips_repetitive(seed in vec(any::<u8>(), 1..40), reps in 1usize..200) {
-        let data: Vec<u8> = seed.iter().copied().cycle().take(seed.len() * reps).collect();
+#[test]
+fn lzrw1_round_trips_repetitive() {
+    let mut rng = Rng64::seed_from_u64(0xc03d_0007);
+    for _ in 0..TRIALS {
+        let seed = random_bytes(&mut rng, 1, 40);
+        let reps = rng.gen_range(1usize..200);
+        let data: Vec<u8> = seed
+            .iter()
+            .copied()
+            .cycle()
+            .take(seed.len() * reps)
+            .collect();
         let c = lzrw1::compress(&data);
-        prop_assert_eq!(lzrw1::decompress(&c), Some(data.clone()));
+        assert_eq!(lzrw1::decompress(&c), Some(data.clone()));
         if data.len() > 500 {
-            prop_assert!(c.len() < data.len(), "repetitive data must shrink");
+            assert!(c.len() < data.len(), "repetitive data must shrink");
         }
     }
+}
 
-    #[test]
-    fn lzrw1_decompress_never_panics(junk in vec(any::<u8>(), 0..600)) {
+#[test]
+fn lzrw1_decompress_never_panics() {
+    let mut rng = Rng64::seed_from_u64(0xc03d_0008);
+    for _ in 0..TRIALS {
+        let junk = random_bytes(&mut rng, 0, 600);
         let _ = lzrw1::decompress(&junk); // may be None, must not panic
     }
 }

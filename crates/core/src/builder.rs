@@ -65,8 +65,16 @@ pub fn build_native(program: &ObjectProgram) -> Result<MemoryImage, BuildError> 
         entry: placement.addr(program.entry)?,
         initial_sp: map::STACK_TOP,
         segments: vec![
-            Segment { name: ".text".into(), base: map::TEXT_BASE, bytes: text_bytes },
-            Segment { name: ".data".into(), base: map::DATA_BASE, bytes: data },
+            Segment {
+                name: ".text".into(),
+                base: map::TEXT_BASE,
+                bytes: text_bytes,
+            },
+            Segment {
+                name: ".data".into(),
+                base: map::DATA_BASE,
+                bytes: data,
+            },
         ],
         c0_init: Vec::new(),
         handler_range: None,
@@ -149,7 +157,10 @@ pub fn build_compressed_ordered(
                 }
             });
         if !valid {
-            return Err(BuildError::SelectionMismatch { program: n, selection: order.len() });
+            return Err(BuildError::SelectionMismatch {
+                program: n,
+                selection: order.len(),
+            });
         }
     }
 
@@ -226,7 +237,11 @@ pub fn build_compressed_ordered(
             let dict_base = align_up(indices_base + indices.len() as u32, 4);
             c0_init.push((C0Reg::DICT_BASE, dict_base));
             c0_init.push((C0Reg::INDICES_BASE, indices_base));
-            segments.push(Segment { name: ".indices".into(), base: indices_base, bytes: indices });
+            segments.push(Segment {
+                name: ".indices".into(),
+                base: indices_base,
+                bytes: indices,
+            });
             segments.push(Segment {
                 name: ".dictionary".into(),
                 base: dict_base,
@@ -253,10 +268,26 @@ pub fn build_compressed_ordered(
             c0_init.push((C0Reg::GROUPS_BASE, code_base));
             c0_init.push((C0Reg::GROUPTAB_BASE, bases_base));
             c0_init.push((C0Reg::AUX, deltas_base));
-            segments.push(Segment { name: ".linetab".into(), base: bases_base, bytes: bases });
-            segments.push(Segment { name: ".linedeltas".into(), base: deltas_base, bytes: deltas });
-            segments.push(Segment { name: ".bytecodes".into(), base: code_base, bytes: code });
-            segments.push(Segment { name: ".bytedict".into(), base: dict_base, bytes: dict });
+            segments.push(Segment {
+                name: ".linetab".into(),
+                base: bases_base,
+                bytes: bases,
+            });
+            segments.push(Segment {
+                name: ".linedeltas".into(),
+                base: deltas_base,
+                bytes: deltas,
+            });
+            segments.push(Segment {
+                name: ".bytecodes".into(),
+                base: code_base,
+                bytes: code,
+            });
+            segments.push(Segment {
+                name: ".bytedict".into(),
+                base: dict_base,
+                bytes: dict,
+            });
         }
         Scheme::CodePack => {
             let c = CodePackCompressed::compress(&comp_words);
@@ -281,24 +312,52 @@ pub fn build_compressed_ordered(
             c0_init.push((C0Reg::GROUPS_BASE, groups_base));
             c0_init.push((C0Reg::GROUPTAB_BASE, bases_base));
             c0_init.push((C0Reg::AUX, deltas_base));
-            segments.push(Segment { name: ".grouptab".into(), base: bases_base, bytes: bases });
-            segments.push(Segment { name: ".groupdeltas".into(), base: deltas_base, bytes: deltas });
-            segments.push(Segment { name: ".groups".into(), base: groups_base, bytes: groups });
-            segments.push(Segment { name: ".hidict".into(), base: hi_base, bytes: hi });
-            segments.push(Segment { name: ".lodict".into(), base: lo_base, bytes: lo });
+            segments.push(Segment {
+                name: ".grouptab".into(),
+                base: bases_base,
+                bytes: bases,
+            });
+            segments.push(Segment {
+                name: ".groupdeltas".into(),
+                base: deltas_base,
+                bytes: deltas,
+            });
+            segments.push(Segment {
+                name: ".groups".into(),
+                base: groups_base,
+                bytes: groups,
+            });
+            segments.push(Segment {
+                name: ".hidict".into(),
+                base: hi_base,
+                bytes: hi,
+            });
+            segments.push(Segment {
+                name: ".lodict".into(),
+                base: lo_base,
+                bytes: lo,
+            });
         }
     }
 
     let native_bytes: Vec<u8> = native_words.iter().flat_map(|w| w.to_le_bytes()).collect();
     if !native_bytes.is_empty() {
-        segments.push(Segment { name: ".native".into(), base: native_base, bytes: native_bytes });
+        segments.push(Segment {
+            name: ".native".into(),
+            base: native_base,
+            bytes: native_bytes,
+        });
     }
     segments.push(Segment {
         name: ".decompressor".into(),
         base: map::HANDLER_BASE,
         bytes: handler_bytes.clone(),
     });
-    segments.push(Segment { name: ".data".into(), base: map::DATA_BASE, bytes: data });
+    segments.push(Segment {
+        name: ".data".into(),
+        base: map::DATA_BASE,
+        bytes: data,
+    });
 
     let native_text_bytes = native_end - native_base;
     Ok(MemoryImage {

@@ -109,9 +109,15 @@ mod tests {
 
     #[test]
     fn display_chains_are_informative() {
-        let e = BuildError::SelectionMismatch { program: 5, selection: 3 };
+        let e = BuildError::SelectionMismatch {
+            program: 5,
+            selection: 3,
+        };
         assert!(e.to_string().contains('5') && e.to_string().contains('3'));
-        let e = RunError::RegfileMismatch { image_rf: true, config_rf: false };
+        let e = RunError::RegfileMismatch {
+            image_rf: true,
+            config_rf: false,
+        };
         assert!(e.to_string().contains("second_regfile"));
     }
 }

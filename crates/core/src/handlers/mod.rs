@@ -153,7 +153,12 @@ mod tests {
         // 9 setup + 8*4 unrolled + iret.
         assert_eq!(h.text.len(), DICTIONARY_RF_INSNS_PER_LINE);
         // No stack traffic at all.
-        let text = h.text.iter().map(|i| i.to_string()).collect::<Vec<_>>().join("\n");
+        let text = h
+            .text
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
         assert!(!text.contains("sw "), "RF variant must not save registers");
     }
 
@@ -162,7 +167,7 @@ mod tests {
         let plain = bytedict_handler(false);
         let rf = bytedict_handler(true);
         assert_eq!(plain.text.len(), rf.text.len() + 14); // 7 saves + 7 restores
-        // Smaller than CodePack's, bigger than the dictionary handler.
+                                                          // Smaller than CodePack's, bigger than the dictionary handler.
         assert!(plain.text.len() > 26 && plain.text.len() < 100);
     }
 

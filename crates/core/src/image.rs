@@ -133,10 +133,15 @@ impl MemoryImage {
     pub fn describe(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
-        let _ = writeln!(s, "{} ({})", self.name, match self.scheme {
-            None => "native".to_string(),
-            Some(sc) => format!("{sc}{}", if self.second_regfile { "+RF" } else { "" }),
-        });
+        let _ = writeln!(
+            s,
+            "{} ({})",
+            self.name,
+            match self.scheme {
+                None => "native".to_string(),
+                Some(sc) => format!("{sc}{}", if self.second_regfile { "+RF" } else { "" }),
+            }
+        );
         if let Some((start, end)) = self.compressed_range {
             let _ = writeln!(
                 s,
@@ -155,7 +160,11 @@ impl MemoryImage {
                 seg.bytes.len()
             );
         }
-        let _ = writeln!(s, "  entry {:#010x}, sp {:#010x}", self.entry, self.initial_sp);
+        let _ = writeln!(
+            s,
+            "  entry {:#010x}, sp {:#010x}",
+            self.entry, self.initial_sp
+        );
         let _ = writeln!(
             s,
             "  code: {} native + {} compressed payload = {} bytes ({:.1}% of {})",

@@ -176,7 +176,15 @@ pub fn evaluate(
             }
         };
         let pos = residents.partition_point(|r| r.offset < offset);
-        residents.insert(pos, Resident { proc: p, offset, bytes: need, last_use: clock });
+        residents.insert(
+            pos,
+            Resident {
+                proc: p,
+                offset,
+                bytes: need,
+                last_use: clock,
+            },
+        );
         out.decompressed_bytes += need as u64;
     }
 
@@ -202,15 +210,18 @@ fn first_fit(residents: &[Resident], cache_bytes: u32, need: u32) -> Option<u32>
 /// independent unit, as Kirovski's scheme requires). Table 2's whole-text
 /// LZRW1 column is the lower bound for this quantity.
 pub fn per_procedure_lzrw1_ratio(program: &ObjectProgram) -> f64 {
-    let placement = Placement::contiguous(program, rtdc_sim::map::TEXT_BASE)
-        .expect("contiguous placement");
+    let placement =
+        Placement::contiguous(program, rtdc_sim::map::TEXT_BASE).expect("contiguous placement");
     let mut original = 0usize;
     let mut compressed = 0usize;
     for id in 0..program.procedures.len() {
         let insns = program
             .link_proc(ProcId(id), &placement)
             .expect("linkable program");
-        let bytes: Vec<u8> = insns.iter().flat_map(|&i| encode(i).to_le_bytes()).collect();
+        let bytes: Vec<u8> = insns
+            .iter()
+            .flat_map(|&i| encode(i).to_le_bytes())
+            .collect();
         original += bytes.len();
         compressed += lzrw1::compress(&bytes).len();
     }
@@ -269,7 +280,10 @@ mod tests {
     fn oversized_procedure_rejected() {
         let p = program_with_sizes(&[100]); // 400B
         let model = ProcCacheModel::with_cache(256);
-        assert!(matches!(evaluate(&p, &[0], &model), Err(ProcTooLarge { .. })));
+        assert!(matches!(
+            evaluate(&p, &[0], &model),
+            Err(ProcTooLarge { .. })
+        ));
     }
 
     #[test]

@@ -17,6 +17,22 @@ pub struct RunReport {
     pub stats: Stats,
     /// Program output bytes.
     pub output: Vec<u8>,
+    /// Host wall-clock time spent inside the simulator's run loop (load
+    /// and image construction excluded). Host-side only: never feeds back
+    /// into `stats`, which stay exactly comparable across hosts.
+    pub wall: std::time::Duration,
+}
+
+impl RunReport {
+    /// Simulator throughput in millions of simulated instructions per
+    /// host wall-clock second (0.0 for a degenerate zero-length run).
+    pub fn sim_mips(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.stats.insns as f64 / secs / 1e6
+    }
 }
 
 /// Loads an image into a fresh machine (segments, C0 registers, handler and
@@ -50,13 +66,20 @@ pub fn load_image(image: &MemoryImage, config: SimConfig) -> Machine {
 ///
 /// Returns [`RunError::Sim`] on any simulator fault (including exceeding
 /// `max_insns`).
-pub fn run_image(image: &MemoryImage, config: SimConfig, max_insns: u64) -> Result<RunReport, RunError> {
+pub fn run_image(
+    image: &MemoryImage,
+    config: SimConfig,
+    max_insns: u64,
+) -> Result<RunReport, RunError> {
     let mut m = load_image(image, config);
+    let started = std::time::Instant::now();
     let outcome = m.run(max_insns)?;
+    let wall = started.elapsed();
     Ok(RunReport {
         exit_code: outcome.exit_code,
         stats: *m.stats(),
         output: m.output().to_vec(),
+        wall,
     })
 }
 
@@ -78,12 +101,15 @@ pub fn profile_native(
         image.proc_regions.clone(),
         image.proc_count(),
     ));
+    let started = std::time::Instant::now();
     let outcome = m.run(max_insns).map_err(|e| ProfileError::Run(e.into()))?;
+    let wall = started.elapsed();
     let profiler = m.take_profiler().expect("profiler was attached");
     let report = RunReport {
         exit_code: outcome.exit_code,
         stats: *m.stats(),
         output: m.output().to_vec(),
+        wall,
     };
     let profile = ProcedureProfile {
         names: image.proc_names.clone(),

@@ -69,12 +69,18 @@ pub struct Selection {
 impl Selection {
     /// Fully-compressed program (the left end of Figure 5's curves).
     pub fn all_compressed(n_procs: usize) -> Selection {
-        Selection { native: BTreeSet::new(), n_procs }
+        Selection {
+            native: BTreeSet::new(),
+            n_procs,
+        }
     }
 
     /// Fully-native program (the right end of Figure 5's curves).
     pub fn all_native(n_procs: usize) -> Selection {
-        Selection { native: (0..n_procs).collect(), n_procs }
+        Selection {
+            native: (0..n_procs).collect(),
+            n_procs,
+        }
     }
 
     /// Builds a selection from an explicit native set.
@@ -107,7 +113,10 @@ impl Selection {
         let total: u64 = counts.iter().sum();
         let mut native = BTreeSet::new();
         if total == 0 {
-            return Selection { native, n_procs: profile.len() };
+            return Selection {
+                native,
+                n_procs: profile.len(),
+            };
         }
         let mut order: Vec<usize> = (0..counts.len()).collect();
         order.sort_by(|&a, &b| counts[b].cmp(&counts[a]).then(a.cmp(&b)));
@@ -120,7 +129,10 @@ impl Selection {
             native.insert(id);
             cum += counts[id];
         }
-        Selection { native, n_procs: profile.len() }
+        Selection {
+            native,
+            n_procs: profile.len(),
+        }
     }
 
     /// Is procedure `id` kept native?

@@ -95,7 +95,10 @@ fn test_program() -> ObjectProgram {
         ],
         data,
         entry: ProcId(0),
-        addr_tables: vec![AddrTable { data_offset: 0, procs: vec![ProcId(1)] }],
+        addr_tables: vec![AddrTable {
+            data_offset: 0,
+            procs: vec![ProcId(1)],
+        }],
     }
 }
 
@@ -120,7 +123,10 @@ fn assert_equivalent(scheme: Scheme, rf: bool) {
     let r = run_image(&img, cfg, 5_000_000).unwrap();
     assert_eq!(r.exit_code, native.exit_code, "{scheme:?} rf={rf}");
     assert_eq!(r.output, native.output, "{scheme:?} rf={rf}");
-    assert!(r.stats.exceptions > 0, "decompressor must have been invoked");
+    assert!(
+        r.stats.exceptions > 0,
+        "decompressor must have been invoked"
+    );
     assert!(
         r.stats.cycles > native.stats.cycles,
         "decompression must cost cycles"
@@ -154,7 +160,8 @@ fn dictionary_handler_executes_exactly_75_insns_per_line() {
     // The paper §4.1: "executes 75 instructions to decompress a cache line".
     let cfg = SimConfig::hpca2000_baseline();
     let p = test_program();
-    let img = build_compressed(&p, Scheme::Dictionary, false, &Selection::all_compressed(3)).unwrap();
+    let img =
+        build_compressed(&p, Scheme::Dictionary, false, &Selection::all_compressed(3)).unwrap();
     let r = run_image(&img, cfg, 5_000_000).unwrap();
     assert_eq!(r.stats.handler_insns % r.stats.exceptions, 0);
     assert_eq!(r.stats.handler_insns / r.stats.exceptions, 75);
@@ -164,7 +171,8 @@ fn dictionary_handler_executes_exactly_75_insns_per_line() {
 fn dictionary_rf_handler_executes_42_insns_per_line() {
     let cfg = SimConfig::hpca2000_baseline();
     let p = test_program();
-    let img = build_compressed(&p, Scheme::Dictionary, true, &Selection::all_compressed(3)).unwrap();
+    let img =
+        build_compressed(&p, Scheme::Dictionary, true, &Selection::all_compressed(3)).unwrap();
     let r = run_image(&img, cfg, 5_000_000).unwrap();
     assert_eq!(r.stats.handler_insns / r.stats.exceptions, 42);
 }
@@ -241,7 +249,8 @@ fn fully_native_selection_needs_no_exceptions() {
 #[test]
 fn size_report_tracks_selection() {
     let p = test_program();
-    let full = build_compressed(&p, Scheme::Dictionary, false, &Selection::all_compressed(3)).unwrap();
+    let full =
+        build_compressed(&p, Scheme::Dictionary, false, &Selection::all_compressed(3)).unwrap();
     let half = build_compressed(
         &p,
         Scheme::Dictionary,
@@ -276,8 +285,8 @@ fn profile_native_attributes_work() {
 #[test]
 fn selection_mismatch_is_rejected() {
     let p = test_program();
-    let err = build_compressed(&p, Scheme::Dictionary, false, &Selection::all_compressed(7))
-        .unwrap_err();
+    let err =
+        build_compressed(&p, Scheme::Dictionary, false, &Selection::all_compressed(7)).unwrap_err();
     assert!(matches!(err, BuildError::SelectionMismatch { .. }));
 }
 
@@ -298,11 +307,24 @@ fn dictionary_overflow_is_surfaced_and_codepack_is_not_limited() {
         for _ in 0..13_300 {
             // Distinct (rt, imm) pairs: 11 dsts x 8192 imms > 66K combos.
             let rt = [
-                Reg::T0, Reg::T1, Reg::T2, Reg::T3, Reg::T4, Reg::T5,
-                Reg::T6, Reg::T7, Reg::A1, Reg::A2, Reg::A3,
+                Reg::T0,
+                Reg::T1,
+                Reg::T2,
+                Reg::T3,
+                Reg::T4,
+                Reg::T5,
+                Reg::T6,
+                Reg::T7,
+                Reg::A1,
+                Reg::A2,
+                Reg::A3,
             ][(made % 11) as usize];
             let imm = ((made / 11) % 8192) as i16;
-            code.push(ObjInsn::Insn(Instruction::Addiu { rt, rs: Reg::ZERO, imm }));
+            code.push(ObjInsn::Insn(Instruction::Addiu {
+                rt,
+                rs: Reg::ZERO,
+                imm,
+            }));
             made += 1;
         }
         code.push(ObjInsn::Insn(Instruction::Jr { rs: Reg::RA }));
@@ -317,8 +339,13 @@ fn dictionary_overflow_is_surfaced_and_codepack_is_not_limited() {
     };
     let n = program.procedures.len();
 
-    let err = build_compressed(&program, Scheme::Dictionary, false, &Selection::all_compressed(n))
-        .unwrap_err();
+    let err = build_compressed(
+        &program,
+        Scheme::Dictionary,
+        false,
+        &Selection::all_compressed(n),
+    )
+    .unwrap_err();
     assert!(matches!(err, BuildError::Dictionary(_)), "{err}");
 
     // Selective compression is the paper's escape hatch: native-ize most
@@ -327,5 +354,11 @@ fn dictionary_overflow_is_surfaced_and_codepack_is_not_limited() {
     assert!(build_compressed(&program, Scheme::Dictionary, false, &sel).is_ok());
 
     // CodePack has raw escapes instead of a hard dictionary limit.
-    assert!(build_compressed(&program, Scheme::CodePack, false, &Selection::all_compressed(n)).is_ok());
+    assert!(build_compressed(
+        &program,
+        Scheme::CodePack,
+        false,
+        &Selection::all_compressed(n)
+    )
+    .is_ok());
 }

@@ -7,12 +7,11 @@
 //! boundaries, and bit-buffer refills — and the handler's output is read
 //! back from the I-cache lines it wrote, without ever executing the junk.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rtdc::handlers;
 use rtdc_compress::codepack::CodePackCompressed;
 use rtdc_compress::dictionary::DictionaryCompressed;
 use rtdc_isa::{C0Reg, Reg};
+use rtdc_rng::Rng64;
 use rtdc_sim::{map, Machine, Mode, SimConfig};
 
 fn align4(x: u32) -> u32 {
@@ -47,7 +46,7 @@ fn run_one_exception(mut m: Machine, miss_pc: u32) -> Machine {
 
 #[test]
 fn dictionary_handler_matches_rust_decoder_on_random_words() {
-    let mut rng = StdRng::seed_from_u64(0xd1f);
+    let mut rng = Rng64::seed_from_u64(0xd1f);
     for trial in 0..8 {
         // 8 lines of random words drawn from a smallish pool (so indices
         // span multiple dictionary entries but stay in 16 bits).
@@ -85,15 +84,15 @@ fn dictionary_handler_matches_rust_decoder_on_random_words() {
 
 #[test]
 fn codepack_handler_matches_rust_decoder_on_random_words() {
-    let mut rng = StdRng::seed_from_u64(0xc0de);
+    let mut rng = Rng64::seed_from_u64(0xc0de);
     for trial in 0..8 {
         // Random words force raw escapes; a skewed subset exercises the
         // short index classes and the zero-low codeword.
         let words: Vec<u32> = (0..96)
             .map(|_| match rng.gen_range(0..4) {
-                0 => rng.gen::<u32>(),                       // raw escapes
-                1 => rng.gen_range(0..40u32) << 16,          // zero low half
-                2 => 0x2442_0000 | rng.gen_range(0..100u32), // hot hi, small lo
+                0 => rng.gen_u32(),                                   // raw escapes
+                1 => rng.gen_range(0..40u32) << 16,                   // zero low half
+                2 => 0x2442_0000 | rng.gen_range(0..100u32),          // hot hi, small lo
                 _ => rng.gen_range(0..20_000u32).wrapping_mul(40503), // mid classes
             })
             .collect();
@@ -142,13 +141,13 @@ fn codepack_handler_matches_rust_decoder_on_random_words() {
 #[test]
 fn bytedict_handler_matches_rust_decoder_on_random_words() {
     use rtdc_compress::bytedict::ByteDictCompressed;
-    let mut rng = StdRng::seed_from_u64(0xb17ed1c7);
+    let mut rng = Rng64::seed_from_u64(0xb17ed1c7);
     for trial in 0..8 {
         // Mix of hot words (1-byte codes), mid-frequency (2-byte), and
         // raw escapes.
         let words: Vec<u32> = (0..80)
             .map(|_| match rng.gen_range(0..4) {
-                0 => rng.gen::<u32>(),                               // escapes
+                0 => rng.gen_u32(),                                   // escapes
                 1 => rng.gen_range(0..8u32).wrapping_mul(0x01010101), // hot
                 _ => rng.gen_range(0..4000u32).wrapping_mul(40503),   // 2-byte class
             })

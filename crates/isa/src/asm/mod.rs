@@ -40,7 +40,6 @@ use std::fmt;
 
 use crate::insn::Instruction;
 
-
 /// The output of [`assemble`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Assembled {
@@ -147,8 +146,16 @@ mod tests {
         assert_eq!(
             out.text,
             vec![
-                I::Add { rd: Reg::AT, rs: Reg::V0, rt: Reg::V1 },
-                I::Addiu { rt: Reg::T0, rs: Reg::ZERO, imm: -5 },
+                I::Add {
+                    rd: Reg::AT,
+                    rs: Reg::V0,
+                    rt: Reg::V1
+                },
+                I::Addiu {
+                    rt: Reg::T0,
+                    rs: Reg::ZERO,
+                    imm: -5
+                },
             ]
         );
     }
@@ -159,10 +166,26 @@ mod tests {
         assert_eq!(
             out.text,
             vec![
-                I::Lw { rt: Reg::T1, base: Reg::SP, offset: -4 },
-                I::Sw { rt: Reg::T1, base: Reg::SP, offset: 8 },
-                I::Lbu { rt: Reg::T0, base: Reg::T1, offset: 0 },
-                I::Swic { rt: Reg::K0, base: Reg::K1, offset: 28 },
+                I::Lw {
+                    rt: Reg::T1,
+                    base: Reg::SP,
+                    offset: -4
+                },
+                I::Sw {
+                    rt: Reg::T1,
+                    base: Reg::SP,
+                    offset: 8
+                },
+                I::Lbu {
+                    rt: Reg::T0,
+                    base: Reg::T1,
+                    offset: 0
+                },
+                I::Swic {
+                    rt: Reg::K0,
+                    base: Reg::K1,
+                    offset: 28
+                },
             ]
         );
     }
@@ -173,9 +196,21 @@ mod tests {
         assert_eq!(
             out.text,
             vec![
-                I::Lwx { rd: Reg::K0, base: Reg::T2, index: Reg::T3 },
-                I::Lhux { rd: Reg::T0, base: Reg::T2, index: Reg::T1 },
-                I::Lbux { rd: Reg::T0, base: Reg::T2, index: Reg::T1 },
+                I::Lwx {
+                    rd: Reg::K0,
+                    base: Reg::T2,
+                    index: Reg::T3
+                },
+                I::Lhux {
+                    rd: Reg::T0,
+                    base: Reg::T2,
+                    index: Reg::T1
+                },
+                I::Lbux {
+                    rd: Reg::T0,
+                    base: Reg::T2,
+                    index: Reg::T1
+                },
             ]
         );
     }
@@ -186,9 +221,18 @@ mod tests {
         assert_eq!(
             out.text,
             vec![
-                I::Mfc0 { rt: Reg::K1, c0: C0Reg::BADVA },
-                I::Mfc0 { rt: Reg::K0, c0: C0Reg::DECOMP_BASE },
-                I::Mtc0 { rt: Reg::T0, c0: C0Reg::DICT_BASE },
+                I::Mfc0 {
+                    rt: Reg::K1,
+                    c0: C0Reg::BADVA
+                },
+                I::Mfc0 {
+                    rt: Reg::K0,
+                    c0: C0Reg::DECOMP_BASE
+                },
+                I::Mtc0 {
+                    rt: Reg::T0,
+                    c0: C0Reg::DICT_BASE
+                },
                 I::Iret,
             ]
         );
@@ -197,30 +241,108 @@ mod tests {
     #[test]
     fn branches_resolve_labels_both_directions() {
         let out = asm("top: addiu $8,$8,1\nbne $8,$9,top\nbeq $8,$9,done\nnop\ndone: jr $ra\n");
-        assert_eq!(out.text[1], I::Bne { rs: Reg::T0, rt: Reg::T1, offset: -2 });
-        assert_eq!(out.text[2], I::Beq { rs: Reg::T0, rt: Reg::T1, offset: 1 });
+        assert_eq!(
+            out.text[1],
+            I::Bne {
+                rs: Reg::T0,
+                rt: Reg::T1,
+                offset: -2
+            }
+        );
+        assert_eq!(
+            out.text[2],
+            I::Beq {
+                rs: Reg::T0,
+                rt: Reg::T1,
+                offset: 1
+            }
+        );
     }
 
     #[test]
     fn jumps_use_word_targets() {
         let out = asm("j end\nnop\nend: jal end\n");
         // end is at 0x1000 + 8 = 0x1008; word target = 0x1008 >> 2
-        assert_eq!(out.text[0], I::J { target: 0x1008 >> 2 });
-        assert_eq!(out.text[2], I::Jal { target: 0x1008 >> 2 });
+        assert_eq!(
+            out.text[0],
+            I::J {
+                target: 0x1008 >> 2
+            }
+        );
+        assert_eq!(
+            out.text[2],
+            I::Jal {
+                target: 0x1008 >> 2
+            }
+        );
     }
 
     #[test]
     fn pseudo_instructions() {
         let out = asm("nop\nmove $4,$8\nli $8,5\nli $8,0x12340000\nli $8,0x12345678\nb out\nout: beqz $8,out\nbnez $8,out\n");
         assert_eq!(out.text[0], I::NOP);
-        assert_eq!(out.text[1], I::Addu { rd: Reg::A0, rs: Reg::T0, rt: Reg::ZERO });
-        assert_eq!(out.text[2], I::Addiu { rt: Reg::T0, rs: Reg::ZERO, imm: 5 });
-        assert_eq!(out.text[3], I::Lui { rt: Reg::T0, imm: 0x1234 });
-        assert_eq!(out.text[4], I::Lui { rt: Reg::T0, imm: 0x1234 });
-        assert_eq!(out.text[5], I::Ori { rt: Reg::T0, rs: Reg::T0, imm: 0x5678 });
-        assert_eq!(out.text[6], I::Beq { rs: Reg::ZERO, rt: Reg::ZERO, offset: 0 });
-        assert_eq!(out.text[7], I::Beq { rs: Reg::T0, rt: Reg::ZERO, offset: -1 });
-        assert_eq!(out.text[8], I::Bne { rs: Reg::T0, rt: Reg::ZERO, offset: -2 });
+        assert_eq!(
+            out.text[1],
+            I::Addu {
+                rd: Reg::A0,
+                rs: Reg::T0,
+                rt: Reg::ZERO
+            }
+        );
+        assert_eq!(
+            out.text[2],
+            I::Addiu {
+                rt: Reg::T0,
+                rs: Reg::ZERO,
+                imm: 5
+            }
+        );
+        assert_eq!(
+            out.text[3],
+            I::Lui {
+                rt: Reg::T0,
+                imm: 0x1234
+            }
+        );
+        assert_eq!(
+            out.text[4],
+            I::Lui {
+                rt: Reg::T0,
+                imm: 0x1234
+            }
+        );
+        assert_eq!(
+            out.text[5],
+            I::Ori {
+                rt: Reg::T0,
+                rs: Reg::T0,
+                imm: 0x5678
+            }
+        );
+        assert_eq!(
+            out.text[6],
+            I::Beq {
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                offset: 0
+            }
+        );
+        assert_eq!(
+            out.text[7],
+            I::Beq {
+                rs: Reg::T0,
+                rt: Reg::ZERO,
+                offset: -1
+            }
+        );
+        assert_eq!(
+            out.text[8],
+            I::Bne {
+                rs: Reg::T0,
+                rt: Reg::ZERO,
+                offset: -2
+            }
+        );
     }
 
     #[test]
@@ -228,8 +350,21 @@ mod tests {
         let out = asm(".data\nbuf: .space 16\nval: .word 0xdeadbeef\n.text\nla $8,val\n");
         assert_eq!(out.symbols["buf"], 0x8000);
         assert_eq!(out.symbols["val"], 0x8010);
-        assert_eq!(out.text[0], I::Lui { rt: Reg::T0, imm: 0 });
-        assert_eq!(out.text[1], I::Ori { rt: Reg::T0, rs: Reg::T0, imm: 0x8010 });
+        assert_eq!(
+            out.text[0],
+            I::Lui {
+                rt: Reg::T0,
+                imm: 0
+            }
+        );
+        assert_eq!(
+            out.text[1],
+            I::Ori {
+                rt: Reg::T0,
+                rs: Reg::T0,
+                imm: 0x8010
+            }
+        );
         assert_eq!(&out.data[16..20], &0xdeadbeef_u32.to_le_bytes());
     }
 
@@ -370,8 +505,22 @@ loop:
 ";
         let out = asm(src);
         assert_eq!(out.text.len(), 7);
-        assert_eq!(out.text[6], I::Bne { rs: Reg::K1, rt: Reg::T4, offset: -7 });
+        assert_eq!(
+            out.text[6],
+            I::Bne {
+                rs: Reg::K1,
+                rt: Reg::T4,
+                offset: -7
+            }
+        );
         // `add` with an immediate operand is accepted as addiu-style sugar.
-        assert_eq!(out.text[1], I::Addiu { rt: Reg::T1, rs: Reg::T1, imm: 2 });
+        assert_eq!(
+            out.text[1],
+            I::Addiu {
+                rt: Reg::T1,
+                rs: Reg::T1,
+                imm: 2
+            }
+        );
     }
 }

@@ -167,22 +167,37 @@ mod tests {
     fn memory_operands() {
         assert_eq!(
             parse_operand("-4($sp)").unwrap(),
-            Operand::Mem { base: Reg::SP, offset: -4 }
+            Operand::Mem {
+                base: Reg::SP,
+                offset: -4
+            }
         );
         assert_eq!(
             parse_operand("($9)").unwrap(),
-            Operand::Mem { base: Reg::T1, offset: 0 }
+            Operand::Mem {
+                base: Reg::T1,
+                offset: 0
+            }
         );
         assert_eq!(
             parse_operand("($11+$10)").unwrap(),
-            Operand::MemIndexed { base: Reg::T2, index: Reg::T3 }
+            Operand::MemIndexed {
+                base: Reg::T2,
+                index: Reg::T3
+            }
         );
     }
 
     #[test]
     fn c0_operands() {
-        assert_eq!(parse_operand("c0[BADVA]").unwrap(), Operand::C0(C0Reg::BADVA));
-        assert_eq!(parse_operand("c0[2]").unwrap(), Operand::C0(C0Reg::INDICES_BASE));
+        assert_eq!(
+            parse_operand("c0[BADVA]").unwrap(),
+            Operand::C0(C0Reg::BADVA)
+        );
+        assert_eq!(
+            parse_operand("c0[2]").unwrap(),
+            Operand::C0(C0Reg::INDICES_BASE)
+        );
         assert!(parse_operand("c0[16]").is_err());
         assert!(parse_operand("c0[NOPE]").is_err());
     }
@@ -190,7 +205,10 @@ mod tests {
     #[test]
     fn symbols() {
         assert_eq!(parse_operand("loop").unwrap(), Operand::Sym("loop".into()));
-        assert_eq!(parse_operand("_x.y2").unwrap(), Operand::Sym("_x.y2".into()));
+        assert_eq!(
+            parse_operand("_x.y2").unwrap(),
+            Operand::Sym("_x.y2".into())
+        );
         assert!(parse_operand("9abc").is_err());
     }
 }

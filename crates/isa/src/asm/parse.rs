@@ -15,9 +15,20 @@ enum Section {
 
 #[derive(Debug)]
 enum Element {
-    Label { name: String, line: usize },
-    Insn { mnemonic: String, ops: Vec<Operand>, line: usize },
-    Directive { name: String, args: Vec<String>, line: usize },
+    Label {
+        name: String,
+        line: usize,
+    },
+    Insn {
+        mnemonic: String,
+        ops: Vec<Operand>,
+        line: usize,
+    },
+    Directive {
+        name: String,
+        args: Vec<String>,
+        line: usize,
+    },
 }
 
 fn err(line: usize, kind: AsmErrorKind) -> AsmError {
@@ -180,10 +191,9 @@ impl<'a> Pass<'a> {
             Section::Data => self.data_base + self.data.len as u32,
         };
         for (name, line) in self.pending.drain(..) {
-            if self.sizing
-                && self.symbols.insert(name.to_string(), here).is_some() {
-                    return Err(err(line, AsmErrorKind::DuplicateLabel(name.to_string())));
-                }
+            if self.sizing && self.symbols.insert(name.to_string(), here).is_some() {
+                return Err(err(line, AsmErrorKind::DuplicateLabel(name.to_string())));
+            }
         }
         Ok(())
     }
@@ -217,7 +227,11 @@ impl<'a> Pass<'a> {
                 Element::Directive { name, args, line } => {
                     self.directive(name, args, *line)?;
                 }
-                Element::Insn { mnemonic, ops, line } => {
+                Element::Insn {
+                    mnemonic,
+                    ops,
+                    line,
+                } => {
                     if self.section != Section::Text {
                         return Err(err(
                             *line,
@@ -271,10 +285,18 @@ impl<'a> Pass<'a> {
             "space" => {
                 let n = args
                     .first()
-                    .ok_or_else(|| err(line, AsmErrorKind::BadDirective(".space needs a size".into())))
+                    .ok_or_else(|| {
+                        err(
+                            line,
+                            AsmErrorKind::BadDirective(".space needs a size".into()),
+                        )
+                    })
                     .and_then(|a| parse_number(a).map_err(|k| err(line, k)))?;
                 if n < 0 {
-                    return Err(err(line, AsmErrorKind::BadDirective(".space negative".into())));
+                    return Err(err(
+                        line,
+                        AsmErrorKind::BadDirective(".space negative".into()),
+                    ));
                 }
                 self.bind_pending()?;
                 for _ in 0..n {
@@ -285,10 +307,18 @@ impl<'a> Pass<'a> {
             "align" => {
                 let k = args
                     .first()
-                    .ok_or_else(|| err(line, AsmErrorKind::BadDirective(".align needs a power".into())))
+                    .ok_or_else(|| {
+                        err(
+                            line,
+                            AsmErrorKind::BadDirective(".align needs a power".into()),
+                        )
+                    })
                     .and_then(|a| parse_number(a).map_err(|k| err(line, k)))?;
                 if !(0..=16).contains(&k) {
-                    return Err(err(line, AsmErrorKind::BadDirective(".align out of range".into())));
+                    return Err(err(
+                        line,
+                        AsmErrorKind::BadDirective(".align out of range".into()),
+                    ));
                 }
                 match self.section {
                     Section::Data => self.data.align_to(1usize << k),
@@ -296,7 +326,10 @@ impl<'a> Pass<'a> {
                 }
                 Ok(())
             }
-            other => Err(err(line, AsmErrorKind::UnknownMnemonic(format!(".{other}")))),
+            other => Err(err(
+                line,
+                AsmErrorKind::UnknownMnemonic(format!(".{other}")),
+            )),
         }
     }
 }
@@ -337,7 +370,10 @@ fn emit(p: &mut Pass<'_>, mnemonic: &str, ops: &[Operand], line: usize) -> Resul
             _ => return Err(bad_ops(mnemonic, line)),
         };
         if addr % 4 != 0 || (addr & 0xf000_0000) != ((pc + 4) & 0xf000_0000) {
-            return Err(err(line, AsmErrorKind::JumpOutOfRange(format!("{addr:#x}"))));
+            return Err(err(
+                line,
+                AsmErrorKind::JumpOutOfRange(format!("{addr:#x}")),
+            ));
         }
         Ok((addr >> 2) & 0x03ff_ffff)
     };
@@ -346,9 +382,17 @@ fn emit(p: &mut Pass<'_>, mnemonic: &str, ops: &[Operand], line: usize) -> Resul
         // --- three-register ALU (with immediate sugar for add/sub) ---
         ("add" | "addu", [O::Reg(rd), O::Reg(rs), O::Reg(rt)]) => {
             if mnemonic == "add" {
-                I::Add { rd: *rd, rs: *rs, rt: *rt }
+                I::Add {
+                    rd: *rd,
+                    rs: *rs,
+                    rt: *rt,
+                }
             } else {
-                I::Addu { rd: *rd, rs: *rs, rt: *rt }
+                I::Addu {
+                    rd: *rd,
+                    rs: *rs,
+                    rt: *rt,
+                }
             }
         }
         ("add" | "addu", [O::Reg(rd), O::Reg(rs), O::Imm(v)]) => I::Addiu {
@@ -358,9 +402,17 @@ fn emit(p: &mut Pass<'_>, mnemonic: &str, ops: &[Operand], line: usize) -> Resul
         },
         ("sub" | "subu", [O::Reg(rd), O::Reg(rs), O::Reg(rt)]) => {
             if mnemonic == "sub" {
-                I::Sub { rd: *rd, rs: *rs, rt: *rt }
+                I::Sub {
+                    rd: *rd,
+                    rs: *rs,
+                    rt: *rt,
+                }
             } else {
-                I::Subu { rd: *rd, rs: *rs, rt: *rt }
+                I::Subu {
+                    rd: *rd,
+                    rs: *rs,
+                    rt: *rt,
+                }
             }
         }
         ("sub" | "subu", [O::Reg(rd), O::Reg(rs), O::Imm(v)]) => I::Addiu {
@@ -368,12 +420,36 @@ fn emit(p: &mut Pass<'_>, mnemonic: &str, ops: &[Operand], line: usize) -> Resul
             rs: *rs,
             imm: imm16s(-*v, line)?,
         },
-        ("and", [O::Reg(rd), O::Reg(rs), O::Reg(rt)]) => I::And { rd: *rd, rs: *rs, rt: *rt },
-        ("or", [O::Reg(rd), O::Reg(rs), O::Reg(rt)]) => I::Or { rd: *rd, rs: *rs, rt: *rt },
-        ("xor", [O::Reg(rd), O::Reg(rs), O::Reg(rt)]) => I::Xor { rd: *rd, rs: *rs, rt: *rt },
-        ("nor", [O::Reg(rd), O::Reg(rs), O::Reg(rt)]) => I::Nor { rd: *rd, rs: *rs, rt: *rt },
-        ("slt", [O::Reg(rd), O::Reg(rs), O::Reg(rt)]) => I::Slt { rd: *rd, rs: *rs, rt: *rt },
-        ("sltu", [O::Reg(rd), O::Reg(rs), O::Reg(rt)]) => I::Sltu { rd: *rd, rs: *rs, rt: *rt },
+        ("and", [O::Reg(rd), O::Reg(rs), O::Reg(rt)]) => I::And {
+            rd: *rd,
+            rs: *rs,
+            rt: *rt,
+        },
+        ("or", [O::Reg(rd), O::Reg(rs), O::Reg(rt)]) => I::Or {
+            rd: *rd,
+            rs: *rs,
+            rt: *rt,
+        },
+        ("xor", [O::Reg(rd), O::Reg(rs), O::Reg(rt)]) => I::Xor {
+            rd: *rd,
+            rs: *rs,
+            rt: *rt,
+        },
+        ("nor", [O::Reg(rd), O::Reg(rs), O::Reg(rt)]) => I::Nor {
+            rd: *rd,
+            rs: *rs,
+            rt: *rt,
+        },
+        ("slt", [O::Reg(rd), O::Reg(rs), O::Reg(rt)]) => I::Slt {
+            rd: *rd,
+            rs: *rs,
+            rt: *rt,
+        },
+        ("sltu", [O::Reg(rd), O::Reg(rs), O::Reg(rt)]) => I::Sltu {
+            rd: *rd,
+            rs: *rs,
+            rt: *rt,
+        },
         ("and", [O::Reg(rd), O::Reg(rs), O::Imm(v)]) => I::Andi {
             rt: *rd,
             rs: *rs,
@@ -401,9 +477,21 @@ fn emit(p: &mut Pass<'_>, mnemonic: &str, ops: &[Operand], line: usize) -> Resul
             rt: *rt,
             shamt: *v as u8,
         },
-        ("sllv", [O::Reg(rd), O::Reg(rt), O::Reg(rs)]) => I::Sllv { rd: *rd, rt: *rt, rs: *rs },
-        ("srlv", [O::Reg(rd), O::Reg(rt), O::Reg(rs)]) => I::Srlv { rd: *rd, rt: *rt, rs: *rs },
-        ("srav", [O::Reg(rd), O::Reg(rt), O::Reg(rs)]) => I::Srav { rd: *rd, rt: *rt, rs: *rs },
+        ("sllv", [O::Reg(rd), O::Reg(rt), O::Reg(rs)]) => I::Sllv {
+            rd: *rd,
+            rt: *rt,
+            rs: *rs,
+        },
+        ("srlv", [O::Reg(rd), O::Reg(rt), O::Reg(rs)]) => I::Srlv {
+            rd: *rd,
+            rt: *rt,
+            rs: *rs,
+        },
+        ("srav", [O::Reg(rd), O::Reg(rt), O::Reg(rs)]) => I::Srav {
+            rd: *rd,
+            rt: *rt,
+            rs: *rs,
+        },
 
         // --- multiply / divide ---
         ("mult", [O::Reg(rs), O::Reg(rt)]) => I::Mult { rs: *rs, rt: *rt },
@@ -417,11 +505,16 @@ fn emit(p: &mut Pass<'_>, mnemonic: &str, ops: &[Operand], line: usize) -> Resul
 
         // --- register jumps, traps ---
         ("jr", [O::Reg(rs)]) => I::Jr { rs: *rs },
-        ("jalr", [O::Reg(rs)]) => I::Jalr { rd: Reg::RA, rs: *rs },
+        ("jalr", [O::Reg(rs)]) => I::Jalr {
+            rd: Reg::RA,
+            rs: *rs,
+        },
         ("jalr", [O::Reg(rd), O::Reg(rs)]) => I::Jalr { rd: *rd, rs: *rs },
         ("syscall", []) => I::Syscall,
         ("break", []) => I::Break { code: 0 },
-        ("break", [O::Imm(v)]) => I::Break { code: *v as u32 & 0xfffff },
+        ("break", [O::Imm(v)]) => I::Break {
+            code: *v as u32 & 0xfffff,
+        },
         ("iret", []) => I::Iret,
         ("nop", []) => I::NOP,
 
@@ -467,59 +560,166 @@ fn emit(p: &mut Pass<'_>, mnemonic: &str, ops: &[Operand], line: usize) -> Resul
         },
 
         // --- loads / stores ---
-        ("lb", [O::Reg(rt), O::Mem { base, offset }]) => I::Lb { rt: *rt, base: *base, offset: imm16s(*offset, line)? },
-        ("lbu", [O::Reg(rt), O::Mem { base, offset }]) => I::Lbu { rt: *rt, base: *base, offset: imm16s(*offset, line)? },
-        ("lh", [O::Reg(rt), O::Mem { base, offset }]) => I::Lh { rt: *rt, base: *base, offset: imm16s(*offset, line)? },
-        ("lhu", [O::Reg(rt), O::Mem { base, offset }]) => I::Lhu { rt: *rt, base: *base, offset: imm16s(*offset, line)? },
-        ("lw", [O::Reg(rt), O::Mem { base, offset }]) => I::Lw { rt: *rt, base: *base, offset: imm16s(*offset, line)? },
-        ("sb", [O::Reg(rt), O::Mem { base, offset }]) => I::Sb { rt: *rt, base: *base, offset: imm16s(*offset, line)? },
-        ("sh", [O::Reg(rt), O::Mem { base, offset }]) => I::Sh { rt: *rt, base: *base, offset: imm16s(*offset, line)? },
-        ("sw", [O::Reg(rt), O::Mem { base, offset }]) => I::Sw { rt: *rt, base: *base, offset: imm16s(*offset, line)? },
-        ("swic", [O::Reg(rt), O::Mem { base, offset }]) => I::Swic { rt: *rt, base: *base, offset: imm16s(*offset, line)? },
-        ("lw", [O::Reg(rd), O::MemIndexed { base, index }]) => I::Lwx { rd: *rd, base: *base, index: *index },
-        ("lhu", [O::Reg(rd), O::MemIndexed { base, index }]) => I::Lhux { rd: *rd, base: *base, index: *index },
-        ("lbu", [O::Reg(rd), O::MemIndexed { base, index }]) => I::Lbux { rd: *rd, base: *base, index: *index },
+        ("lb", [O::Reg(rt), O::Mem { base, offset }]) => I::Lb {
+            rt: *rt,
+            base: *base,
+            offset: imm16s(*offset, line)?,
+        },
+        ("lbu", [O::Reg(rt), O::Mem { base, offset }]) => I::Lbu {
+            rt: *rt,
+            base: *base,
+            offset: imm16s(*offset, line)?,
+        },
+        ("lh", [O::Reg(rt), O::Mem { base, offset }]) => I::Lh {
+            rt: *rt,
+            base: *base,
+            offset: imm16s(*offset, line)?,
+        },
+        ("lhu", [O::Reg(rt), O::Mem { base, offset }]) => I::Lhu {
+            rt: *rt,
+            base: *base,
+            offset: imm16s(*offset, line)?,
+        },
+        ("lw", [O::Reg(rt), O::Mem { base, offset }]) => I::Lw {
+            rt: *rt,
+            base: *base,
+            offset: imm16s(*offset, line)?,
+        },
+        ("sb", [O::Reg(rt), O::Mem { base, offset }]) => I::Sb {
+            rt: *rt,
+            base: *base,
+            offset: imm16s(*offset, line)?,
+        },
+        ("sh", [O::Reg(rt), O::Mem { base, offset }]) => I::Sh {
+            rt: *rt,
+            base: *base,
+            offset: imm16s(*offset, line)?,
+        },
+        ("sw", [O::Reg(rt), O::Mem { base, offset }]) => I::Sw {
+            rt: *rt,
+            base: *base,
+            offset: imm16s(*offset, line)?,
+        },
+        ("swic", [O::Reg(rt), O::Mem { base, offset }]) => I::Swic {
+            rt: *rt,
+            base: *base,
+            offset: imm16s(*offset, line)?,
+        },
+        ("lw", [O::Reg(rd), O::MemIndexed { base, index }]) => I::Lwx {
+            rd: *rd,
+            base: *base,
+            index: *index,
+        },
+        ("lhu", [O::Reg(rd), O::MemIndexed { base, index }]) => I::Lhux {
+            rd: *rd,
+            base: *base,
+            index: *index,
+        },
+        ("lbu", [O::Reg(rd), O::MemIndexed { base, index }]) => I::Lbux {
+            rd: *rd,
+            base: *base,
+            index: *index,
+        },
 
         // --- branches ---
-        ("beq", [O::Reg(rs), O::Reg(rt), target]) => I::Beq { rs: *rs, rt: *rt, offset: branch_offset(p, target)? },
-        ("bne", [O::Reg(rs), O::Reg(rt), target]) => I::Bne { rs: *rs, rt: *rt, offset: branch_offset(p, target)? },
-        ("blez", [O::Reg(rs), target]) => I::Blez { rs: *rs, offset: branch_offset(p, target)? },
-        ("bgtz", [O::Reg(rs), target]) => I::Bgtz { rs: *rs, offset: branch_offset(p, target)? },
-        ("bltz", [O::Reg(rs), target]) => I::Bltz { rs: *rs, offset: branch_offset(p, target)? },
-        ("bgez", [O::Reg(rs), target]) => I::Bgez { rs: *rs, offset: branch_offset(p, target)? },
-        ("b", [target]) => I::Beq { rs: Reg::ZERO, rt: Reg::ZERO, offset: branch_offset(p, target)? },
-        ("beqz", [O::Reg(rs), target]) => I::Beq { rs: *rs, rt: Reg::ZERO, offset: branch_offset(p, target)? },
-        ("bnez", [O::Reg(rs), target]) => I::Bne { rs: *rs, rt: Reg::ZERO, offset: branch_offset(p, target)? },
+        ("beq", [O::Reg(rs), O::Reg(rt), target]) => I::Beq {
+            rs: *rs,
+            rt: *rt,
+            offset: branch_offset(p, target)?,
+        },
+        ("bne", [O::Reg(rs), O::Reg(rt), target]) => I::Bne {
+            rs: *rs,
+            rt: *rt,
+            offset: branch_offset(p, target)?,
+        },
+        ("blez", [O::Reg(rs), target]) => I::Blez {
+            rs: *rs,
+            offset: branch_offset(p, target)?,
+        },
+        ("bgtz", [O::Reg(rs), target]) => I::Bgtz {
+            rs: *rs,
+            offset: branch_offset(p, target)?,
+        },
+        ("bltz", [O::Reg(rs), target]) => I::Bltz {
+            rs: *rs,
+            offset: branch_offset(p, target)?,
+        },
+        ("bgez", [O::Reg(rs), target]) => I::Bgez {
+            rs: *rs,
+            offset: branch_offset(p, target)?,
+        },
+        ("b", [target]) => I::Beq {
+            rs: Reg::ZERO,
+            rt: Reg::ZERO,
+            offset: branch_offset(p, target)?,
+        },
+        ("beqz", [O::Reg(rs), target]) => I::Beq {
+            rs: *rs,
+            rt: Reg::ZERO,
+            offset: branch_offset(p, target)?,
+        },
+        ("bnez", [O::Reg(rs), target]) => I::Bne {
+            rs: *rs,
+            rt: Reg::ZERO,
+            offset: branch_offset(p, target)?,
+        },
 
         // --- jumps ---
-        ("j", [target]) => I::J { target: jump_target(p, target)? },
-        ("jal", [target]) => I::Jal { target: jump_target(p, target)? },
+        ("j", [target]) => I::J {
+            target: jump_target(p, target)?,
+        },
+        ("jal", [target]) => I::Jal {
+            target: jump_target(p, target)?,
+        },
 
         // --- coprocessor 0 ---
         ("mfc0", [O::Reg(rt), O::C0(c0)]) => I::Mfc0 { rt: *rt, c0: *c0 },
         ("mtc0", [O::Reg(rt), O::C0(c0)]) => I::Mtc0 { rt: *rt, c0: *c0 },
 
         // --- pseudo: move / li / la ---
-        ("move", [O::Reg(rd), O::Reg(rs)]) => I::Addu { rd: *rd, rs: *rs, rt: Reg::ZERO },
+        ("move", [O::Reg(rd), O::Reg(rs)]) => I::Addu {
+            rd: *rd,
+            rs: *rs,
+            rt: Reg::ZERO,
+        },
         ("li", [O::Reg(rt), O::Imm(v)]) => {
             let val = *v as u32;
             match li_words(*v) {
-                1 if (val as i32) <= i16::MAX as i32 && (val as i32) >= i16::MIN as i32 => I::Addiu {
+                1 if (val as i32) <= i16::MAX as i32 && (val as i32) >= i16::MIN as i32 => {
+                    I::Addiu {
+                        rt: *rt,
+                        rs: Reg::ZERO,
+                        imm: val as i16,
+                    }
+                }
+                1 => I::Lui {
                     rt: *rt,
-                    rs: Reg::ZERO,
-                    imm: val as i16,
+                    imm: (val >> 16) as u16,
                 },
-                1 => I::Lui { rt: *rt, imm: (val >> 16) as u16 },
                 _ => {
-                    p.text.push(I::Lui { rt: *rt, imm: (val >> 16) as u16 });
-                    I::Ori { rt: *rt, rs: *rt, imm: (val & 0xffff) as u16 }
+                    p.text.push(I::Lui {
+                        rt: *rt,
+                        imm: (val >> 16) as u16,
+                    });
+                    I::Ori {
+                        rt: *rt,
+                        rs: *rt,
+                        imm: (val & 0xffff) as u16,
+                    }
                 }
             }
         }
         ("la", [O::Reg(rt), O::Sym(s)]) => {
             let addr = p.resolve(s, line)?;
-            p.text.push(I::Lui { rt: *rt, imm: (addr >> 16) as u16 });
-            I::Ori { rt: *rt, rs: *rt, imm: (addr & 0xffff) as u16 }
+            p.text.push(I::Lui {
+                rt: *rt,
+                imm: (addr >> 16) as u16,
+            });
+            I::Ori {
+                rt: *rt,
+                rs: *rt,
+                imm: (addr & 0xffff) as u16,
+            }
         }
 
         (m, _) if KNOWN_MNEMONICS.contains(&m) => return Err(bad_ops(m, line)),
@@ -550,7 +750,11 @@ pub(crate) fn assemble(
         text_base,
         data_base,
         text: Vec::new(),
-        data: DataCursor { bytes: Vec::new(), len: 0, emit: false },
+        data: DataCursor {
+            bytes: Vec::new(),
+            len: 0,
+            emit: false,
+        },
         text_words: 0,
         section: Section::Text,
         pending: Vec::new(),

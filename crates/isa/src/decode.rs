@@ -96,8 +96,16 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
         op::JAL => Jal {
             target: word & 0x03ff_ffff,
         },
-        op::BEQ => Beq { rs, rt, offset: simm },
-        op::BNE => Bne { rs, rt, offset: simm },
+        op::BEQ => Beq {
+            rs,
+            rt,
+            offset: simm,
+        },
+        op::BNE => Bne {
+            rs,
+            rt,
+            offset: simm,
+        },
         op::BLEZ => Blez { rs, offset: simm },
         op::BGTZ => Bgtz { rs, offset: simm },
         op::ADDI => Addi { rt, rs, imm: simm },
@@ -138,15 +146,51 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
             },
             _ => return err,
         },
-        op::LB => Lb { rt, base: rs, offset: simm },
-        op::LH => Lh { rt, base: rs, offset: simm },
-        op::LW => Lw { rt, base: rs, offset: simm },
-        op::LBU => Lbu { rt, base: rs, offset: simm },
-        op::LHU => Lhu { rt, base: rs, offset: simm },
-        op::SB => Sb { rt, base: rs, offset: simm },
-        op::SH => Sh { rt, base: rs, offset: simm },
-        op::SW => Sw { rt, base: rs, offset: simm },
-        op::SWIC => Swic { rt, base: rs, offset: simm },
+        op::LB => Lb {
+            rt,
+            base: rs,
+            offset: simm,
+        },
+        op::LH => Lh {
+            rt,
+            base: rs,
+            offset: simm,
+        },
+        op::LW => Lw {
+            rt,
+            base: rs,
+            offset: simm,
+        },
+        op::LBU => Lbu {
+            rt,
+            base: rs,
+            offset: simm,
+        },
+        op::LHU => Lhu {
+            rt,
+            base: rs,
+            offset: simm,
+        },
+        op::SB => Sb {
+            rt,
+            base: rs,
+            offset: simm,
+        },
+        op::SH => Sh {
+            rt,
+            base: rs,
+            offset: simm,
+        },
+        op::SW => Sw {
+            rt,
+            base: rs,
+            offset: simm,
+        },
+        op::SWIC => Swic {
+            rt,
+            base: rs,
+            offset: simm,
+        },
         _ => return err,
     };
     Ok(insn)
@@ -183,30 +227,93 @@ mod tests {
         use crate::{C0Reg, Reg};
         use Instruction::*;
         let sample = [
-            Add { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 },
-            Sll { rd: Reg::T0, rt: Reg::T1, shamt: 31 },
-            Mult { rs: Reg::A0, rt: Reg::A1 },
+            Add {
+                rd: Reg::T0,
+                rs: Reg::T1,
+                rt: Reg::T2,
+            },
+            Sll {
+                rd: Reg::T0,
+                rt: Reg::T1,
+                shamt: 31,
+            },
+            Mult {
+                rs: Reg::A0,
+                rt: Reg::A1,
+            },
             Mfhi { rd: Reg::V0 },
             Jr { rs: Reg::RA },
-            Jalr { rd: Reg::RA, rs: Reg::T9 },
+            Jalr {
+                rd: Reg::RA,
+                rs: Reg::T9,
+            },
             Syscall,
             Break { code: 0xabcde },
-            Addiu { rt: Reg::SP, rs: Reg::SP, imm: -32 },
-            Lui { rt: Reg::T0, imm: 0x1234 },
-            Lw { rt: Reg::T0, base: Reg::SP, offset: -4 },
-            Sw { rt: Reg::T0, base: Reg::SP, offset: 8 },
-            Lwx { rd: Reg::K0, base: Reg::T2, index: Reg::T3 },
-            Lhux { rd: Reg::T0, base: Reg::T1, index: Reg::T2 },
-            Lbux { rd: Reg::T0, base: Reg::T1, index: Reg::T2 },
-            Beq { rs: Reg::T0, rt: Reg::ZERO, offset: -1 },
-            Bgez { rs: Reg::A0, offset: 12 },
-            Bltz { rs: Reg::A0, offset: -12 },
+            Addiu {
+                rt: Reg::SP,
+                rs: Reg::SP,
+                imm: -32,
+            },
+            Lui {
+                rt: Reg::T0,
+                imm: 0x1234,
+            },
+            Lw {
+                rt: Reg::T0,
+                base: Reg::SP,
+                offset: -4,
+            },
+            Sw {
+                rt: Reg::T0,
+                base: Reg::SP,
+                offset: 8,
+            },
+            Lwx {
+                rd: Reg::K0,
+                base: Reg::T2,
+                index: Reg::T3,
+            },
+            Lhux {
+                rd: Reg::T0,
+                base: Reg::T1,
+                index: Reg::T2,
+            },
+            Lbux {
+                rd: Reg::T0,
+                base: Reg::T1,
+                index: Reg::T2,
+            },
+            Beq {
+                rs: Reg::T0,
+                rt: Reg::ZERO,
+                offset: -1,
+            },
+            Bgez {
+                rs: Reg::A0,
+                offset: 12,
+            },
+            Bltz {
+                rs: Reg::A0,
+                offset: -12,
+            },
             J { target: 0x123456 },
-            Jal { target: 0x03ff_ffff },
-            Mfc0 { rt: Reg::K1, c0: C0Reg::BADVA },
-            Mtc0 { rt: Reg::T0, c0: C0Reg::DICT_BASE },
+            Jal {
+                target: 0x03ff_ffff,
+            },
+            Mfc0 {
+                rt: Reg::K1,
+                c0: C0Reg::BADVA,
+            },
+            Mtc0 {
+                rt: Reg::T0,
+                c0: C0Reg::DICT_BASE,
+            },
             Iret,
-            Swic { rt: Reg::K0, base: Reg::K1, offset: 28 },
+            Swic {
+                rt: Reg::K0,
+                base: Reg::K1,
+                offset: 28,
+            },
         ];
         for insn in sample {
             assert_eq!(decode(encode(insn)), Ok(insn), "{insn:?}");

@@ -174,8 +174,12 @@ pub fn encode(insn: Instruction) -> u32 {
         Bgez { rs, offset } => itype(op::REGIMM, r(rs), 1, offset as u16),
         J { target } => (op::J << 26) | (target & 0x03ff_ffff),
         Jal { target } => (op::JAL << 26) | (target & 0x03ff_ffff),
-        Mfc0 { rt, c0: c } => (op::COP0 << 26) | (cop0rs::MFC0 << 21) | (r(rt) << 16) | (c0(c) << 11),
-        Mtc0 { rt, c0: c } => (op::COP0 << 26) | (cop0rs::MTC0 << 21) | (r(rt) << 16) | (c0(c) << 11),
+        Mfc0 { rt, c0: c } => {
+            (op::COP0 << 26) | (cop0rs::MFC0 << 21) | (r(rt) << 16) | (c0(c) << 11)
+        }
+        Mtc0 { rt, c0: c } => {
+            (op::COP0 << 26) | (cop0rs::MTC0 << 21) | (r(rt) << 16) | (c0(c) << 11)
+        }
         Iret => (op::COP0 << 26) | (cop0rs::CO << 21) | funct::IRET,
     }
 }
@@ -223,7 +227,9 @@ mod tests {
 
     #[test]
     fn jump_target_masked_to_26_bits() {
-        let w = encode(Instruction::J { target: 0xffff_ffff });
+        let w = encode(Instruction::J {
+            target: 0xffff_ffff,
+        });
         assert_eq!(w, (op::J << 26) | 0x03ff_ffff);
     }
 }

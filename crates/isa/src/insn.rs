@@ -27,88 +27,288 @@ use crate::reg::{C0Reg, Reg};
 #[allow(missing_docs)] // field meanings follow MIPS conventions documented above
 pub enum Instruction {
     // --- R-type three-register ALU ---
-    Add { rd: Reg, rs: Reg, rt: Reg },
-    Addu { rd: Reg, rs: Reg, rt: Reg },
-    Sub { rd: Reg, rs: Reg, rt: Reg },
-    Subu { rd: Reg, rs: Reg, rt: Reg },
-    And { rd: Reg, rs: Reg, rt: Reg },
-    Or { rd: Reg, rs: Reg, rt: Reg },
-    Xor { rd: Reg, rs: Reg, rt: Reg },
-    Nor { rd: Reg, rs: Reg, rt: Reg },
-    Slt { rd: Reg, rs: Reg, rt: Reg },
-    Sltu { rd: Reg, rs: Reg, rt: Reg },
+    Add {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Addu {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Sub {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Subu {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    And {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Or {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Xor {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Nor {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Slt {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Sltu {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
 
     // --- shifts ---
-    Sll { rd: Reg, rt: Reg, shamt: u8 },
-    Srl { rd: Reg, rt: Reg, shamt: u8 },
-    Sra { rd: Reg, rt: Reg, shamt: u8 },
-    Sllv { rd: Reg, rt: Reg, rs: Reg },
-    Srlv { rd: Reg, rt: Reg, rs: Reg },
-    Srav { rd: Reg, rt: Reg, rs: Reg },
+    Sll {
+        rd: Reg,
+        rt: Reg,
+        shamt: u8,
+    },
+    Srl {
+        rd: Reg,
+        rt: Reg,
+        shamt: u8,
+    },
+    Sra {
+        rd: Reg,
+        rt: Reg,
+        shamt: u8,
+    },
+    Sllv {
+        rd: Reg,
+        rt: Reg,
+        rs: Reg,
+    },
+    Srlv {
+        rd: Reg,
+        rt: Reg,
+        rs: Reg,
+    },
+    Srav {
+        rd: Reg,
+        rt: Reg,
+        rs: Reg,
+    },
 
     // --- multiply / divide ---
-    Mult { rs: Reg, rt: Reg },
-    Multu { rs: Reg, rt: Reg },
-    Div { rs: Reg, rt: Reg },
-    Divu { rs: Reg, rt: Reg },
-    Mfhi { rd: Reg },
-    Mflo { rd: Reg },
-    Mthi { rs: Reg },
-    Mtlo { rs: Reg },
+    Mult {
+        rs: Reg,
+        rt: Reg,
+    },
+    Multu {
+        rs: Reg,
+        rt: Reg,
+    },
+    Div {
+        rs: Reg,
+        rt: Reg,
+    },
+    Divu {
+        rs: Reg,
+        rt: Reg,
+    },
+    Mfhi {
+        rd: Reg,
+    },
+    Mflo {
+        rd: Reg,
+    },
+    Mthi {
+        rs: Reg,
+    },
+    Mtlo {
+        rs: Reg,
+    },
 
     // --- register jumps ---
-    Jr { rs: Reg },
-    Jalr { rd: Reg, rs: Reg },
+    Jr {
+        rs: Reg,
+    },
+    Jalr {
+        rd: Reg,
+        rs: Reg,
+    },
 
     // --- traps ---
     Syscall,
-    Break { code: u32 },
+    Break {
+        code: u32,
+    },
 
     // --- I-type ALU ---
-    Addi { rt: Reg, rs: Reg, imm: i16 },
-    Addiu { rt: Reg, rs: Reg, imm: i16 },
-    Slti { rt: Reg, rs: Reg, imm: i16 },
-    Sltiu { rt: Reg, rs: Reg, imm: i16 },
-    Andi { rt: Reg, rs: Reg, imm: u16 },
-    Ori { rt: Reg, rs: Reg, imm: u16 },
-    Xori { rt: Reg, rs: Reg, imm: u16 },
-    Lui { rt: Reg, imm: u16 },
+    Addi {
+        rt: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Addiu {
+        rt: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Slti {
+        rt: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Sltiu {
+        rt: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Andi {
+        rt: Reg,
+        rs: Reg,
+        imm: u16,
+    },
+    Ori {
+        rt: Reg,
+        rs: Reg,
+        imm: u16,
+    },
+    Xori {
+        rt: Reg,
+        rs: Reg,
+        imm: u16,
+    },
+    Lui {
+        rt: Reg,
+        imm: u16,
+    },
 
     // --- loads / stores (base + signed 16-bit displacement) ---
-    Lb { rt: Reg, base: Reg, offset: i16 },
-    Lbu { rt: Reg, base: Reg, offset: i16 },
-    Lh { rt: Reg, base: Reg, offset: i16 },
-    Lhu { rt: Reg, base: Reg, offset: i16 },
-    Lw { rt: Reg, base: Reg, offset: i16 },
-    Sb { rt: Reg, base: Reg, offset: i16 },
-    Sh { rt: Reg, base: Reg, offset: i16 },
-    Sw { rt: Reg, base: Reg, offset: i16 },
+    Lb {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Lbu {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Lh {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Lhu {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Lw {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Sb {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Sh {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Sw {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
 
     // --- register-indexed loads (PISA-style addressing) ---
-    Lwx { rd: Reg, base: Reg, index: Reg },
-    Lhux { rd: Reg, base: Reg, index: Reg },
-    Lbux { rd: Reg, base: Reg, index: Reg },
+    Lwx {
+        rd: Reg,
+        base: Reg,
+        index: Reg,
+    },
+    Lhux {
+        rd: Reg,
+        base: Reg,
+        index: Reg,
+    },
+    Lbux {
+        rd: Reg,
+        base: Reg,
+        index: Reg,
+    },
 
     // --- branches (PC-relative, no delay slot) ---
-    Beq { rs: Reg, rt: Reg, offset: i16 },
-    Bne { rs: Reg, rt: Reg, offset: i16 },
-    Blez { rs: Reg, offset: i16 },
-    Bgtz { rs: Reg, offset: i16 },
-    Bltz { rs: Reg, offset: i16 },
-    Bgez { rs: Reg, offset: i16 },
+    Beq {
+        rs: Reg,
+        rt: Reg,
+        offset: i16,
+    },
+    Bne {
+        rs: Reg,
+        rt: Reg,
+        offset: i16,
+    },
+    Blez {
+        rs: Reg,
+        offset: i16,
+    },
+    Bgtz {
+        rs: Reg,
+        offset: i16,
+    },
+    Bltz {
+        rs: Reg,
+        offset: i16,
+    },
+    Bgez {
+        rs: Reg,
+        offset: i16,
+    },
 
     // --- absolute jumps (26-bit word target) ---
-    J { target: u32 },
-    Jal { target: u32 },
+    J {
+        target: u32,
+    },
+    Jal {
+        target: u32,
+    },
 
     // --- coprocessor 0 / paper extensions ---
-    Mfc0 { rt: Reg, c0: C0Reg },
-    Mtc0 { rt: Reg, c0: C0Reg },
+    Mfc0 {
+        rt: Reg,
+        c0: C0Reg,
+    },
+    Mtc0 {
+        rt: Reg,
+        c0: C0Reg,
+    },
     /// Return from exception handler to the missed instruction (§4).
     Iret,
     /// Store word into the instruction cache: writes `rt` to I-cache
     /// address `base + offset` (§4). Requires a non-speculative pipeline.
-    Swic { rt: Reg, base: Reg, offset: i16 },
+    Swic {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
 }
 
 impl Instruction {
@@ -179,20 +379,42 @@ impl Instruction {
     pub fn src_regs(&self) -> (Option<Reg>, Option<Reg>) {
         use Instruction::*;
         match *self {
-            Add { rs, rt, .. } | Addu { rs, rt, .. } | Sub { rs, rt, .. }
-            | Subu { rs, rt, .. } | And { rs, rt, .. } | Or { rs, rt, .. }
-            | Xor { rs, rt, .. } | Nor { rs, rt, .. } | Slt { rs, rt, .. }
-            | Sltu { rs, rt, .. } | Sllv { rs, rt, .. } | Srlv { rs, rt, .. }
-            | Srav { rs, rt, .. } | Mult { rs, rt } | Multu { rs, rt }
-            | Div { rs, rt } | Divu { rs, rt } | Beq { rs, rt, .. }
+            Add { rs, rt, .. }
+            | Addu { rs, rt, .. }
+            | Sub { rs, rt, .. }
+            | Subu { rs, rt, .. }
+            | And { rs, rt, .. }
+            | Or { rs, rt, .. }
+            | Xor { rs, rt, .. }
+            | Nor { rs, rt, .. }
+            | Slt { rs, rt, .. }
+            | Sltu { rs, rt, .. }
+            | Sllv { rs, rt, .. }
+            | Srlv { rs, rt, .. }
+            | Srav { rs, rt, .. }
+            | Mult { rs, rt }
+            | Multu { rs, rt }
+            | Div { rs, rt }
+            | Divu { rs, rt }
+            | Beq { rs, rt, .. }
             | Bne { rs, rt, .. } => (Some(rs), Some(rt)),
             Sll { rt, .. } | Srl { rt, .. } | Sra { rt, .. } => (Some(rt), None),
             Mthi { rs } | Mtlo { rs } | Jr { rs } | Jalr { rs, .. } => (Some(rs), None),
-            Addi { rs, .. } | Addiu { rs, .. } | Slti { rs, .. } | Sltiu { rs, .. }
-            | Andi { rs, .. } | Ori { rs, .. } | Xori { rs, .. } => (Some(rs), None),
-            Lb { base, .. } | Lbu { base, .. } | Lh { base, .. } | Lhu { base, .. }
+            Addi { rs, .. }
+            | Addiu { rs, .. }
+            | Slti { rs, .. }
+            | Sltiu { rs, .. }
+            | Andi { rs, .. }
+            | Ori { rs, .. }
+            | Xori { rs, .. } => (Some(rs), None),
+            Lb { base, .. }
+            | Lbu { base, .. }
+            | Lh { base, .. }
+            | Lhu { base, .. }
             | Lw { base, .. } => (Some(base), None),
-            Sb { rt, base, .. } | Sh { rt, base, .. } | Sw { rt, base, .. }
+            Sb { rt, base, .. }
+            | Sh { rt, base, .. }
+            | Sw { rt, base, .. }
             | Swic { rt, base, .. } => (Some(base), Some(rt)),
             Lwx { base, index, .. } | Lhux { base, index, .. } | Lbux { base, index, .. } => {
                 (Some(base), Some(index))
@@ -201,8 +423,15 @@ impl Instruction {
                 (Some(rs), None)
             }
             Mtc0 { rt, .. } => (Some(rt), None),
-            Mfhi { .. } | Mflo { .. } | Syscall | Break { .. } | Lui { .. } | J { .. }
-            | Jal { .. } | Mfc0 { .. } | Iret => (None, None),
+            Mfhi { .. }
+            | Mflo { .. }
+            | Syscall
+            | Break { .. }
+            | Lui { .. }
+            | J { .. }
+            | Jal { .. }
+            | Mfc0 { .. }
+            | Iret => (None, None),
         }
     }
 
@@ -210,16 +439,42 @@ impl Instruction {
     pub fn dest_reg(&self) -> Option<Reg> {
         use Instruction::*;
         let r = match *self {
-            Add { rd, .. } | Addu { rd, .. } | Sub { rd, .. } | Subu { rd, .. }
-            | And { rd, .. } | Or { rd, .. } | Xor { rd, .. } | Nor { rd, .. }
-            | Slt { rd, .. } | Sltu { rd, .. } | Sll { rd, .. } | Srl { rd, .. }
-            | Sra { rd, .. } | Sllv { rd, .. } | Srlv { rd, .. } | Srav { rd, .. }
-            | Mfhi { rd } | Mflo { rd } | Jalr { rd, .. } | Lwx { rd, .. }
-            | Lhux { rd, .. } | Lbux { rd, .. } => rd,
-            Addi { rt, .. } | Addiu { rt, .. } | Slti { rt, .. } | Sltiu { rt, .. }
-            | Andi { rt, .. } | Ori { rt, .. } | Xori { rt, .. } | Lui { rt, .. }
-            | Lb { rt, .. } | Lbu { rt, .. } | Lh { rt, .. } | Lhu { rt, .. }
-            | Lw { rt, .. } | Mfc0 { rt, .. } => rt,
+            Add { rd, .. }
+            | Addu { rd, .. }
+            | Sub { rd, .. }
+            | Subu { rd, .. }
+            | And { rd, .. }
+            | Or { rd, .. }
+            | Xor { rd, .. }
+            | Nor { rd, .. }
+            | Slt { rd, .. }
+            | Sltu { rd, .. }
+            | Sll { rd, .. }
+            | Srl { rd, .. }
+            | Sra { rd, .. }
+            | Sllv { rd, .. }
+            | Srlv { rd, .. }
+            | Srav { rd, .. }
+            | Mfhi { rd }
+            | Mflo { rd }
+            | Jalr { rd, .. }
+            | Lwx { rd, .. }
+            | Lhux { rd, .. }
+            | Lbux { rd, .. } => rd,
+            Addi { rt, .. }
+            | Addiu { rt, .. }
+            | Slti { rt, .. }
+            | Sltiu { rt, .. }
+            | Andi { rt, .. }
+            | Ori { rt, .. }
+            | Xori { rt, .. }
+            | Lui { rt, .. }
+            | Lb { rt, .. }
+            | Lbu { rt, .. }
+            | Lh { rt, .. }
+            | Lhu { rt, .. }
+            | Lw { rt, .. }
+            | Mfc0 { rt, .. } => rt,
             Jal { .. } => Reg::RA,
             _ => return None,
         };

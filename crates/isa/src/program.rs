@@ -57,7 +57,10 @@ pub struct Procedure {
 impl Procedure {
     /// Creates a procedure from its name and body.
     pub fn new(name: impl Into<String>, code: Vec<ObjInsn>) -> Procedure {
-        Procedure { name: name.into(), code }
+        Procedure {
+            name: name.into(),
+            code,
+        }
     }
 
     /// Size in instruction words.
@@ -120,7 +123,11 @@ impl ObjectProgram {
     ///
     /// Fails if a referenced procedure has no placement or a patched jump
     /// target is not representable (outside the 26-bit region or unaligned).
-    pub fn link_proc(&self, id: ProcId, placement: &Placement) -> Result<Vec<Instruction>, LinkError> {
+    pub fn link_proc(
+        &self,
+        id: ProcId,
+        placement: &Placement,
+    ) -> Result<Vec<Instruction>, LinkError> {
         let proc = self
             .procedures
             .get(id.0)
@@ -257,7 +264,10 @@ impl fmt::Display for LinkError {
             LinkError::Unaligned(a) => write!(f, "unaligned placement address {a:#x}"),
             LinkError::JumpUnreachable(a) => write!(f, "jump target {a:#x} outside 26-bit region"),
             LinkError::TableOutOfBounds { offset, len } => {
-                write!(f, "address table at offset {offset} with {len} entries exceeds data image")
+                write!(
+                    f,
+                    "address table at offset {offset} with {len} entries exceeds data image"
+                )
             }
         }
     }
@@ -285,7 +295,10 @@ mod tests {
             ],
             data: vec![0; 8],
             entry: ProcId(0),
-            addr_tables: vec![AddrTable { data_offset: 4, procs: vec![ProcId(1)] }],
+            addr_tables: vec![AddrTable {
+                data_offset: 4,
+                procs: vec![ProcId(1)],
+            }],
         }
     }
 
@@ -302,7 +315,12 @@ mod tests {
         let p = two_proc_program();
         let placement = Placement::contiguous(&p, 0x1000).unwrap();
         let main = p.link_proc(ProcId(0), &placement).unwrap();
-        assert_eq!(main[0], I::Jal { target: 0x1008 >> 2 });
+        assert_eq!(
+            main[0],
+            I::Jal {
+                target: 0x1008 >> 2
+            }
+        );
     }
 
     #[test]

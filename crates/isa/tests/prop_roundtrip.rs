@@ -1,123 +1,277 @@
-//! Property tests: encode/decode bijection and disassemble/assemble
-//! round-trips over the whole instruction space.
+//! Randomized tests: encode/decode bijection and disassemble/assemble
+//! round-trips over the whole instruction space (seeded, offline —
+//! no external property-testing framework).
 
-use proptest::prelude::*;
 use rtdc_isa::asm::assemble;
 use rtdc_isa::{decode, encode, C0Reg, Instruction, Reg};
+use rtdc_rng::Rng64;
 
-fn any_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg::new)
+fn any_reg(rng: &mut Rng64) -> Reg {
+    Reg::new(rng.gen_range(0u8..32))
 }
 
-fn any_c0() -> impl Strategy<Value = C0Reg> {
-    (0u8..16).prop_map(C0Reg::new)
+fn any_c0(rng: &mut Rng64) -> C0Reg {
+    C0Reg::new(rng.gen_range(0u8..16))
 }
 
-fn any_insn() -> impl Strategy<Value = Instruction> {
+fn any_i16(rng: &mut Rng64) -> i16 {
+    rng.gen_range(i16::MIN..=i16::MAX)
+}
+
+fn any_u16(rng: &mut Rng64) -> u16 {
+    rng.gen_range(0u16..=u16::MAX)
+}
+
+/// One uniformly random instruction covering every form in the ISA.
+fn any_insn(rng: &mut Rng64) -> Instruction {
     use Instruction::*;
-    let r = any_reg;
-    prop_oneof![
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Add { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Addu { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Sub { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Subu { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| And { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Or { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Xor { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Nor { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Slt { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Sltu { rd, rs, rt }),
-        (r(), r(), 0u8..32).prop_map(|(rd, rt, shamt)| Sll { rd, rt, shamt }),
-        (r(), r(), 0u8..32).prop_map(|(rd, rt, shamt)| Srl { rd, rt, shamt }),
-        (r(), r(), 0u8..32).prop_map(|(rd, rt, shamt)| Sra { rd, rt, shamt }),
-        (r(), r(), r()).prop_map(|(rd, rt, rs)| Sllv { rd, rt, rs }),
-        (r(), r(), r()).prop_map(|(rd, rt, rs)| Srlv { rd, rt, rs }),
-        (r(), r(), r()).prop_map(|(rd, rt, rs)| Srav { rd, rt, rs }),
-        (r(), r()).prop_map(|(rs, rt)| Mult { rs, rt }),
-        (r(), r()).prop_map(|(rs, rt)| Multu { rs, rt }),
-        (r(), r()).prop_map(|(rs, rt)| Div { rs, rt }),
-        (r(), r()).prop_map(|(rs, rt)| Divu { rs, rt }),
-        r().prop_map(|rd| Mfhi { rd }),
-        r().prop_map(|rd| Mflo { rd }),
-        r().prop_map(|rs| Mthi { rs }),
-        r().prop_map(|rs| Mtlo { rs }),
-        r().prop_map(|rs| Jr { rs }),
-        (r(), r()).prop_map(|(rd, rs)| Jalr { rd, rs }),
-        Just(Syscall),
-        (0u32..(1 << 20)).prop_map(|code| Break { code }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Addi { rt, rs, imm }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Addiu { rt, rs, imm }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Slti { rt, rs, imm }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Sltiu { rt, rs, imm }),
-        (r(), r(), any::<u16>()).prop_map(|(rt, rs, imm)| Andi { rt, rs, imm }),
-        (r(), r(), any::<u16>()).prop_map(|(rt, rs, imm)| Ori { rt, rs, imm }),
-        (r(), r(), any::<u16>()).prop_map(|(rt, rs, imm)| Xori { rt, rs, imm }),
-        (r(), any::<u16>()).prop_map(|(rt, imm)| Lui { rt, imm }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Lb { rt, base, offset }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Lbu { rt, base, offset }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Lh { rt, base, offset }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Lhu { rt, base, offset }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Lw { rt, base, offset }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Sb { rt, base, offset }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Sh { rt, base, offset }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Sw { rt, base, offset }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, base, offset)| Swic { rt, base, offset }),
-        (r(), r(), r()).prop_map(|(rd, base, index)| Lwx { rd, base, index }),
-        (r(), r(), r()).prop_map(|(rd, base, index)| Lhux { rd, base, index }),
-        (r(), r(), r()).prop_map(|(rd, base, index)| Lbux { rd, base, index }),
-        (r(), r(), any::<i16>()).prop_map(|(rs, rt, offset)| Beq { rs, rt, offset }),
-        (r(), r(), any::<i16>()).prop_map(|(rs, rt, offset)| Bne { rs, rt, offset }),
-        (r(), any::<i16>()).prop_map(|(rs, offset)| Blez { rs, offset }),
-        (r(), any::<i16>()).prop_map(|(rs, offset)| Bgtz { rs, offset }),
-        (r(), any::<i16>()).prop_map(|(rs, offset)| Bltz { rs, offset }),
-        (r(), any::<i16>()).prop_map(|(rs, offset)| Bgez { rs, offset }),
-        (0u32..(1 << 26)).prop_map(|target| J { target }),
-        (0u32..(1 << 26)).prop_map(|target| Jal { target }),
-        (r(), any_c0()).prop_map(|(rt, c0)| Mfc0 { rt, c0 }),
-        (r(), any_c0()).prop_map(|(rt, c0)| Mtc0 { rt, c0 }),
-        Just(Iret),
-    ]
+    let rd = any_reg(rng);
+    let rs = any_reg(rng);
+    let rt = any_reg(rng);
+    match rng.gen_range(0..56) {
+        0 => Add { rd, rs, rt },
+        1 => Addu { rd, rs, rt },
+        2 => Sub { rd, rs, rt },
+        3 => Subu { rd, rs, rt },
+        4 => And { rd, rs, rt },
+        5 => Or { rd, rs, rt },
+        6 => Xor { rd, rs, rt },
+        7 => Nor { rd, rs, rt },
+        8 => Slt { rd, rs, rt },
+        9 => Sltu { rd, rs, rt },
+        10 => Sll {
+            rd,
+            rt,
+            shamt: rng.gen_range(0u8..32),
+        },
+        11 => Srl {
+            rd,
+            rt,
+            shamt: rng.gen_range(0u8..32),
+        },
+        12 => Sra {
+            rd,
+            rt,
+            shamt: rng.gen_range(0u8..32),
+        },
+        13 => Sllv { rd, rt, rs },
+        14 => Srlv { rd, rt, rs },
+        15 => Srav { rd, rt, rs },
+        16 => Mult { rs, rt },
+        17 => Multu { rs, rt },
+        18 => Div { rs, rt },
+        19 => Divu { rs, rt },
+        20 => Mfhi { rd },
+        21 => Mflo { rd },
+        22 => Mthi { rs },
+        23 => Mtlo { rs },
+        24 => Jr { rs },
+        25 => Jalr { rd, rs },
+        26 => Syscall,
+        27 => Break {
+            code: rng.gen_range(0u32..(1 << 20)),
+        },
+        28 => Addi {
+            rt,
+            rs,
+            imm: any_i16(rng),
+        },
+        29 => Addiu {
+            rt,
+            rs,
+            imm: any_i16(rng),
+        },
+        30 => Slti {
+            rt,
+            rs,
+            imm: any_i16(rng),
+        },
+        31 => Sltiu {
+            rt,
+            rs,
+            imm: any_i16(rng),
+        },
+        32 => Andi {
+            rt,
+            rs,
+            imm: any_u16(rng),
+        },
+        33 => Ori {
+            rt,
+            rs,
+            imm: any_u16(rng),
+        },
+        34 => Xori {
+            rt,
+            rs,
+            imm: any_u16(rng),
+        },
+        35 => Lui {
+            rt,
+            imm: any_u16(rng),
+        },
+        36 => Lb {
+            rt,
+            base: rs,
+            offset: any_i16(rng),
+        },
+        37 => Lbu {
+            rt,
+            base: rs,
+            offset: any_i16(rng),
+        },
+        38 => Lh {
+            rt,
+            base: rs,
+            offset: any_i16(rng),
+        },
+        39 => Lhu {
+            rt,
+            base: rs,
+            offset: any_i16(rng),
+        },
+        40 => Lw {
+            rt,
+            base: rs,
+            offset: any_i16(rng),
+        },
+        41 => Sb {
+            rt,
+            base: rs,
+            offset: any_i16(rng),
+        },
+        42 => Sh {
+            rt,
+            base: rs,
+            offset: any_i16(rng),
+        },
+        43 => Sw {
+            rt,
+            base: rs,
+            offset: any_i16(rng),
+        },
+        44 => Swic {
+            rt,
+            base: rs,
+            offset: any_i16(rng),
+        },
+        45 => Lwx {
+            rd,
+            base: rs,
+            index: rt,
+        },
+        46 => Lhux {
+            rd,
+            base: rs,
+            index: rt,
+        },
+        47 => Lbux {
+            rd,
+            base: rs,
+            index: rt,
+        },
+        48 => Beq {
+            rs,
+            rt,
+            offset: any_i16(rng),
+        },
+        49 => Bne {
+            rs,
+            rt,
+            offset: any_i16(rng),
+        },
+        50 => Blez {
+            rs,
+            offset: any_i16(rng),
+        },
+        51 => Bgtz {
+            rs,
+            offset: any_i16(rng),
+        },
+        52 => Bltz {
+            rs,
+            offset: any_i16(rng),
+        },
+        53 => Bgez {
+            rs,
+            offset: any_i16(rng),
+        },
+        54 => match rng.gen_range(0..4) {
+            0 => J {
+                target: rng.gen_range(0u32..(1 << 26)),
+            },
+            1 => Jal {
+                target: rng.gen_range(0u32..(1 << 26)),
+            },
+            2 => Mfc0 {
+                rt,
+                c0: any_c0(rng),
+            },
+            _ => Mtc0 {
+                rt,
+                c0: any_c0(rng),
+            },
+        },
+        _ => Iret,
+    }
 }
 
-proptest! {
-    /// encode is injective and decode inverts it.
-    #[test]
-    fn encode_decode_bijection(insn in any_insn()) {
-        let word = encode(insn);
-        prop_assert_eq!(decode(word), Ok(insn));
-    }
+const TRIALS: usize = 4096;
 
-    /// Two different instructions never share an encoding.
-    #[test]
-    fn encodings_are_distinct(a in any_insn(), b in any_insn()) {
+/// encode is injective and decode inverts it.
+#[test]
+fn encode_decode_bijection() {
+    let mut rng = Rng64::seed_from_u64(0x150a_0001);
+    for _ in 0..TRIALS {
+        let insn = any_insn(&mut rng);
+        let word = encode(insn);
+        assert_eq!(decode(word), Ok(insn), "word {word:#010x}");
+    }
+}
+
+/// Two different instructions never share an encoding.
+#[test]
+fn encodings_are_distinct() {
+    let mut rng = Rng64::seed_from_u64(0x150a_0002);
+    for _ in 0..TRIALS {
+        let a = any_insn(&mut rng);
+        let b = any_insn(&mut rng);
         if a != b {
-            prop_assert_ne!(encode(a), encode(b));
+            assert_ne!(encode(a), encode(b), "{a} vs {b}");
         }
     }
+}
 
-    /// Decoding an arbitrary word either fails or re-encodes to itself
-    /// (no lossy acceptance of junk fields).
-    #[test]
-    fn decode_is_partial_inverse(word in any::<u32>()) {
+/// Decoding an arbitrary word either fails or re-encodes to itself
+/// (no lossy acceptance of junk fields).
+#[test]
+fn decode_is_partial_inverse() {
+    let mut rng = Rng64::seed_from_u64(0x150a_0003);
+    for _ in 0..4 * TRIALS {
+        let word = rng.gen_u32();
         if let Ok(insn) = decode(word) {
             // Some fields are don't-care in the hardware encoding (e.g.
             // shamt of ADD); re-encoding canonicalizes them. Decode again
             // to check the canonical form is stable.
             let canon = encode(insn);
-            prop_assert_eq!(decode(canon), Ok(insn));
+            assert_eq!(decode(canon), Ok(insn), "word {word:#010x}");
         }
     }
+}
 
-    /// Disassembly is valid assembler input for the same instruction
-    /// (jumps excluded: their text form encodes an absolute address).
-    #[test]
-    fn disasm_asm_round_trip(insn in any_insn()) {
-        let skip = matches!(insn, Instruction::J { .. } | Instruction::Jal { .. });
-        if !skip {
-            let text = insn.to_string();
-            let out = assemble(&text, 0, 0x1000_0000)
-                .unwrap_or_else(|e| panic!("`{text}` failed to assemble: {e}"));
-            prop_assert_eq!(out.text, vec![insn], "text was `{}`", text);
+/// Disassembly is valid assembler input for the same instruction
+/// (jumps excluded: their text form encodes an absolute address).
+#[test]
+fn disasm_asm_round_trip() {
+    let mut rng = Rng64::seed_from_u64(0x150a_0004);
+    for _ in 0..TRIALS {
+        let insn = any_insn(&mut rng);
+        if matches!(insn, Instruction::J { .. } | Instruction::Jal { .. }) {
+            continue;
         }
+        let text = insn.to_string();
+        let out = assemble(&text, 0, 0x1000_0000)
+            .unwrap_or_else(|e| panic!("`{text}` failed to assemble: {e}"));
+        assert_eq!(out.text, vec![insn], "text was `{text}`");
     }
 }

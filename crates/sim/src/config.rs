@@ -19,7 +19,10 @@ impl CacheConfig {
     /// Panics unless `size_bytes` is divisible by `line_bytes * assoc` and
     /// both `line_bytes` and the resulting set count are powers of two.
     pub fn new(size_bytes: u32, line_bytes: u32, assoc: u32) -> CacheConfig {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(assoc >= 1, "associativity must be at least 1");
         assert_eq!(
             size_bytes % (line_bytes * assoc),
@@ -28,7 +31,11 @@ impl CacheConfig {
         );
         let sets = size_bytes / (line_bytes * assoc);
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        CacheConfig { size_bytes, line_bytes, assoc }
+        CacheConfig {
+            size_bytes,
+            line_bytes,
+            assoc,
+        }
     }
 
     /// Number of sets.
@@ -36,14 +43,19 @@ impl CacheConfig {
         self.size_bytes / (self.line_bytes * self.assoc)
     }
 
+    /// log2 of the line size (the index shift).
+    pub fn line_shift(&self) -> u32 {
+        self.line_bytes.trailing_zeros()
+    }
+
     /// The set index for an address.
     pub fn set_of(&self, addr: u32) -> u32 {
-        (addr / self.line_bytes) & (self.sets() - 1)
+        (addr >> self.line_shift()) & (self.sets() - 1)
     }
 
     /// The tag for an address (line address above the index bits).
     pub fn tag_of(&self, addr: u32) -> u32 {
-        addr / self.line_bytes / self.sets()
+        addr >> (self.line_shift() + self.sets().trailing_zeros())
     }
 
     /// The address of the first byte of the line containing `addr`.
@@ -92,6 +104,14 @@ pub struct SimConfig {
     /// Whether the core has a second (shadow) register file used during
     /// exceptions (§4.1's "+RF" configurations).
     pub second_regfile: bool,
+    /// Host-side pre-decoded instruction store: `step()` reuses the decoded
+    /// form of a `(pc, word)` pair instead of re-decoding the raw word each
+    /// cycle. Purely a simulator-throughput optimization — architectural
+    /// results and every `Stats` counter are identical with it on or off
+    /// (entries are verified against the fetched word, so `swic` writes,
+    /// evictions, refills, and native↔compressed transitions can never
+    /// serve a stale decode).
+    pub decode_cache: bool,
 }
 
 impl SimConfig {
@@ -112,6 +132,7 @@ impl SimConfig {
             mult_latency: 3,
             div_latency: 20,
             second_regfile: false,
+            decode_cache: true,
         }
     }
 
@@ -125,6 +146,13 @@ impl SimConfig {
     /// Baseline with the second register file enabled (the "+RF" machines).
     pub fn with_second_regfile(mut self, enabled: bool) -> SimConfig {
         self.second_regfile = enabled;
+        self
+    }
+
+    /// Baseline with the pre-decoded instruction store enabled or disabled
+    /// (differential tests run both ways and must agree exactly).
+    pub fn with_decode_cache(mut self, enabled: bool) -> SimConfig {
+        self.decode_cache = enabled;
         self
     }
 

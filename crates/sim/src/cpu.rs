@@ -68,6 +68,17 @@ enum Fetch {
     TookException,
 }
 
+/// Slots in the pre-decoded instruction store (direct-mapped on `pc >> 2`).
+const DECODE_SLOTS: usize = 1 << 15;
+
+/// One slot of the pre-decoded store: the packed `(pc, word)` pair this
+/// decode was made from, plus the decoded form.
+#[derive(Debug, Clone, Copy)]
+struct DecodeEntry {
+    key: u64,
+    insn: Instruction,
+}
+
 /// The simulated machine.
 #[derive(Debug)]
 pub struct Machine {
@@ -91,6 +102,10 @@ pub struct Machine {
     output: Vec<u8>,
     last_load_dest: Option<Reg>,
     exited: Option<u32>,
+    /// Host-side pre-decoded instruction store ([`SimConfig::decode_cache`]).
+    /// Entries are validated against the fetched word, so they can never go
+    /// stale; `None` when the feature is disabled.
+    decode: Option<Box<[DecodeEntry]>>,
 }
 
 impl Machine {
@@ -117,6 +132,16 @@ impl Machine {
             output: Vec::new(),
             last_load_dest: None,
             exited: None,
+            decode: cfg.decode_cache.then(|| {
+                vec![
+                    DecodeEntry {
+                        key: u64::MAX,
+                        insn: Instruction::Syscall
+                    };
+                    DECODE_SLOTS
+                ]
+                .into_boxed_slice()
+            }),
         }
     }
 
@@ -166,22 +191,34 @@ impl Machine {
         &self.icache
     }
 
+    /// The word visible at `addr` through the fetch priority chain —
+    /// handler RAM, then I-cache, then (outside the compressed region,
+    /// whose bytes exist only in the cache) main memory. Returns `None`
+    /// for compressed-region addresses whose line is not resident.
+    ///
+    /// This is the single definition of fetch-path resolution; [`Machine::fetch`]
+    /// follows the same order but layers timing, stats, and the miss
+    /// machinery on top, and [`Machine::insn_at`] decodes through it.
+    fn resolve_word(&self, addr: u32) -> Option<u32> {
+        if Self::in_range(self.handler_range, addr) {
+            return Some(self.mem.read_u32(addr));
+        }
+        if let Some(w) = self.icache.read_word(addr) {
+            return Some(w);
+        }
+        if Self::in_range(self.compressed_range, addr) {
+            return None;
+        }
+        Some(self.mem.read_u32(addr))
+    }
+
     /// Decodes the instruction currently visible at `addr` through the
     /// fetch path — handler RAM, then I-cache, then main memory — without
     /// disturbing any state. Returns `None` for undecodable words or
     /// compressed-region addresses whose line is not resident (those
     /// bytes exist nowhere yet). Useful for tracing and debuggers.
     pub fn insn_at(&self, addr: u32) -> Option<Instruction> {
-        let word = if Self::in_range(self.handler_range, addr) {
-            self.mem.read_u32(addr)
-        } else if let Some(w) = self.icache.read_word(addr) {
-            w
-        } else if Self::in_range(self.compressed_range, addr) {
-            return None;
-        } else {
-            self.mem.read_u32(addr)
-        };
-        decode(word).ok()
+        decode(self.resolve_word(addr)?).ok()
     }
 
     /// Read access to the data cache (diagnostics).
@@ -230,7 +267,10 @@ impl Machine {
     /// Declares the compressed code region: an I-miss in `[start, end)`
     /// raises the decompression exception instead of a hardware fill (§4.2).
     pub fn set_compressed_range(&mut self, start: u32, end: u32) {
-        assert!(start <= end && start.is_multiple_of(4), "bad compressed range");
+        assert!(
+            start <= end && start.is_multiple_of(4),
+            "bad compressed range"
+        );
         self.compressed_range = Some((start, end));
     }
 
@@ -266,8 +306,7 @@ impl Machine {
             return Err(SimError::HandlerEscaped { pc });
         }
         self.stats.ifetches += 1;
-        if self.icache.touch(pc) {
-            let word = self.icache.read_word(pc).expect("hit line has data");
+        if let Some(word) = self.icache.touch_read(pc) {
             return Ok(Fetch::Word(word));
         }
         self.stats.imisses += 1;
@@ -303,14 +342,37 @@ impl Machine {
         Ok(Fetch::Word(word))
     }
 
+    /// Decodes `word` fetched at `pc`, reusing the pre-decoded store when
+    /// enabled. Slots are keyed by the full packed `(pc, word)` pair, so any
+    /// change to the bytes behind an address — a `swic` write, an eviction
+    /// plus refill, or native↔compressed layout differences — changes the
+    /// key and forces a fresh decode; a stale entry can never be served.
+    fn decode_word(&mut self, pc: u32, word: u32) -> Result<Instruction, SimError> {
+        let Some(store) = self.decode.as_deref_mut() else {
+            return decode(word).map_err(|_| SimError::InvalidInstruction { pc, word });
+        };
+        // `pc` is 4-aligned (checked in `step`), so a real key can never
+        // collide with the `u64::MAX` empty-slot sentinel.
+        let key = ((pc as u64) << 32) | word as u64;
+        let slot = &mut store[((pc >> 2) as usize) & (DECODE_SLOTS - 1)];
+        if slot.key == key {
+            return Ok(slot.insn);
+        }
+        let insn = decode(word).map_err(|_| SimError::InvalidInstruction { pc, word })?;
+        *slot = DecodeEntry { key, insn };
+        Ok(insn)
+    }
+
     /// Models one D-cache access for timing (functional data lives in main
     /// memory; the D-cache tracks tags, LRU, and dirty bits).
     fn daccess(&mut self, addr: u32, is_store: bool) {
         self.stats.daccesses += 1;
-        if self.dcache.touch(addr) {
-            if is_store {
-                self.dcache.mark_dirty(addr);
-            }
+        let hit = if is_store {
+            self.dcache.touch_dirty(addr)
+        } else {
+            self.dcache.touch(addr)
+        };
+        if hit {
             return;
         }
         self.stats.dmisses += 1;
@@ -348,7 +410,7 @@ impl Machine {
             Fetch::Word(w) => w,
             Fetch::TookException => return Ok(Step::Continue),
         };
-        let insn = decode(word).map_err(|_| SimError::InvalidInstruction { pc, word })?;
+        let insn = self.decode_word(pc, word)?;
 
         self.stats.insns += 1;
         self.cycle(1);
@@ -440,10 +502,22 @@ impl Machine {
                 let v = self.reg(rs).wrapping_sub(self.reg(rt));
                 self.set_reg(rd, v);
             }
-            And { rd, rs, rt } => { let v = self.reg(rs) & self.reg(rt); self.set_reg(rd, v); }
-            Or { rd, rs, rt } => { let v = self.reg(rs) | self.reg(rt); self.set_reg(rd, v); }
-            Xor { rd, rs, rt } => { let v = self.reg(rs) ^ self.reg(rt); self.set_reg(rd, v); }
-            Nor { rd, rs, rt } => { let v = !(self.reg(rs) | self.reg(rt)); self.set_reg(rd, v); }
+            And { rd, rs, rt } => {
+                let v = self.reg(rs) & self.reg(rt);
+                self.set_reg(rd, v);
+            }
+            Or { rd, rs, rt } => {
+                let v = self.reg(rs) | self.reg(rt);
+                self.set_reg(rd, v);
+            }
+            Xor { rd, rs, rt } => {
+                let v = self.reg(rs) ^ self.reg(rt);
+                self.set_reg(rd, v);
+            }
+            Nor { rd, rs, rt } => {
+                let v = !(self.reg(rs) | self.reg(rt));
+                self.set_reg(rd, v);
+            }
             Slt { rd, rs, rt } => {
                 let v = ((self.reg(rs) as i32) < (self.reg(rt) as i32)) as u32;
                 self.set_reg(rd, v);
@@ -452,14 +526,26 @@ impl Machine {
                 let v = (self.reg(rs) < self.reg(rt)) as u32;
                 self.set_reg(rd, v);
             }
-            Sll { rd, rt, shamt } => { let v = self.reg(rt) << shamt; self.set_reg(rd, v); }
-            Srl { rd, rt, shamt } => { let v = self.reg(rt) >> shamt; self.set_reg(rd, v); }
+            Sll { rd, rt, shamt } => {
+                let v = self.reg(rt) << shamt;
+                self.set_reg(rd, v);
+            }
+            Srl { rd, rt, shamt } => {
+                let v = self.reg(rt) >> shamt;
+                self.set_reg(rd, v);
+            }
             Sra { rd, rt, shamt } => {
                 let v = ((self.reg(rt) as i32) >> shamt) as u32;
                 self.set_reg(rd, v);
             }
-            Sllv { rd, rt, rs } => { let v = self.reg(rt) << (self.reg(rs) & 31); self.set_reg(rd, v); }
-            Srlv { rd, rt, rs } => { let v = self.reg(rt) >> (self.reg(rs) & 31); self.set_reg(rd, v); }
+            Sllv { rd, rt, rs } => {
+                let v = self.reg(rt) << (self.reg(rs) & 31);
+                self.set_reg(rd, v);
+            }
+            Srlv { rd, rt, rs } => {
+                let v = self.reg(rt) >> (self.reg(rs) & 31);
+                self.set_reg(rd, v);
+            }
             Srav { rd, rt, rs } => {
                 let v = ((self.reg(rt) as i32) >> (self.reg(rs) & 31)) as u32;
                 self.set_reg(rd, v);
@@ -547,9 +633,18 @@ impl Machine {
                 let v = (self.reg(rs) < imm as i32 as u32) as u32;
                 self.set_reg(rt, v);
             }
-            Andi { rt, rs, imm } => { let v = self.reg(rs) & imm as u32; self.set_reg(rt, v); }
-            Ori { rt, rs, imm } => { let v = self.reg(rs) | imm as u32; self.set_reg(rt, v); }
-            Xori { rt, rs, imm } => { let v = self.reg(rs) ^ imm as u32; self.set_reg(rt, v); }
+            Andi { rt, rs, imm } => {
+                let v = self.reg(rs) & imm as u32;
+                self.set_reg(rt, v);
+            }
+            Ori { rt, rs, imm } => {
+                let v = self.reg(rs) | imm as u32;
+                self.set_reg(rt, v);
+            }
+            Xori { rt, rs, imm } => {
+                let v = self.reg(rs) ^ imm as u32;
+                self.set_reg(rt, v);
+            }
             Lui { rt, imm } => self.set_reg(rt, (imm as u32) << 16),
             Lb { rt, base, offset } => {
                 let addr = self.reg(base).wrapping_add(offset as i32 as u32);
@@ -825,9 +920,7 @@ mod tests {
 
     #[test]
     fn ras_predicts_returns() {
-        let mut m = machine(
-            "jal f\njal f\nli $v0,10\nli $a0,0\nsyscall\nf: jr $ra\n",
-        );
+        let mut m = machine("jal f\njal f\nli $v0,10\nli $a0,0\nsyscall\nf: jr $ra\n");
         m.run(100).unwrap();
         assert_eq!(m.stats().reg_jumps, 2);
         assert_eq!(m.stats().reg_jump_misses, 0);
@@ -868,10 +961,22 @@ mod tests {
         // The handler writes a fixed 8-word line at the missed address.
         // Line contents: li $a0,99 / li $v0,10 / syscall / 5x nop
         let words = [
-            encode(Instruction::Addiu { rt: Reg::A0, rs: Reg::ZERO, imm: 99 }),
-            encode(Instruction::Addiu { rt: Reg::V0, rs: Reg::ZERO, imm: 10 }),
+            encode(Instruction::Addiu {
+                rt: Reg::A0,
+                rs: Reg::ZERO,
+                imm: 99,
+            }),
+            encode(Instruction::Addiu {
+                rt: Reg::V0,
+                rs: Reg::ZERO,
+                imm: 10,
+            }),
             encode(Instruction::Syscall),
-            0, 0, 0, 0, 0,
+            0,
+            0,
+            0,
+            0,
+            0,
         ];
         // Stash the line in .data so the handler can copy it.
         for (i, w) in words.iter().enumerate() {
@@ -892,7 +997,8 @@ mod tests {
             .data\nsrc: .space 32\n";
         let h = assemble(handler_src, crate::map::HANDLER_BASE, DATA).unwrap();
         for (i, w) in h.encoded_text().iter().enumerate() {
-            m.mem_mut().write_u32(crate::map::HANDLER_BASE + 4 * i as u32, *w);
+            m.mem_mut()
+                .write_u32(crate::map::HANDLER_BASE + 4 * i as u32, *w);
         }
         m.set_handler_range(
             crate::map::HANDLER_BASE,
@@ -951,10 +1057,7 @@ mod tests {
     #[test]
     fn runaway_program_hits_insn_limit() {
         let mut m = machine("loop: b loop\n");
-        assert_eq!(
-            m.run(50),
-            Err(SimError::InsnLimitExceeded { limit: 50 })
-        );
+        assert_eq!(m.run(50), Err(SimError::InsnLimitExceeded { limit: 50 }));
     }
 
     #[test]
@@ -1016,7 +1119,8 @@ mod tests {
         let mut m = Machine::new(SimConfig::hpca2000_baseline());
         let h = assemble("li $26,0x2000\njr $26\n", crate::map::HANDLER_BASE, DATA).unwrap();
         for (i, w) in h.encoded_text().iter().enumerate() {
-            m.mem_mut().write_u32(crate::map::HANDLER_BASE + 4 * i as u32, *w);
+            m.mem_mut()
+                .write_u32(crate::map::HANDLER_BASE + 4 * i as u32, *w);
         }
         m.set_handler_range(
             crate::map::HANDLER_BASE,
@@ -1024,7 +1128,10 @@ mod tests {
         );
         m.set_compressed_range(TEXT, TEXT + 0x100);
         m.set_pc(TEXT);
-        assert!(matches!(m.run(100), Err(SimError::HandlerEscaped { pc: 0x2000 })));
+        assert!(matches!(
+            m.run(100),
+            Err(SimError::HandlerEscaped { pc: 0x2000 })
+        ));
     }
 
     #[test]
@@ -1086,9 +1193,7 @@ mod tests {
 
     #[test]
     fn jalr_pays_indirect_redirect_and_pushes_ras() {
-        let mut m = machine(
-            "la $t0,f\njalr $t0\nli $v0,10\nli $a0,0\nsyscall\nf: jr $ra\n.data\n",
-        );
+        let mut m = machine("la $t0,f\njalr $t0\nli $v0,10\nli $a0,0\nsyscall\nf: jr $ra\n.data\n");
         // `la f` needs the label in text: assemble resolves it since f is
         // in the same unit.
         m.run(100).unwrap();

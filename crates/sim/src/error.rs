@@ -79,10 +79,16 @@ impl fmt::Display for SimError {
                 write!(f, "unaligned access to {addr:#x} at pc {pc:#x}")
             }
             NoHandlerInstalled { pc } => {
-                write!(f, "compressed-region miss at {pc:#x} with no handler installed")
+                write!(
+                    f,
+                    "compressed-region miss at {pc:#x} with no handler installed"
+                )
             }
             HandlerEscaped { pc } => {
-                write!(f, "exception handler fetched outside handler RAM at {pc:#x}")
+                write!(
+                    f,
+                    "exception handler fetched outside handler RAM at {pc:#x}"
+                )
             }
             IretOutsideHandler { pc } => write!(f, "iret outside exception handler at {pc:#x}"),
             BreakExecuted { pc, code } => write!(f, "break {code} executed at {pc:#x}"),
@@ -102,7 +108,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = SimError::InvalidInstruction { pc: 0x1000, word: 0xfc00_0000 };
+        let e = SimError::InvalidInstruction {
+            pc: 0x1000,
+            word: 0xfc00_0000,
+        };
         assert_eq!(e.to_string(), "invalid instruction 0xfc000000 at pc 0x1000");
         let e = SimError::InsnLimitExceeded { limit: 10 };
         assert!(e.to_string().contains("limit of 10"));

@@ -3,11 +3,15 @@
 //! Functional storage only — access *timing* is the CPU model's job.
 //! Backed by 64KB pages allocated on first touch, so the simulated 32-bit
 //! address space costs only what the program actually uses.
-
-use std::collections::HashMap;
+//!
+//! The page table is a flat 64K-entry array indexed by the high address
+//! bits rather than a hash map: memory is read on every handler fetch and
+//! every load/store, and a direct index (512KB of pointers per machine)
+//! beats hashing the page number on that path.
 
 const PAGE_SHIFT: u32 = 16;
 const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
+const PAGE_COUNT: usize = 1 << (32 - PAGE_SHIFT);
 
 /// Byte-addressable little-endian main memory.
 ///
@@ -21,25 +25,39 @@ const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
 /// assert_eq!(m.read_u16(0x1000), 0x5678);
 /// assert_eq!(m.read_u8(0x1003), 0x12);
 /// ```
-#[derive(Debug, Default, Clone)]
+#[derive(Clone)]
 pub struct MainMemory {
-    pages: HashMap<u32, Box<[u8; PAGE_BYTES]>>,
+    pages: Vec<Option<Box<[u8; PAGE_BYTES]>>>,
+}
+
+impl Default for MainMemory {
+    fn default() -> MainMemory {
+        MainMemory::new()
+    }
+}
+
+impl std::fmt::Debug for MainMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MainMemory")
+            .field("resident_pages", &self.resident_pages())
+            .finish()
+    }
 }
 
 impl MainMemory {
     /// Creates an empty memory; every byte reads as zero until written.
     pub fn new() -> MainMemory {
-        MainMemory::default()
+        MainMemory {
+            pages: (0..PAGE_COUNT).map(|_| None).collect(),
+        }
     }
 
     fn page(&self, addr: u32) -> Option<&[u8; PAGE_BYTES]> {
-        self.pages.get(&(addr >> PAGE_SHIFT)).map(|p| &**p)
+        self.pages[(addr >> PAGE_SHIFT) as usize].as_deref()
     }
 
     fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_BYTES] {
-        self.pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0; PAGE_BYTES]))
+        self.pages[(addr >> PAGE_SHIFT) as usize].get_or_insert_with(|| Box::new([0; PAGE_BYTES]))
     }
 
     /// Reads one byte.
@@ -101,23 +119,39 @@ impl MainMemory {
         }
     }
 
-    /// Bulk-writes `bytes` starting at `addr`.
+    /// Bulk-writes `bytes` starting at `addr` (page-sized slice copies,
+    /// not a per-byte loop — cache fills go through here every miss).
     pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
-        for (i, &b) in bytes.iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u32), b);
+        let mut done = 0usize;
+        while done < bytes.len() {
+            let a = addr.wrapping_add(done as u32);
+            let off = (a as usize) & (PAGE_BYTES - 1);
+            let chunk = (PAGE_BYTES - off).min(bytes.len() - done);
+            self.page_mut(a)[off..off + chunk].copy_from_slice(&bytes[done..done + chunk]);
+            done += chunk;
         }
     }
 
-    /// Bulk-reads `len` bytes starting at `addr`.
+    /// Bulk-reads `len` bytes starting at `addr` (page-sized slice copies;
+    /// unmapped pages read as zero).
     pub fn read_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
-        (0..len)
-            .map(|i| self.read_u8(addr.wrapping_add(i as u32)))
-            .collect()
+        let mut out = vec![0u8; len];
+        let mut done = 0usize;
+        while done < len {
+            let a = addr.wrapping_add(done as u32);
+            let off = (a as usize) & (PAGE_BYTES - 1);
+            let chunk = (PAGE_BYTES - off).min(len - done);
+            if let Some(p) = self.page(a) {
+                out[done..done + chunk].copy_from_slice(&p[off..off + chunk]);
+            }
+            done += chunk;
+        }
+        out
     }
 
     /// Number of 64KB pages materialized (for footprint diagnostics).
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.pages.iter().filter(|p| p.is_some()).count()
     }
 }
 

@@ -1,9 +1,9 @@
-//! Property tests: the set-associative cache against a reference model.
+//! Randomized tests: the set-associative cache against a reference model
+//! (seeded, offline — no external property-testing framework).
 
 use std::collections::HashMap;
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use rtdc_rng::Rng64;
 use rtdc_sim::{Cache, CacheConfig};
 
 /// Reference model: per-set LRU lists of line addresses.
@@ -14,7 +14,10 @@ struct ModelCache {
 
 impl ModelCache {
     fn new(cfg: CacheConfig) -> ModelCache {
-        ModelCache { cfg, sets: HashMap::new() }
+        ModelCache {
+            cfg,
+            sets: HashMap::new(),
+        }
     }
 
     fn set_of(&self, addr: u32) -> u32 {
@@ -57,32 +60,31 @@ enum Op {
     WriteWord(u32),
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
+fn random_ops(rng: &mut Rng64) -> Vec<Op> {
     // Addresses in a few KB so sets collide often.
-    let addr = 0u32..0x2000;
-    vec(
-        prop_oneof![
-            addr.clone().prop_map(Op::Touch),
-            addr.clone().prop_map(Op::Fill),
-            addr.prop_map(|a| Op::WriteWord(a & !3)),
-        ],
-        1..400,
-    )
+    let n = rng.gen_range(1..400);
+    (0..n)
+        .map(|_| {
+            let a = rng.gen_range(0u32..0x2000);
+            match rng.gen_range(0..3) {
+                0 => Op::Touch(a),
+                1 => Op::Fill(a),
+                _ => Op::WriteWord(a & !3),
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    /// Hit/miss behaviour and LRU replacement match the reference model
-    /// for every geometry and op sequence.
-    #[test]
-    fn cache_matches_reference_model(
-        ops in ops(),
-        geometry in prop_oneof![
-            Just((256u32, 16u32, 1u32)),
-            Just((256, 16, 2)),
-            Just((512, 32, 2)),
-            Just((1024, 32, 4)),
-        ],
-    ) {
+/// Hit/miss behaviour and LRU replacement match the reference model
+/// for every geometry and op sequence.
+#[test]
+fn cache_matches_reference_model() {
+    const GEOMETRIES: [(u32, u32, u32); 4] =
+        [(256, 16, 1), (256, 16, 2), (512, 32, 2), (1024, 32, 4)];
+    let mut rng = Rng64::seed_from_u64(0x0cac_4e01);
+    for trial in 0..256 {
+        let geometry = GEOMETRIES[trial % GEOMETRIES.len()];
+        let ops = random_ops(&mut rng);
         let cfg = CacheConfig::new(geometry.0, geometry.1, geometry.2);
         let mut real = Cache::new(cfg);
         let mut model = ModelCache::new(cfg);
@@ -90,7 +92,7 @@ proptest! {
         for op in ops {
             match op {
                 Op::Touch(a) => {
-                    prop_assert_eq!(real.touch(a), model.touch(a), "touch {:#x}", a);
+                    assert_eq!(real.touch(a), model.touch(a), "touch {a:#x} ({geometry:?})");
                 }
                 Op::Fill(a) => {
                     real.fill(cfg.line_base(a), &line);
@@ -104,23 +106,33 @@ proptest! {
             }
         }
     }
+}
 
-    /// A word written with `write_word_alloc` reads back until evicted,
-    /// and a line never aliases a different address.
-    #[test]
-    fn swic_written_words_read_back(addrs in vec(0u32..0x1000, 1..50)) {
+/// A word written with `write_word_alloc` reads back until evicted,
+/// and a line never aliases a different address.
+#[test]
+fn swic_written_words_read_back() {
+    let mut rng = Rng64::seed_from_u64(0x0cac_4e02);
+    for _ in 0..64 {
         let cfg = CacheConfig::new(1024, 32, 2);
         let mut c = Cache::new(cfg);
-        for (i, &a) in addrs.iter().enumerate() {
-            let a = a & !3;
+        let n = rng.gen_range(1..50);
+        for i in 0..n {
+            let a = rng.gen_range(0u32..0x1000) & !3;
             c.write_word_alloc(a, i as u32);
-            prop_assert_eq!(c.read_word(a), Some(i as u32));
+            assert_eq!(c.read_word(a), Some(i as u32));
         }
     }
+}
 
-    /// `probe` never changes observable state.
-    #[test]
-    fn probe_is_pure(addrs in vec(0u32..0x1000, 1..60)) {
+/// `probe` never changes observable state.
+#[test]
+fn probe_is_pure() {
+    let mut rng = Rng64::seed_from_u64(0x0cac_4e03);
+    for _ in 0..64 {
+        let addrs: Vec<u32> = (0..rng.gen_range(1..60))
+            .map(|_| rng.gen_range(0u32..0x1000))
+            .collect();
         let cfg = CacheConfig::new(512, 16, 2);
         let mut a = Cache::new(cfg);
         let mut b = Cache::new(cfg);
@@ -134,7 +146,7 @@ proptest! {
             }
         }
         for &addr in &addrs {
-            prop_assert_eq!(a.probe(addr), b.probe(addr));
+            assert_eq!(a.probe(addr), b.probe(addr));
         }
     }
 }

@@ -45,15 +45,21 @@ fn crossing_a_line_boundary_pays_a_second_fill() {
 #[test]
 fn dcache_load_miss_costs_12_cycles() {
     // la(2) + lw + exit(3) = 6 insns, one I-line, one D-line fill (16B = 12).
-    let s = run(&format!("la $t0,x\nlw $t1,0($t0)\n{EXIT}.data\nx: .word 1\n"));
+    let s = run(&format!(
+        "la $t0,x\nlw $t1,0($t0)\n{EXIT}.data\nx: .word 1\n"
+    ));
     assert_eq!(s.insns, 6);
     assert_eq!(s.cycles, 16 + 12 + 6);
 }
 
 #[test]
 fn load_use_adds_exactly_one_bubble() {
-    let a = run(&format!("la $t0,x\nlw $t1,0($t0)\nadd $t2,$t1,$t1\n{EXIT}.data\nx: .word 1\n"));
-    let b = run(&format!("la $t0,x\nlw $t1,0($t0)\nadd $t2,$t3,$t3\n{EXIT}.data\nx: .word 1\n"));
+    let a = run(&format!(
+        "la $t0,x\nlw $t1,0($t0)\nadd $t2,$t1,$t1\n{EXIT}.data\nx: .word 1\n"
+    ));
+    let b = run(&format!(
+        "la $t0,x\nlw $t1,0($t0)\nadd $t2,$t3,$t3\n{EXIT}.data\nx: .word 1\n"
+    ));
     assert_eq!(a.cycles, b.cycles + 1);
 }
 
@@ -84,7 +90,9 @@ fn call_return_with_ras_costs_no_redirects() {
 
 #[test]
 fn mult_then_immediate_mflo_stalls_to_latency() {
-    let near = run(&format!("li $t0,3\nli $t1,4\nmult $t0,$t1\nmflo $t2\n{EXIT}"));
+    let near = run(&format!(
+        "li $t0,3\nli $t1,4\nmult $t0,$t1\nmflo $t2\n{EXIT}"
+    ));
     let far = run(&format!(
         "li $t0,3\nli $t1,4\nmult $t0,$t1\nnop\nnop\nnop\nmflo $t2\n{EXIT}"
     ));
@@ -96,7 +104,9 @@ fn mult_then_immediate_mflo_stalls_to_latency() {
 
 #[test]
 fn swic_costs_its_penalty_and_writes_the_cache() {
-    let s = run(&format!("li $t0,0x2000\nli $t1,77\nswic $t1,0($t0)\n{EXIT}"));
+    let s = run(&format!(
+        "li $t0,0x2000\nli $t1,77\nswic $t1,0($t0)\n{EXIT}"
+    ));
     assert_eq!(s.swics, 1);
     assert_eq!(s.stalls.swic, 1);
     assert_eq!(s.cycles, 16 + 6 + 1);

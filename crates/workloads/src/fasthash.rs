@@ -1,0 +1,75 @@
+//! A tiny multiply-mix hasher for the generation hot paths.
+//!
+//! Vocabulary construction and uniqueness calibration insert millions of
+//! 32-bit instruction words into hash sets whose *contents* (never their
+//! iteration order) are observed, so the DoS resistance of std's SipHash
+//! buys nothing here and costs most of the lookup time. This hasher is the
+//! classic Fibonacci multiply + xor-shift mix — plenty of spread for
+//! hashbrown's control bytes, a few cycles per key.
+
+use std::collections::HashSet;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-mix [`Hasher`]; deterministic and fast, not collision-resistant
+/// against adversaries (irrelevant for self-generated instruction words).
+#[derive(Default)]
+pub struct MixHasher(u64);
+
+impl Hasher for MixHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        let x = self.0;
+        x ^ (x >> 29)
+    }
+}
+
+/// A `HashSet` keyed through [`MixHasher`].
+pub type FastSet<T> = HashSet<T, BuildHasherDefault<MixHasher>>;
+
+/// An empty [`FastSet`] with room for `cap` entries.
+pub fn fast_set_with_capacity<T>(cap: usize) -> FastSet<T> {
+    FastSet::with_capacity_and_hasher(cap, BuildHasherDefault::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_deduplicates() {
+        let mut s = fast_set_with_capacity::<u32>(8);
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.insert(6));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn distinct_keys_spread() {
+        // Sanity: sequential keys must not collapse onto a few hashes.
+        let hashes: FastSet<u64> = (0..10_000u32)
+            .map(|v| {
+                let mut h = MixHasher::default();
+                h.write_u32(v);
+                h.finish()
+            })
+            .collect();
+        assert_eq!(hashes.len(), 10_000);
+    }
+}

@@ -12,10 +12,9 @@
 //! compressed run can be compared for architectural equivalence — a single
 //! mis-decompressed instruction changes the output.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rtdc_isa::program::{AddrTable, ObjInsn, ObjectProgram, ProcId, Procedure};
 use rtdc_isa::{Instruction as I, Reg};
+use rtdc_rng::Rng64;
 use rtdc_sim::map;
 
 use crate::idioms::CodeSampler;
@@ -36,20 +35,35 @@ pub fn generate(spec: &BenchmarkSpec) -> ObjectProgram {
 /// Builds `li reg, value` as one or two concrete instructions.
 fn emit_li(out: &mut Vec<ObjInsn>, reg: Reg, value: u32) {
     if (value as i32) >= i16::MIN as i32 && (value as i32) <= i16::MAX as i32 {
-        out.push(ObjInsn::Insn(I::Addiu { rt: reg, rs: Reg::ZERO, imm: value as i16 }));
+        out.push(ObjInsn::Insn(I::Addiu {
+            rt: reg,
+            rs: Reg::ZERO,
+            imm: value as i16,
+        }));
     } else {
-        out.push(ObjInsn::Insn(I::Lui { rt: reg, imm: (value >> 16) as u16 }));
-        out.push(ObjInsn::Insn(I::Ori { rt: reg, rs: reg, imm: (value & 0xffff) as u16 }));
+        out.push(ObjInsn::Insn(I::Lui {
+            rt: reg,
+            imm: (value >> 16) as u16,
+        }));
+        out.push(ObjInsn::Insn(I::Ori {
+            rt: reg,
+            rs: reg,
+            imm: (value & 0xffff) as u16,
+        }));
     }
 }
 
 fn mv(dst: Reg, src: Reg) -> ObjInsn {
-    ObjInsn::Insn(I::Addu { rd: dst, rs: src, rt: Reg::ZERO })
+    ObjInsn::Insn(I::Addu {
+        rd: dst,
+        rs: src,
+        rt: Reg::ZERO,
+    })
 }
 
 struct Generator<'a> {
     spec: &'a BenchmarkSpec,
-    rng: StdRng,
+    rng: Rng64,
     sampler: CodeSampler,
     /// Maps zipf rank -> callable proc id (1-based; 0 is the driver).
     rank_to_proc: Vec<usize>,
@@ -57,7 +71,7 @@ struct Generator<'a> {
 
 impl<'a> Generator<'a> {
     fn new(spec: &'a BenchmarkSpec) -> Generator<'a> {
-        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut rng = Rng64::seed_from_u64(spec.seed);
 
         // --- budget: driver words + procedure bodies = target insns ---
         let driver_words = Self::driver_words_estimate(spec);
@@ -81,13 +95,22 @@ impl<'a> Generator<'a> {
             rank_to_proc.swap(i, j);
         }
 
-        Generator { spec, rng, sampler, rank_to_proc }
+        Generator {
+            spec,
+            rng,
+            sampler,
+            rank_to_proc,
+        }
     }
 
     fn driver_words_estimate(spec: &BenchmarkSpec) -> usize {
         match spec.style {
             Style::Walker { calls, .. } => 10 + 3 * calls,
-            Style::LoopKernel { kernels, init_fraction, .. } => {
+            Style::LoopKernel {
+                kernels,
+                init_fraction,
+                ..
+            } => {
                 let n_init = ((spec.procs - kernels) as f64 * init_fraction) as usize;
                 1 + 3 * n_init + 1 + (3 * kernels + 14) + 9
             }
@@ -105,7 +128,10 @@ impl<'a> Generator<'a> {
         let body_insns = body_insns.max(8);
         let mut code: Vec<ObjInsn> = Vec::with_capacity(body_insns + 9);
         let data = Self::data_addr(idx);
-        code.push(ObjInsn::Insn(I::Lui { rt: Reg::T9, imm: (data >> 16) as u16 }));
+        code.push(ObjInsn::Insn(I::Lui {
+            rt: Reg::T9,
+            imm: (data >> 16) as u16,
+        }));
         code.push(ObjInsn::Insn(I::Ori {
             rt: Reg::T9,
             rs: Reg::T9,
@@ -121,7 +147,7 @@ impl<'a> Generator<'a> {
         let mut emitted = 0usize;
         while emitted < body_insns {
             let remaining = body_insns - emitted;
-            let roll: f64 = self.rng.gen();
+            let roll = self.rng.gen_f64();
             if roll < 0.18 {
                 code.push(ObjInsn::Insn(self.gen_mem_op()));
                 emitted += 1;
@@ -130,10 +156,18 @@ impl<'a> Generator<'a> {
                 let skip = self.rng.gen_range(1..=3i16);
                 let rs = DST_POOL[self.rng.gen_range(0..DST_POOL.len())];
                 let rt = DST_POOL[self.rng.gen_range(0..DST_POOL.len())];
-                let insn = if self.rng.gen() {
-                    I::Bne { rs, rt, offset: skip }
+                let insn = if self.rng.gen_bool() {
+                    I::Bne {
+                        rs,
+                        rt,
+                        offset: skip,
+                    }
                 } else {
-                    I::Beq { rs, rt, offset: skip }
+                    I::Beq {
+                        rs,
+                        rt,
+                        offset: skip,
+                    }
                 };
                 code.push(ObjInsn::Insn(insn));
                 emitted += 1;
@@ -160,16 +194,31 @@ impl<'a> Generator<'a> {
         }
 
         // Loop back-edge.
-        code.push(ObjInsn::Insn(I::Addiu { rt: Reg::T8, rs: Reg::T8, imm: -1 }));
+        code.push(ObjInsn::Insn(I::Addiu {
+            rt: Reg::T8,
+            rs: Reg::T8,
+            imm: -1,
+        }));
         let pos = code.len();
         let offset = loop_top as i64 - (pos as i64 + 1);
-        code.push(ObjInsn::Insn(I::Bgtz { rs: Reg::T8, offset: offset as i16 }));
+        code.push(ObjInsn::Insn(I::Bgtz {
+            rs: Reg::T8,
+            offset: offset as i16,
+        }));
 
         // Checksum fold: v0 = f(a0, scratch state).
         let tx = DST_POOL[self.rng.gen_range(0..DST_POOL.len())];
         let ty = DST_POOL[self.rng.gen_range(0..DST_POOL.len())];
-        code.push(ObjInsn::Insn(I::Xor { rd: Reg::V0, rs: Reg::A0, rt: tx }));
-        code.push(ObjInsn::Insn(I::Addu { rd: Reg::V0, rs: Reg::V0, rt: ty }));
+        code.push(ObjInsn::Insn(I::Xor {
+            rd: Reg::V0,
+            rs: Reg::A0,
+            rt: tx,
+        }));
+        code.push(ObjInsn::Insn(I::Addu {
+            rd: Reg::V0,
+            rs: Reg::V0,
+            rt: ty,
+        }));
         code.push(ObjInsn::Insn(I::Jr { rs: Reg::RA }));
 
         Procedure::new(format!("{}_{idx:04}", self.spec.name), code)
@@ -185,24 +234,64 @@ impl<'a> Generator<'a> {
             _ => 4 * self.rng.gen_range(0..(DATA_SLOT_BYTES / 4) as i16),
         };
         match self.rng.gen_range(0..12) {
-            0..=4 => I::Lw { rt, base: Reg::T9, offset },
-            5..=7 => I::Sw { rt, base: Reg::T9, offset },
-            8..=9 => I::Lhu { rt, base: Reg::T9, offset },
-            10 => I::Lbu { rt, base: Reg::T9, offset },
-            _ => I::Sh { rt, base: Reg::T9, offset },
+            0..=4 => I::Lw {
+                rt,
+                base: Reg::T9,
+                offset,
+            },
+            5..=7 => I::Sw {
+                rt,
+                base: Reg::T9,
+                offset,
+            },
+            8..=9 => I::Lhu {
+                rt,
+                base: Reg::T9,
+                offset,
+            },
+            10 => I::Lbu {
+                rt,
+                base: Reg::T9,
+                offset,
+            },
+            _ => I::Sh {
+                rt,
+                base: Reg::T9,
+                offset,
+            },
         }
     }
 
     /// Appends the checksum-print / newline / exit sequence.
     fn epilogue(code: &mut Vec<ObjInsn>) {
         code.push(mv(Reg::A0, Reg::S1));
-        code.push(ObjInsn::Insn(I::Addiu { rt: Reg::V0, rs: Reg::ZERO, imm: 1 }));
+        code.push(ObjInsn::Insn(I::Addiu {
+            rt: Reg::V0,
+            rs: Reg::ZERO,
+            imm: 1,
+        }));
         code.push(ObjInsn::Insn(I::Syscall));
-        code.push(ObjInsn::Insn(I::Addiu { rt: Reg::A0, rs: Reg::ZERO, imm: 10 }));
-        code.push(ObjInsn::Insn(I::Addiu { rt: Reg::V0, rs: Reg::ZERO, imm: 11 }));
+        code.push(ObjInsn::Insn(I::Addiu {
+            rt: Reg::A0,
+            rs: Reg::ZERO,
+            imm: 10,
+        }));
+        code.push(ObjInsn::Insn(I::Addiu {
+            rt: Reg::V0,
+            rs: Reg::ZERO,
+            imm: 11,
+        }));
         code.push(ObjInsn::Insn(I::Syscall));
-        code.push(ObjInsn::Insn(I::Andi { rt: Reg::A0, rs: Reg::S1, imm: 0x7f }));
-        code.push(ObjInsn::Insn(I::Addiu { rt: Reg::V0, rs: Reg::ZERO, imm: 10 }));
+        code.push(ObjInsn::Insn(I::Andi {
+            rt: Reg::A0,
+            rs: Reg::S1,
+            imm: 0x7f,
+        }));
+        code.push(ObjInsn::Insn(I::Addiu {
+            rt: Reg::V0,
+            rs: Reg::ZERO,
+            imm: 10,
+        }));
         code.push(ObjInsn::Insn(I::Syscall));
     }
 
@@ -241,14 +330,18 @@ impl<'a> Generator<'a> {
         // --- data image: per-proc slots, then style-specific tables ---
         let mut data = Vec::with_capacity(((n + 1) as u32 * DATA_SLOT_BYTES) as usize);
         for _ in 0..((n + 1) as u32 * DATA_SLOT_BYTES / 4) {
-            let w: u32 = self.rng.gen();
+            let w = self.rng.gen_u32();
             data.extend_from_slice(&w.to_le_bytes());
         }
         let mut addr_tables = Vec::new();
 
         // --- driver ---
         let mut code: Vec<ObjInsn> = Vec::with_capacity(driver_words);
-        code.push(ObjInsn::Insn(I::Addiu { rt: Reg::S1, rs: Reg::ZERO, imm: 0 }));
+        code.push(ObjInsn::Insn(I::Addiu {
+            rt: Reg::S1,
+            rs: Reg::ZERO,
+            imm: 0,
+        }));
         match spec.style {
             Style::Walker { calls, zipf_s, .. } => {
                 let zipf = Zipf::new(n, zipf_s);
@@ -258,14 +351,18 @@ impl<'a> Generator<'a> {
                 }
                 Self::epilogue(&mut code);
             }
-            Style::LoopKernel { kernels, iterations, excursion_shift, init_fraction } => {
+            Style::LoopKernel {
+                kernels,
+                iterations,
+                excursion_shift,
+                init_fraction,
+            } => {
                 // Kernels spread evenly across the procedure list.
                 // Kernels contiguous in the link order: a conflict-free hot
                 // region, as real loop kernels (and the paper's near-zero
                 // loop-benchmark miss ratios) require.
                 let kernel_ids: Vec<usize> = (1..=kernels).collect();
-                let cold: Vec<usize> =
-                    (1..=n).filter(|id| !kernel_ids.contains(id)).collect();
+                let cold: Vec<usize> = (1..=n).filter(|id| !kernel_ids.contains(id)).collect();
 
                 // Startup walk over a sample of cold procedures.
                 let n_init = ((cold.len() as f64) * init_fraction) as usize;
@@ -281,7 +378,10 @@ impl<'a> Generator<'a> {
                     .collect();
                 let table_offset = data.len();
                 data.extend(std::iter::repeat_n(0u8, table_len * 4));
-                addr_tables.push(AddrTable { data_offset: table_offset, procs: table_procs });
+                addr_tables.push(AddrTable {
+                    data_offset: table_offset,
+                    procs: table_procs,
+                });
                 let table_addr = map::DATA_BASE + table_offset as u32;
 
                 emit_li(&mut code, Reg::S0, iterations);
@@ -291,8 +391,16 @@ impl<'a> Generator<'a> {
                 }
                 // Every 2^shift iterations: one cold excursion via jalr.
                 let mask = (1u16 << excursion_shift) - 1;
-                code.push(ObjInsn::Insn(I::Andi { rt: Reg::T0, rs: Reg::S0, imm: mask }));
-                code.push(ObjInsn::Insn(I::Bne { rs: Reg::T0, rt: Reg::ZERO, offset: 10 }));
+                code.push(ObjInsn::Insn(I::Andi {
+                    rt: Reg::T0,
+                    rs: Reg::S0,
+                    imm: mask,
+                }));
+                code.push(ObjInsn::Insn(I::Bne {
+                    rs: Reg::T0,
+                    rt: Reg::ZERO,
+                    offset: 10,
+                }));
                 code.push(ObjInsn::Insn(I::Srl {
                     rd: Reg::T0,
                     rt: Reg::S0,
@@ -303,26 +411,56 @@ impl<'a> Generator<'a> {
                     rs: Reg::T0,
                     imm: (table_len - 1) as u16,
                 }));
-                code.push(ObjInsn::Insn(I::Sll { rd: Reg::T0, rt: Reg::T0, shamt: 2 }));
-                code.push(ObjInsn::Insn(I::Lui { rt: Reg::T1, imm: (table_addr >> 16) as u16 }));
+                code.push(ObjInsn::Insn(I::Sll {
+                    rd: Reg::T0,
+                    rt: Reg::T0,
+                    shamt: 2,
+                }));
+                code.push(ObjInsn::Insn(I::Lui {
+                    rt: Reg::T1,
+                    imm: (table_addr >> 16) as u16,
+                }));
                 code.push(ObjInsn::Insn(I::Ori {
                     rt: Reg::T1,
                     rs: Reg::T1,
                     imm: (table_addr & 0xffff) as u16,
                 }));
-                code.push(ObjInsn::Insn(I::Addu { rd: Reg::T1, rs: Reg::T1, rt: Reg::T0 }));
-                code.push(ObjInsn::Insn(I::Lw { rt: Reg::T1, base: Reg::T1, offset: 0 }));
+                code.push(ObjInsn::Insn(I::Addu {
+                    rd: Reg::T1,
+                    rs: Reg::T1,
+                    rt: Reg::T0,
+                }));
+                code.push(ObjInsn::Insn(I::Lw {
+                    rt: Reg::T1,
+                    base: Reg::T1,
+                    offset: 0,
+                }));
                 code.push(mv(Reg::A0, Reg::S1));
-                code.push(ObjInsn::Insn(I::Jalr { rd: Reg::RA, rs: Reg::T1 }));
+                code.push(ObjInsn::Insn(I::Jalr {
+                    rd: Reg::RA,
+                    rs: Reg::T1,
+                }));
                 code.push(mv(Reg::S1, Reg::V0));
                 // Loop back-edge.
-                code.push(ObjInsn::Insn(I::Addiu { rt: Reg::S0, rs: Reg::S0, imm: -1 }));
+                code.push(ObjInsn::Insn(I::Addiu {
+                    rt: Reg::S0,
+                    rs: Reg::S0,
+                    imm: -1,
+                }));
                 let pos = code.len();
                 let offset = loop_top as i64 - (pos as i64 + 1);
-                code.push(ObjInsn::Insn(I::Bgtz { rs: Reg::S0, offset: offset as i16 }));
+                code.push(ObjInsn::Insn(I::Bgtz {
+                    rs: Reg::S0,
+                    offset: offset as i16,
+                }));
                 Self::epilogue(&mut code);
             }
-            Style::Interpreter { program_len, passes, zipf_s, .. } => {
+            Style::Interpreter {
+                program_len,
+                passes,
+                zipf_s,
+                ..
+            } => {
                 // Dispatch table over every handler procedure.
                 let table_offset = data.len();
                 data.extend(std::iter::repeat_n(0u8, n * 4));
@@ -348,19 +486,41 @@ impl<'a> Generator<'a> {
                 emit_li(&mut code, Reg::S2, bc_addr);
                 emit_li(&mut code, Reg::S3, bc_end);
                 let op_top = code.len();
-                code.push(ObjInsn::Insn(I::Lw { rt: Reg::T0, base: Reg::S2, offset: 0 }));
-                code.push(ObjInsn::Insn(I::Lui { rt: Reg::T1, imm: (table_addr >> 16) as u16 }));
+                code.push(ObjInsn::Insn(I::Lw {
+                    rt: Reg::T0,
+                    base: Reg::S2,
+                    offset: 0,
+                }));
+                code.push(ObjInsn::Insn(I::Lui {
+                    rt: Reg::T1,
+                    imm: (table_addr >> 16) as u16,
+                }));
                 code.push(ObjInsn::Insn(I::Ori {
                     rt: Reg::T1,
                     rs: Reg::T1,
                     imm: (table_addr & 0xffff) as u16,
                 }));
-                code.push(ObjInsn::Insn(I::Addu { rd: Reg::T1, rs: Reg::T1, rt: Reg::T0 }));
-                code.push(ObjInsn::Insn(I::Lw { rt: Reg::T1, base: Reg::T1, offset: 0 }));
+                code.push(ObjInsn::Insn(I::Addu {
+                    rd: Reg::T1,
+                    rs: Reg::T1,
+                    rt: Reg::T0,
+                }));
+                code.push(ObjInsn::Insn(I::Lw {
+                    rt: Reg::T1,
+                    base: Reg::T1,
+                    offset: 0,
+                }));
                 code.push(mv(Reg::A0, Reg::S1));
-                code.push(ObjInsn::Insn(I::Jalr { rd: Reg::RA, rs: Reg::T1 }));
+                code.push(ObjInsn::Insn(I::Jalr {
+                    rd: Reg::RA,
+                    rs: Reg::T1,
+                }));
                 code.push(mv(Reg::S1, Reg::V0));
-                code.push(ObjInsn::Insn(I::Addiu { rt: Reg::S2, rs: Reg::S2, imm: 4 }));
+                code.push(ObjInsn::Insn(I::Addiu {
+                    rt: Reg::S2,
+                    rs: Reg::S2,
+                    imm: 4,
+                }));
                 let pos = code.len();
                 let offset = op_top as i64 - (pos as i64 + 1);
                 code.push(ObjInsn::Insn(I::Bne {
@@ -368,10 +528,17 @@ impl<'a> Generator<'a> {
                     rt: Reg::S3,
                     offset: offset as i16,
                 }));
-                code.push(ObjInsn::Insn(I::Addiu { rt: Reg::S0, rs: Reg::S0, imm: -1 }));
+                code.push(ObjInsn::Insn(I::Addiu {
+                    rt: Reg::S0,
+                    rs: Reg::S0,
+                    imm: -1,
+                }));
                 let pos = code.len();
                 let offset = pass_top as i64 - (pos as i64 + 1);
-                code.push(ObjInsn::Insn(I::Bgtz { rs: Reg::S0, offset: offset as i16 }));
+                code.push(ObjInsn::Insn(I::Bgtz {
+                    rs: Reg::S0,
+                    offset: offset as i16,
+                }));
                 Self::epilogue(&mut code);
             }
         }

@@ -14,9 +14,8 @@
 //! calibrates the vocabulary size *empirically* so the emitted stream hits
 //! the benchmark's Table 2 unique-word fraction.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rtdc_isa::{encode, Instruction};
+use rtdc_rng::Rng64;
 
 use crate::vocab::Vocabulary;
 use crate::zipf::Zipf;
@@ -34,7 +33,7 @@ pub struct CodeSampler {
     /// Idioms as index sequences into the vocabulary.
     idioms: Vec<Vec<u32>>,
     idiom_zipf: Zipf,
-    rng: StdRng,
+    rng: Rng64,
     /// Remainder of the idiom currently being emitted.
     pending: Vec<u32>,
 }
@@ -49,13 +48,13 @@ impl CodeSampler {
     /// generated with the same `seed` for determinism guarantees).
     pub fn with_vocab(seed: u64, vocab: Vocabulary) -> CodeSampler {
         let vocab_size = vocab.len();
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x0001_d103);
+        let mut rng = Rng64::seed_from_u64(seed ^ 0x0001_d103);
         let member = Zipf::new(vocab_size, MEMBER_S);
         let n_idioms = (vocab_size / 3).max(64);
         let idioms: Vec<Vec<u32>> = (0..n_idioms)
             .map(|_| {
                 let len = *[2usize, 3, 3, 4, 4, 5, 6, 6, 8, 10]
-                    .get(rng.gen_range(0..10))
+                    .get(rng.gen_range(0..10usize))
                     .unwrap();
                 (0..len).map(|_| member.sample(&mut rng) as u32).collect()
             })
@@ -65,7 +64,7 @@ impl CodeSampler {
             vocab,
             idioms,
             idiom_zipf,
-            rng: StdRng::seed_from_u64(seed ^ 0x005a_3b17),
+            rng: Rng64::seed_from_u64(seed ^ 0x005a_3b17),
             pending: Vec::new(),
         }
     }
@@ -77,7 +76,7 @@ impl CodeSampler {
             // uniformly from the whole vocabulary. Solo draws supply the
             // long tail of unique words (one-off address computations,
             // odd constants) that idiom reuse alone cannot produce.
-            if self.rng.gen::<f64>() < 0.20 {
+            if self.rng.gen_f64() < 0.20 {
                 let idx = self.rng.gen_range(0..self.vocab.len()) as u32;
                 return self.vocab_insn(idx);
             }
@@ -109,7 +108,7 @@ impl CodeSampler {
     /// emissions of a fresh sampler with these parameters.
     pub fn estimate_uniques(seed: u64, vocab_size: usize, n: usize) -> usize {
         let mut s = CodeSampler::new(seed, vocab_size);
-        let mut seen = std::collections::HashSet::with_capacity(n / 2);
+        let mut seen = crate::fasthash::fast_set_with_capacity::<u32>(n / 2);
         for _ in 0..n {
             seen.insert(encode(s.next_insn()));
         }
@@ -118,7 +117,7 @@ impl CodeSampler {
 
     fn estimate_with(master: &Vocabulary, seed: u64, size: usize, n: usize) -> usize {
         let mut s = CodeSampler::with_vocab(seed, master.prefix(size));
-        let mut seen = std::collections::HashSet::with_capacity(n / 2);
+        let mut seen = crate::fasthash::fast_set_with_capacity::<u32>(n / 2);
         for _ in 0..n {
             seen.insert(encode(s.next_insn()));
         }
@@ -136,7 +135,7 @@ impl CodeSampler {
         let target = target_uniques.max(16);
         // Upper bound: idiom reuse means uniques(T) saturates well below T,
         // but the safe family has ~2.7M distinct encodings — stay below it.
-        let (mut lo, mut hi) = (64usize, (12 * target.max(64)).min(900_000));
+        let (mut lo, mut hi) = (64usize, (32 * target.max(64)).min(900_000));
         let master = Vocabulary::generate(seed, hi);
         // uniques(T) is statistically monotone in T; the slope can be
         // shallow (idiom reuse), so bisect tightly.

@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fasthash;
 mod generate;
 pub mod idioms;
 pub mod programs;
@@ -39,14 +40,18 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// Generation includes an empirical vocabulary calibration that costs a
 /// second or two for the large benchmarks; experiment harnesses that build
 /// many images of the same benchmark should use this.
+///
+/// Thread-friendly: the global map lock is held only to fetch a
+/// per-benchmark slot, so parallel experiment workers generating
+/// *different* benchmarks proceed concurrently, while workers racing on
+/// the *same* benchmark generate it exactly once.
 pub fn generate_cached(spec: &BenchmarkSpec) -> Arc<rtdc_isa::program::ObjectProgram> {
-    static CACHE: OnceLock<Mutex<HashMap<&'static str, Arc<rtdc_isa::program::ObjectProgram>>>> =
-        OnceLock::new();
+    type Slot = Arc<OnceLock<Arc<rtdc_isa::program::ObjectProgram>>>;
+    static CACHE: OnceLock<Mutex<HashMap<&'static str, Slot>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut guard = cache.lock().expect("workload cache poisoned");
-    Arc::clone(
-        guard
-            .entry(spec.name)
-            .or_insert_with(|| Arc::new(generate(spec))),
-    )
+    let slot: Slot = {
+        let mut guard = cache.lock().expect("workload cache poisoned");
+        Arc::clone(guard.entry(spec.name).or_default())
+    };
+    Arc::clone(slot.get_or_init(|| Arc::new(generate(spec))))
 }

@@ -28,7 +28,10 @@ fn body(src: &str) -> Vec<ObjInsn> {
     // and silently break when the procedure is re-placed at link time —
     // use PC-relative branches (`b label`) inside procedure bodies.
     assert!(
-        !out.text.iter().any(|i| matches!(i, rtdc_isa::Instruction::J { .. } | rtdc_isa::Instruction::Jal { .. })),
+        !out.text.iter().any(|i| matches!(
+            i,
+            rtdc_isa::Instruction::J { .. } | rtdc_isa::Instruction::Jal { .. }
+        )),
         "procedure bodies must not contain absolute jumps"
     );
     out.text.into_iter().map(ObjInsn::Insn).collect()
@@ -83,7 +86,7 @@ pub fn sort_program() -> ObjectProgram {
         main.extend(body(&format!("bgtz $s0,{off}\n")));
     }
     main.push(ObjInsn::Call(ProcId(1))); // sort
-    // checksum: s1 = sum(i * a[i])
+                                         // checksum: s1 = sum(i * a[i])
     main.extend(body(
         "li $s1,0\nli $s0,0\nla $s3,array\n\
          ck: lw $t0,0($s3)\n\
@@ -184,7 +187,10 @@ skip:    add $t0,$t0,-1\n\
 
     ObjectProgram {
         name: "crc32".into(),
-        procedures: vec![Procedure::new("main", main), Procedure::new("crc_byte", crc_byte)],
+        procedures: vec![
+            Procedure::new("main", main),
+            Procedure::new("crc_byte", crc_byte),
+        ],
         data: vec![0; 512],
         entry: ProcId(0),
         addr_tables: Vec::new(),
@@ -217,7 +223,7 @@ fill:    srl $t1,$t0,2\n          # i
          bne $t0,$t7,fill\n",
     ));
     main.push(ObjInsn::Call(ProcId(1))); // multiply
-    // trace of C
+                                         // trace of C
     main.extend(body(
         "li $s1,0\nla $t9,mat_c\nli $t0,0\n\
 tr:      sll $t1,$t0,2\n\
@@ -269,7 +275,10 @@ mk:      sll $t3,$t0,4\n\
 
     ObjectProgram {
         name: "matmul".into(),
-        procedures: vec![Procedure::new("main", main), Procedure::new("multiply", multiply)],
+        procedures: vec![
+            Procedure::new("main", main),
+            Procedure::new("multiply", multiply),
+        ],
         data: vec![0; 512],
         entry: ProcId(0),
         addr_tables: Vec::new(),
@@ -322,7 +331,10 @@ s2:      add $t0,$t0,1\n\
 
     ObjectProgram {
         name: "strsearch".into(),
-        procedures: vec![Procedure::new("main", main), Procedure::new("search", search)],
+        procedures: vec![
+            Procedure::new("main", main),
+            Procedure::new("search", search),
+        ],
         data: vec![0; 512],
         entry: ProcId(0),
         addr_tables: Vec::new(),
@@ -331,7 +343,12 @@ s2:      add $t0,$t0,1\n\
 
 /// All known-answer programs.
 pub fn all_programs() -> Vec<ObjectProgram> {
-    vec![sort_program(), crc32_program(), matmul_program(), strsearch_program()]
+    vec![
+        sort_program(),
+        crc32_program(),
+        matmul_program(),
+        strsearch_program(),
+    ]
 }
 
 #[cfg(test)]

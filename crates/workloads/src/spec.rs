@@ -132,7 +132,11 @@ pub fn cc1() -> BenchmarkSpec {
         name: "cc1",
         seed: 0xcc1,
         procs: 1400,
-        style: Style::Walker { calls: 1560, body_loops: 5, zipf_s: 0.5 },
+        style: Style::Walker {
+            calls: 1560,
+            body_loops: 5,
+            zipf_s: 0.5,
+        },
         paper: PaperReference {
             dynamic_insns_millions: 121.0,
             miss_ratio_16k: 0.0293,
@@ -181,7 +185,11 @@ pub fn go() -> BenchmarkSpec {
         name: "go",
         seed: 0x60,
         procs: 450,
-        style: Style::Walker { calls: 1250, body_loops: 6, zipf_s: 0.5 },
+        style: Style::Walker {
+            calls: 1250,
+            body_loops: 6,
+            zipf_s: 0.5,
+        },
         paper: PaperReference {
             dynamic_insns_millions: 133.0,
             miss_ratio_16k: 0.0205,
@@ -311,7 +319,11 @@ pub fn vortex() -> BenchmarkSpec {
         name: "vortex",
         seed: 0x0eb7,
         procs: 700,
-        style: Style::Walker { calls: 1500, body_loops: 6, zipf_s: 0.5 },
+        style: Style::Walker {
+            calls: 1500,
+            body_loops: 6,
+            zipf_s: 0.5,
+        },
         paper: PaperReference {
             dynamic_insns_millions: 154.0,
             miss_ratio_16k: 0.0205,
@@ -353,7 +365,11 @@ pub mod tiny {
             name: "tiny-walker",
             seed: 0x7e57_0001,
             procs: 80,
-            style: Style::Walker { calls: 220, body_loops: 4, zipf_s: 0.5 },
+            style: Style::Walker {
+                calls: 220,
+                body_loops: 4,
+                zipf_s: 0.5,
+            },
             paper: paper_like(48_000, 0.70, 0.03),
         }
     }

@@ -18,11 +18,10 @@
 //! immediate popularity), which is what gives instruction halfwords the
 //! low entropy CodePack-style dictionaries exploit.
 
-use std::collections::HashSet;
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rtdc_isa::{encode, Instruction, Reg};
+use rtdc_rng::Rng64;
+
+use crate::fasthash::fast_set_with_capacity;
 
 /// Registers filler instructions may write: temporaries and non-`$a0`
 /// argument registers. `$s0`/`$s1` (driver state), `$sp`, `$ra`, `$t8`
@@ -67,7 +66,7 @@ pub const SRC_POOL: [Reg; 15] = [
 /// most of the traffic). This is what gives the instruction *halfwords*
 /// the low entropy CodePack-style per-half dictionaries exploit, without
 /// reducing word-level diversity.
-fn pick_skewed<R: Rng + ?Sized, T: Copy>(rng: &mut R, pool: &[T]) -> T {
+fn pick_skewed<T: Copy>(rng: &mut Rng64, pool: &[T]) -> T {
     use std::sync::OnceLock;
     static CUM: OnceLock<Vec<Vec<f64>>> = OnceLock::new();
     // Precomputed cumulative inverse-power weights for every pool size up
@@ -86,7 +85,7 @@ fn pick_skewed<R: Rng + ?Sized, T: Copy>(rng: &mut R, pool: &[T]) -> T {
             .collect()
     });
     let cum = &tables[pool.len()];
-    let u: f64 = rng.gen::<f64>() * cum.last().copied().unwrap_or(1.0);
+    let u: f64 = rng.gen_f64() * cum.last().copied().unwrap_or(1.0);
     let i = cum.partition_point(|&c| c < u).min(pool.len() - 1);
     pool[i]
 }
@@ -94,17 +93,19 @@ fn pick_skewed<R: Rng + ?Sized, T: Copy>(rng: &mut R, pool: &[T]) -> T {
 /// Skewed immediate: zeros and tiny constants dominate, as in real code
 /// (this is also what makes the CodePack zero-codeword for low halves
 /// worthwhile, §3.2).
-fn skewed_imm<R: Rng + ?Sized>(rng: &mut R) -> i16 {
+fn skewed_imm(rng: &mut Rng64) -> i16 {
     match rng.gen_range(0..100) {
         0..=14 => 0,
-        15..=39 => *[1i16, 2, 4, 8, 16, 32, -1, -4].get(rng.gen_range(0..8)).unwrap(),
+        15..=39 => *[1i16, 2, 4, 8, 16, 32, -1, -4]
+            .get(rng.gen_range(0..8usize))
+            .unwrap(),
         40..=69 => rng.gen_range(-64i16..64),
         _ => rng.gen_range(-2048i16..2048),
     }
 }
 
 /// Uniform-field variant used to fill the vocabulary tail quickly.
-fn uniform_safe_insn<R: Rng + ?Sized>(rng: &mut R) -> Instruction {
+fn uniform_safe_insn(rng: &mut Rng64) -> Instruction {
     use Instruction::*;
     let rd = DST_POOL[rng.gen_range(0..DST_POOL.len())];
     let rs = SRC_POOL[rng.gen_range(0..SRC_POOL.len())];
@@ -114,16 +115,28 @@ fn uniform_safe_insn<R: Rng + ?Sized>(rng: &mut R) -> Instruction {
     match rng.gen_range(0..8) {
         0 => Addiu { rt: rd, rs, imm },
         1 => Addu { rd, rs, rt },
-        2 => Ori { rt: rd, rs, imm: uimm },
-        3 => Xori { rt: rd, rs, imm: uimm },
-        4 => Andi { rt: rd, rs, imm: uimm },
+        2 => Ori {
+            rt: rd,
+            rs,
+            imm: uimm,
+        },
+        3 => Xori {
+            rt: rd,
+            rs,
+            imm: uimm,
+        },
+        4 => Andi {
+            rt: rd,
+            rs,
+            imm: uimm,
+        },
         5 => Xor { rd, rs, rt },
         6 => Slt { rd, rs, rt },
         _ => Subu { rd, rs, rt },
     }
 }
 
-fn random_safe_insn<R: Rng + ?Sized>(rng: &mut R) -> Instruction {
+fn random_safe_insn(rng: &mut Rng64) -> Instruction {
     use Instruction::*;
     let rd = pick_skewed(rng, &DST_POOL);
     let rs = pick_skewed(rng, &SRC_POOL);
@@ -135,12 +148,40 @@ fn random_safe_insn<R: Rng + ?Sized>(rng: &mut R) -> Instruction {
         0..=19 => Addiu { rt: rd, rs, imm },
         20..=33 => Addu { rd, rs, rt },
         34..=41 => Add { rd, rs, rt },
-        42..=47 => Ori { rt: rd, rs, imm: uimm },
-        48..=51 => Andi { rt: rd, rs, imm: uimm },
-        52..=54 => Xori { rt: rd, rs, imm: uimm },
-        55..=61 => Sll { rd, rt: rs, shamt: *[1u8, 2, 2, 3, 4, 8, 16, rng.gen_range(0..32)].get(rng.gen_range(0..8)).unwrap() },
-        62..=66 => Srl { rd, rt: rs, shamt: *[1u8, 2, 3, 8, 16, rng.gen_range(0..32)].get(rng.gen_range(0..6)).unwrap() },
-        67..=68 => Sra { rd, rt: rs, shamt: rng.gen_range(0..32) },
+        42..=47 => Ori {
+            rt: rd,
+            rs,
+            imm: uimm,
+        },
+        48..=51 => Andi {
+            rt: rd,
+            rs,
+            imm: uimm,
+        },
+        52..=54 => Xori {
+            rt: rd,
+            rs,
+            imm: uimm,
+        },
+        55..=61 => Sll {
+            rd,
+            rt: rs,
+            shamt: *[1u8, 2, 2, 3, 4, 8, 16, rng.gen_range(0u8..32)]
+                .get(rng.gen_range(0..8usize))
+                .unwrap(),
+        },
+        62..=66 => Srl {
+            rd,
+            rt: rs,
+            shamt: *[1u8, 2, 3, 8, 16, rng.gen_range(0u8..32)]
+                .get(rng.gen_range(0..6usize))
+                .unwrap(),
+        },
+        67..=68 => Sra {
+            rd,
+            rt: rs,
+            shamt: rng.gen_range(0u8..32),
+        },
         69..=74 => Or { rd, rs, rt },
         75..=79 => And { rd, rs, rt },
         80..=83 => Xor { rd, rs, rt },
@@ -168,9 +209,12 @@ impl Vocabulary {
     /// Panics if `size` exceeds the family's total distinct encodings
     /// (≈ 1.4M; real vocabularies are ≤ 100K).
     pub fn generate(seed: u64, size: usize) -> Vocabulary {
-        assert!(size <= 1_000_000, "vocabulary too large for the safe family");
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x0c4b_0001);
-        let mut seen = HashSet::with_capacity(size * 2);
+        assert!(
+            size <= 1_000_000,
+            "vocabulary too large for the safe family"
+        );
+        let mut rng = Rng64::seed_from_u64(seed ^ 0x0c4b_0001);
+        let mut seen = fast_set_with_capacity::<u32>(size * 2);
         let mut insns = Vec::with_capacity(size);
         // Head of the vocabulary: skewed field draws (popular idiomatic
         // words land at low ranks, where the idiom sampler's Zipf puts the
@@ -192,7 +236,7 @@ impl Vocabulary {
     }
 
     /// Samples one filler instruction uniformly.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Instruction {
+    pub fn sample(&self, rng: &mut Rng64) -> Instruction {
         self.insns[rng.gen_range(0..self.insns.len())]
     }
 
@@ -217,7 +261,9 @@ impl Vocabulary {
     /// Panics if `size` exceeds this vocabulary's length.
     pub fn prefix(&self, size: usize) -> Vocabulary {
         assert!(size <= self.insns.len(), "prefix larger than vocabulary");
-        Vocabulary { insns: self.insns[..size].to_vec() }
+        Vocabulary {
+            insns: self.insns[..size].to_vec(),
+        }
     }
 
     /// Vocabulary size.
@@ -263,8 +309,9 @@ pub fn vocab_size_for_unique_fraction(n: usize, unique_fraction: f64) -> usize {
 
 #[cfg(test)]
 mod tests {
+    use std::collections::HashSet;
+
     use super::*;
-    use rand::rngs::StdRng;
 
     #[test]
     fn vocabulary_is_deterministic_and_distinct() {
@@ -299,7 +346,7 @@ mod tests {
         let n = 50_000;
         let t = vocab_size_for_unique_fraction(n, 0.20);
         let v = Vocabulary::generate(3, t);
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng64::seed_from_u64(9);
         let mut seen = HashSet::new();
         for _ in 0..n {
             seen.insert(encode(v.sample(&mut rng)));

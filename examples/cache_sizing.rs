@@ -22,8 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = program.procedures.len();
     let all = Selection::all_compressed(n);
 
-    println!("benchmark: {} ({} KB .text, fully compressed, dictionary)\n",
-        bench.name, program.text_bytes() / 1024);
+    println!(
+        "benchmark: {} ({} KB .text, fully compressed, dictionary)\n",
+        bench.name,
+        program.text_bytes() / 1024
+    );
     println!(
         "{:>6} {:>12} {:>12} {:>10} {:>12}",
         "I$", "miss ratio", "native cyc", "slowdown", "total mem*"

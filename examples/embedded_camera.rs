@@ -26,13 +26,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = generate(&bench);
     let n = program.procedures.len();
 
-    println!("firmware: {} ({} procedures, {} KB native .text)\n",
-        program.name, n, program.text_bytes() / 1024);
+    println!(
+        "firmware: {} ({} procedures, {} KB native .text)\n",
+        program.name,
+        n,
+        program.text_bytes() / 1024
+    );
 
     let native = build_native(&program)?;
     let native_run = run_image(&native, cfg, MAX_INSNS)?;
     let native_cycles = native_run.stats.cycles;
-    println!("native:      {:>7} KB  1.00x", native.sizes.total_code_bytes() / 1024);
+    println!(
+        "native:      {:>7} KB  1.00x",
+        native.sizes.total_code_bytes() / 1024
+    );
 
     // ROM budget: 70% of the native footprint.
     let budget = (native.sizes.original_text_bytes as f64 * 0.70) as u32;
@@ -65,7 +72,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
             if fits && best.as_ref().is_none_or(|(_, _, s)| slowdown < *s) {
                 best = Some((
-                    format!("{}+RF, miss-based @ {:.0}%", scheme.label(), 100.0 * threshold),
+                    format!(
+                        "{}+RF, miss-based @ {:.0}%",
+                        scheme.label(),
+                        100.0 * threshold
+                    ),
                     size,
                     slowdown,
                 ));

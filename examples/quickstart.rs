@@ -43,7 +43,10 @@ loop:    move $a0,$s0
         name: "quickstart".into(),
         procedures: vec![
             Procedure::new("main", main_code),
-            Procedure::new("square", square.text.into_iter().map(ObjInsn::Insn).collect()),
+            Procedure::new(
+                "square",
+                square.text.into_iter().map(ObjInsn::Insn).collect(),
+            ),
         ],
         data: Vec::new(),
         entry: ProcId(0),
@@ -55,26 +58,41 @@ loop:    move $a0,$s0
     // Native baseline.
     let native = build_native(&program)?;
     let native_run = run_image(&native, cfg, 1_000_000)?;
-    println!("native:     {:>8} cycles, output {:?}",
-        native_run.stats.cycles, String::from_utf8_lossy(&native_run.output));
+    println!(
+        "native:     {:>8} cycles, output {:?}",
+        native_run.stats.cycles,
+        String::from_utf8_lossy(&native_run.output)
+    );
 
     // Dictionary-compressed: every procedure compressed; misses in the
     // compressed region invoke the paper's Figure 2 handler.
     let selection = Selection::all_compressed(2);
     let compressed = build_compressed(&program, Scheme::Dictionary, false, &selection)?;
     let comp_run = run_image(&compressed, cfg, 1_000_000)?;
-    println!("dictionary: {:>8} cycles, output {:?}",
-        comp_run.stats.cycles, String::from_utf8_lossy(&comp_run.output));
+    println!(
+        "dictionary: {:>8} cycles, output {:?}",
+        comp_run.stats.cycles,
+        String::from_utf8_lossy(&comp_run.output)
+    );
 
-    assert_eq!(native_run.output, comp_run.output, "architectural mismatch!");
+    assert_eq!(
+        native_run.output, comp_run.output,
+        "architectural mismatch!"
+    );
 
-    println!("\ncompression ratio: {:.1}% (tiny programs expand — every word is unique)",
-        100.0 * compressed.sizes.compression_ratio());
+    println!(
+        "\ncompression ratio: {:.1}% (tiny programs expand — every word is unique)",
+        100.0 * compressed.sizes.compression_ratio()
+    );
     println!("decompression exceptions: {}", comp_run.stats.exceptions);
-    println!("handler instructions/line: {:.0} (paper: 75)",
-        comp_run.stats.handler_insns_per_exception());
-    println!("slowdown: {:.2}x",
-        comp_run.stats.cycles as f64 / native_run.stats.cycles as f64);
+    println!(
+        "handler instructions/line: {:.0} (paper: 75)",
+        comp_run.stats.handler_insns_per_exception()
+    );
+    println!(
+        "slowdown: {:.2}x",
+        comp_run.stats.cycles as f64 / native_run.stats.cycles as f64
+    );
     println!("\nThe loop body was decompressed ONCE and then ran at native speed");
     println!("from the I-cache — the paper's key property (§3).");
     Ok(())

@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let top = |counts: &[u64]| -> Vec<(String, u64)> {
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(counts[i]));
-        order.iter().take(4).map(|&i| (profile.names[i].clone(), counts[i])).collect()
+        order
+            .iter()
+            .take(4)
+            .map(|&i| (profile.names[i].clone(), counts[i]))
+            .collect()
     };
     println!("{}: top procedures by executed instructions:", bench.name);
     for (name, c) in top(&profile.exec) {
@@ -46,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<22} {:>10} {:>12} {:>10}",
         "selection", "native kept", "size ratio", "slowdown"
     );
-    for (label, strategy) in [("execution-based", SelectBy::Execution), ("miss-based", SelectBy::Miss)] {
+    for (label, strategy) in [
+        ("execution-based", SelectBy::Execution),
+        ("miss-based", SelectBy::Miss),
+    ] {
         for threshold in [0.05, 0.20, 0.50] {
             let sel = Selection::by_profile(&profile, strategy, threshold);
             let image = build_compressed(&program, Scheme::Dictionary, false, &sel)?;

@@ -18,7 +18,11 @@ fn check_all_schemes(spec: &BenchmarkSpec) {
     let cfg = SimConfig::hpca2000_baseline();
     let program = generate(spec);
     let (native_out, native_cycles, n) = native_baseline(spec);
-    assert!(!native_out.is_empty(), "{}: workload must produce output", spec.name);
+    assert!(
+        !native_out.is_empty(),
+        "{}: workload must produce output",
+        spec.name
+    );
 
     for scheme in [Scheme::Dictionary, Scheme::CodePack, Scheme::ByteDict] {
         for rf in [false, true] {
@@ -89,9 +93,13 @@ fn paper_handler_economics_hold_at_tiny_scale() {
     let program = generate(&spec);
     let n = program.procedures.len();
     for (rf, expected) in [(false, 75.0), (true, 42.0)] {
-        let image =
-            build_compressed(&program, Scheme::Dictionary, rf, &Selection::all_compressed(n))
-                .unwrap();
+        let image = build_compressed(
+            &program,
+            Scheme::Dictionary,
+            rf,
+            &Selection::all_compressed(n),
+        )
+        .unwrap();
         let run = run_image(&image, cfg, MAX_INSNS).unwrap();
         assert_eq!(run.stats.handler_insns_per_exception(), expected, "rf={rf}");
     }

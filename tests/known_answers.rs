@@ -7,9 +7,9 @@
 //! checksum, a matrix-product trace — so a systematic bug that corrupts
 //! native and compressed runs identically is still caught.
 
+use rtdc_isa::program::ObjectProgram;
 use rtdc_repro::core::prelude::*;
 use rtdc_repro::workloads::programs;
-use rtdc_isa::program::ObjectProgram;
 
 const MAX_INSNS: u64 = 20_000_000;
 
@@ -40,8 +40,16 @@ fn assert_known_answer(program: &ObjectProgram, expected_output: &str, expected_
                 "{}: {scheme:?} rf={rf}",
                 program.name
             );
-            assert_eq!(r.exit_code, expected_exit, "{}: {scheme:?} rf={rf}", program.name);
-            assert!(r.stats.exceptions > 0, "{}: decompressor must run", program.name);
+            assert_eq!(
+                r.exit_code, expected_exit,
+                "{}: {scheme:?} rf={rf}",
+                program.name
+            );
+            assert!(
+                r.stats.exceptions > 0,
+                "{}: decompressor must run",
+                program.name
+            );
         }
     }
 }
