@@ -50,11 +50,8 @@ fn main() {
     let specs = all_benchmarks();
     let jobs = jobs_from_env();
 
-    for (panel, scheme) in [
-        ("(a) Dictionary", Scheme::Dictionary),
-        ("(b) CodePack", Scheme::CodePack),
-    ] {
-        println!("{panel}");
+    for (i, scheme) in Scheme::paper_schemes().enumerate() {
+        println!("({}) {}", (b'a' + i as u8) as char, scheme.long_name());
         println!(
             "{:<12} {:>6} {:>12} {:>10} {:>10}",
             "benchmark",

@@ -34,7 +34,7 @@ fn bench_block(spec: &BenchmarkSpec, cfg: SimConfig) -> String {
         spec.name, spec.paper.slowdown_d, spec.paper.slowdown_cp
     )
     .expect("write to string");
-    for scheme in [Scheme::Dictionary, Scheme::CodePack] {
+    for scheme in Scheme::paper_schemes() {
         for strategy in [SelectBy::Execution, SelectBy::Miss] {
             let mut points: Vec<(f64, f64, usize)> = Vec::new();
             let mut selections = vec![Selection::all_compressed(n)];

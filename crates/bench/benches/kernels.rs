@@ -1,8 +1,8 @@
 //! Micro-benchmarks of the pure algorithm kernels: compression and
-//! decompression throughput for the three algorithms, and raw simulator
-//! speed. These are the implementation-performance numbers (host-side),
-//! complementing the simulated-machine results of the table/figure
-//! harnesses.
+//! decompression throughput for every registered codec (plus raw LZRW1
+//! over the byte stream), and raw simulator speed. These are the
+//! implementation-performance numbers (host-side), complementing the
+//! simulated-machine results of the table/figure harnesses.
 //!
 //! Uses a tiny self-contained timing harness (median of repeated runs)
 //! instead of criterion so the workspace builds with no network access.
@@ -10,8 +10,6 @@
 use std::time::Instant;
 
 use rtdc::prelude::*;
-use rtdc_compress::codepack::CodePackCompressed;
-use rtdc_compress::dictionary::DictionaryCompressed;
 use rtdc_compress::lzrw1;
 use rtdc_sim::SimConfig;
 use rtdc_workloads::{generate, spec};
@@ -54,21 +52,26 @@ fn bench_compressors() {
     let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
     let n = bytes.len() as u64;
     println!("== compress ({} words) ==", words.len());
-    bench("dictionary", Some(n), 10, || {
-        DictionaryCompressed::compress(&words).unwrap()
-    });
-    bench("codepack", Some(n), 10, || {
-        CodePackCompressed::compress(&words)
-    });
-    bench("lzrw1", Some(n), 10, || lzrw1::compress(&bytes));
+    for scheme in Scheme::all() {
+        let codec = scheme.codec();
+        bench(codec.long_name(), Some(n), 10, || {
+            codec.compress(&words).unwrap()
+        });
+    }
+    bench("lzrw1 (raw bytes)", Some(n), 10, || lzrw1::compress(&bytes));
 
-    let dict = DictionaryCompressed::compress(&words).unwrap();
-    let cp = CodePackCompressed::compress(&words);
-    let lz = lzrw1::compress(&bytes);
     println!("== decompress ==");
-    bench("dictionary", Some(n), 10, || dict.decompress());
-    bench("codepack", Some(n), 10, || cp.decompress());
-    bench("lzrw1", Some(n), 10, || lzrw1::decompress(&lz).unwrap());
+    for scheme in Scheme::all() {
+        let codec = scheme.codec();
+        let layout = codec.compress(&words).unwrap();
+        bench(codec.long_name(), Some(n), 10, || {
+            codec.decode(&layout, words.len()).unwrap()
+        });
+    }
+    let lz = lzrw1::compress(&bytes);
+    bench("lzrw1 (raw bytes)", Some(n), 10, || {
+        lzrw1::decompress(&lz).unwrap()
+    });
 }
 
 fn run_100k(image: &MemoryImage, cfg: SimConfig) -> u64 {

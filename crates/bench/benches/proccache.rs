@@ -12,6 +12,8 @@
 //! caches, and the cache-line schemes run in full simulation over the
 //! same I-cache range (Figure 4's data).
 
+use std::fmt::Write as _;
+
 use rtdc::prelude::*;
 use rtdc::proccache::{self, ProcCacheModel};
 use rtdc_bench::experiments::MAX_INSNS;
@@ -22,10 +24,15 @@ fn main() {
     println!("== §5.2: procedure-cache (Kirovski/LZRW1) vs cache-line decompression ==\n");
     let sizes_kb = [1u32, 4, 16, 64];
 
-    println!(
-        "{:<12} {:>9} | {:>8} {:>8} {:>8} {:>8} | {:>9} {:>9}",
-        "benchmark", "lzrw1/pp", "pc 1K", "pc 4K", "pc 16K", "pc 64K", "D 4-64K", "CP 4-64K"
+    let paper: Vec<Scheme> = Scheme::paper_schemes().collect();
+    let mut header = format!(
+        "{:<12} {:>9} | {:>8} {:>8} {:>8} {:>8} |",
+        "benchmark", "lzrw1/pp", "pc 1K", "pc 4K", "pc 16K", "pc 64K"
     );
+    for s in &paper {
+        write!(header, " {:>9}", format!("{} 4-64K", s.label())).expect("write to string");
+    }
+    println!("{header}");
     for spec in all_benchmarks() {
         let program = generate_cached(&spec);
         let cfg = SimConfig::hpca2000_baseline();
@@ -64,17 +71,19 @@ fn main() {
             format!("{lo:.1}-{hi:.1}")
         };
 
-        println!(
-            "{:<12} {:>8.1}% | {:>8} {:>8} {:>8} {:>8} | {:>9} {:>9}",
+        let mut line = format!(
+            "{:<12} {:>8.1}% | {:>8} {:>8} {:>8} {:>8} |",
             spec.name,
             100.0 * proccache::per_procedure_lzrw1_ratio(&program),
             pc_cols[0],
             pc_cols[1],
             pc_cols[2],
             pc_cols[3],
-            span(Scheme::Dictionary),
-            span(Scheme::CodePack),
         );
+        for s in &paper {
+            write!(line, " {:>9}", span(*s)).expect("write to string");
+        }
+        println!("{line}");
     }
     println!("\n* n/a: a called procedure exceeds the procedure cache (Kirovski");
     println!("  requirement 1 — the design cannot run at that size at all).");

@@ -10,7 +10,9 @@
 //! default: available parallelism); rows print in benchmark order, so the
 //! output is byte-identical for any job count.
 
-use rtdc_bench::experiments::{pct, table2_rows};
+use std::fmt::Write as _;
+
+use rtdc_bench::experiments::{paper_ratio, pct, table2_rows};
 use rtdc_bench::jobs::jobs_from_env;
 use rtdc_sim::SimConfig;
 use rtdc_workloads::all_benchmarks;
@@ -35,22 +37,34 @@ fn main() {
     let rows = table2_rows(&specs, cfg, jobs_from_env());
     for (spec, r) in specs.iter().zip(&rows) {
         let p = spec.paper;
-        println!(
-            "{:<12} {:>10} {:>7} ({:>6}) {:>11} {:>11} {:>11} {:>7} ({:>6}) {:>7} ({:>6}) {:>7} ({:>6})",
+        let mut line = format!(
+            "{:<12} {:>10} {:>7} ({:>6}) {:>11}",
             r.name,
             r.dynamic_insns,
             pct(r.miss_ratio),
             pct(p.miss_ratio_16k),
             r.original_bytes,
-            r.dict_bytes,
-            r.cp_bytes,
-            pct(r.dict_ratio),
-            pct(p.dict_ratio),
-            pct(r.cp_ratio),
-            pct(p.codepack_ratio),
-            pct(r.lzrw1_ratio),
-            pct(p.lzrw1_ratio),
         );
+        for s in &r.schemes {
+            write!(line, " {:>11}", s.payload_bytes).expect("write to string");
+        }
+        for s in &r.schemes {
+            write!(
+                line,
+                " {:>7} ({:>6})",
+                pct(s.ratio),
+                pct(paper_ratio(&p, s.scheme))
+            )
+            .expect("write to string");
+        }
+        write!(
+            line,
+            " {:>7} ({:>6})",
+            pct(r.lzrw1_ratio),
+            pct(p.lzrw1_ratio)
+        )
+        .expect("write to string");
+        println!("{line}");
     }
     println!("\nShape checks: CP < dict for every row; dict within ~0.50-0.85; CP ~0.55-0.70.");
 }

@@ -9,7 +9,10 @@
 //! default: available parallelism); rows print in benchmark order, so the
 //! output is byte-identical for any job count.
 
-use rtdc_bench::experiments::table3_rows;
+use std::fmt::Write as _;
+
+use rtdc::prelude::Scheme;
+use rtdc_bench::experiments::{paper_slowdown, table3_rows};
 use rtdc_bench::jobs::jobs_from_env;
 use rtdc_sim::SimConfig;
 use rtdc_workloads::all_benchmarks;
@@ -18,27 +21,34 @@ fn main() {
     let cfg = SimConfig::hpca2000_baseline();
     println!("== Table 3: Slowdown compared to native code ==");
     println!("(paper values in parentheses)\n");
-    println!(
-        "{:<12} {:>14} {:>15} {:>15} {:>15} {:>15}",
-        "benchmark", "native cycles", "D", "D+RF", "CP", "CP+RF"
-    );
+    let mut header = format!("{:<12} {:>14}", "benchmark", "native cycles");
+    for s in Scheme::paper_schemes() {
+        write!(
+            header,
+            " {:>15} {:>15}",
+            s.label(),
+            format!("{}+RF", s.label())
+        )
+        .expect("write to string");
+    }
+    println!("{header}");
     let specs = all_benchmarks();
     let rows = table3_rows(&specs, cfg, jobs_from_env());
     for (spec, r) in specs.iter().zip(&rows) {
         let p = spec.paper;
-        println!(
-            "{:<12} {:>14} {:>7.2} ({:>5.2}) {:>7.2} ({:>5.2}) {:>7.2} ({:>5.2}) {:>7.2} ({:>5.2})",
-            r.name,
-            r.native_cycles,
-            r.d,
-            p.slowdown_d,
-            r.d_rf,
-            p.slowdown_d_rf,
-            r.cp,
-            p.slowdown_cp,
-            r.cp_rf,
-            p.slowdown_cp_rf,
-        );
+        let mut line = format!("{:<12} {:>14}", r.name, r.native_cycles);
+        for s in &r.slowdowns {
+            write!(
+                line,
+                " {:>7.2} ({:>5.2}) {:>7.2} ({:>5.2})",
+                s.plain,
+                paper_slowdown(&p, s.scheme, false),
+                s.rf,
+                paper_slowdown(&p, s.scheme, true),
+            )
+            .expect("write to string");
+        }
+        println!("{line}");
     }
     println!("\nShape checks: D <= ~3x; CP <= ~18x; CP >> D; +RF cuts dictionary overhead");
     println!("roughly in half but barely helps CodePack; loop benchmarks stay near 1.0.");

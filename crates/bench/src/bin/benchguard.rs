@@ -1,0 +1,103 @@
+//! `benchguard` — sim-MIPS regression guard over `BENCH_sim.json`.
+//!
+//! ```sh
+//! benchguard <baseline.json> <current.json>
+//! ```
+//!
+//! Compares the **serial** per-scheme aggregate rows (the `"schemes"`
+//! array) of two simperf reports and fails if any scheme present in both
+//! has dropped to below 70% of the baseline's sim-MIPS (a >30% regression).
+//! Parallel-pass numbers and per-benchmark rows are informational only —
+//! they are too host-noise-sensitive to gate on.
+//!
+//! Schemes only present on one side (e.g. a newly registered codec not
+//! yet in the baseline) are reported but never fail the guard.
+
+use std::process::ExitCode;
+
+/// Extracts `(scheme, sim_mips)` pairs from the `"schemes"` array of a
+/// simperf report. The format is simperf's own hand-rolled JSON (one row
+/// per line), so a line scanner is all the parsing this needs.
+fn scheme_mips(report: &str) -> Result<Vec<(String, f64)>, String> {
+    let start = report
+        .find("\"schemes\": [")
+        .ok_or("no \"schemes\" array")?;
+    let body = &report[start..];
+    let end = body.find(']').ok_or("unterminated \"schemes\" array")?;
+    let mut rows = Vec::new();
+    for line in body[..end].lines().filter(|l| l.contains("\"scheme\":")) {
+        let field = |key: &str| -> Result<&str, String> {
+            let pat = format!("\"{key}\": ");
+            let at = line.find(&pat).ok_or(format!("row missing {key}"))? + pat.len();
+            let rest = &line[at..];
+            Ok(rest[..rest.find([',', '}']).ok_or(format!("unterminated {key}"))?].trim())
+        };
+        let scheme = field("scheme")?.trim_matches('"').to_string();
+        let mips: f64 = field("sim_mips")?
+            .parse()
+            .map_err(|e| format!("bad sim_mips: {e}"))?;
+        rows.push((scheme, mips));
+    }
+    if rows.is_empty() {
+        return Err("\"schemes\" array has no rows".into());
+    }
+    Ok(rows)
+}
+
+fn run() -> Result<bool, String> {
+    let mut args = std::env::args().skip(1);
+    let (baseline_path, current_path) = match (args.next(), args.next()) {
+        (Some(b), Some(c)) => (b, c),
+        _ => return Err("usage: benchguard <baseline.json> <current.json>".into()),
+    };
+    let baseline =
+        std::fs::read_to_string(&baseline_path).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let current =
+        std::fs::read_to_string(&current_path).map_err(|e| format!("{current_path}: {e}"))?;
+    let baseline = scheme_mips(&baseline).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let current = scheme_mips(&current).map_err(|e| format!("{current_path}: {e}"))?;
+
+    let mut ok = true;
+    for (scheme, base) in &baseline {
+        match current.iter().find(|(s, _)| s == scheme) {
+            None => {
+                println!("{scheme:<10} baseline {base:>8.2} sim-MIPS, not in current (skipped)")
+            }
+            Some((_, cur)) => {
+                let floor = base * 0.7;
+                let verdict = if *cur < floor {
+                    ok = false;
+                    "REGRESSION (>30% drop)"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{scheme:<10} baseline {base:>8.2} current {cur:>8.2} sim-MIPS (floor {floor:>7.2})  {verdict}"
+                );
+            }
+        }
+    }
+    for (scheme, cur) in &current {
+        if !baseline.iter().any(|(s, _)| s == scheme) {
+            println!("{scheme:<10} current {cur:>8.2} sim-MIPS, not in baseline (new scheme)");
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => {
+            println!("benchguard: serial sim-MIPS within 30% of baseline");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!("benchguard: serial sim-MIPS regression detected");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("benchguard: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -37,9 +37,9 @@ fn main() {
             row.original_bytes / 1024,
             pct(row.miss_ratio),
             pct(spec.paper.miss_ratio_16k),
-            pct(row.dict_ratio),
+            pct(row.schemes[0].ratio),
             pct(spec.paper.dict_ratio),
-            pct(row.cp_ratio),
+            pct(row.schemes[1].ratio),
             pct(spec.paper.codepack_ratio),
             pct(row.lzrw1_ratio),
             pct(spec.paper.lzrw1_ratio),

@@ -1,9 +1,9 @@
 //! `simperf` — simulator-throughput baseline (sim-MIPS).
 //!
-//! Runs every benchmark analog natively and under the four compressed
-//! schemes, then prints a hand-rolled JSON report of simulated
-//! instructions, host wall-clock, and sim-MIPS (millions of simulated
-//! instructions per host second) per scheme and per benchmark.
+//! Runs every benchmark analog natively and under every registered
+//! scheme (both handler variants), then prints a hand-rolled JSON report
+//! of simulated instructions, host wall-clock, and sim-MIPS (millions of
+//! simulated instructions per host second) per scheme and per benchmark.
 //!
 //! Regenerate the checked-in baseline with:
 //!
@@ -11,23 +11,56 @@
 //! cargo run --release -p rtdc-bench --bin simperf > BENCH_sim.json
 //! ```
 //!
-//! Runs are strictly serial — throughput numbers measured while other
-//! workers compete for the same cores would understate the simulator, so
-//! this binary deliberately does not fan out.
+//! The headline numbers come from a strictly serial pass — throughput
+//! measured while other workers compete for the same cores would
+//! understate the simulator. A second pass then re-runs the same work
+//! fanned out across `--jobs N` workers (default: available parallelism)
+//! and records the aggregate under `"parallel"`, so the baseline also
+//! documents how harness fan-out scales on the measurement host.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rtdc::prelude::*;
 use rtdc_bench::experiments::{run_native, run_scheme};
+use rtdc_bench::jobs::{jobs_from_env, parallel_map};
 use rtdc_sim::SimConfig;
-use rtdc_workloads::{all_benchmarks, generate_cached};
+use rtdc_workloads::{all_benchmarks, generate_cached, BenchmarkSpec};
 
 struct Cell {
     name: &'static str,
-    scheme: &'static str,
+    scheme: String,
     insns: u64,
     wall: Duration,
     mips: f64,
+}
+
+/// `native`, then every registry scheme plain and `+rf`, in registry
+/// order — the row set for both passes.
+fn scheme_labels() -> Vec<String> {
+    let mut labels = vec!["native".to_string()];
+    for s in Scheme::all() {
+        labels.push(s.name().to_string());
+        labels.push(format!("{}+rf", s.name()));
+    }
+    labels
+}
+
+/// Runs one benchmark under one labeled scheme and returns its cell.
+fn run_cell(spec: &BenchmarkSpec, label: &str, cfg: SimConfig) -> Cell {
+    let r = if label == "native" {
+        run_native(spec, cfg)
+    } else {
+        let (scheme, rf) = Scheme::parse(label).expect("label came from the registry");
+        let all = Selection::all_compressed(generate_cached(spec).procedures.len());
+        run_scheme(spec, scheme, rf, &all, cfg)
+    };
+    Cell {
+        name: spec.name,
+        scheme: label.to_string(),
+        insns: r.stats.insns,
+        wall: r.wall,
+        mips: r.sim_mips(),
+    }
 }
 
 fn json_row(indent: &str, c: &Cell) -> String {
@@ -43,30 +76,28 @@ fn json_row(indent: &str, c: &Cell) -> String {
 
 fn main() {
     let cfg = SimConfig::hpca2000_baseline();
+    let labels = scheme_labels();
     let mut cells: Vec<Cell> = Vec::new();
 
+    // Serial pass: the sim-MIPS baseline proper.
     for spec in all_benchmarks() {
-        let program = generate_cached(&spec);
-        let all = Selection::all_compressed(program.procedures.len());
         let native = run_native(&spec, cfg);
+        let native_output = native.output.clone();
         cells.push(Cell {
             name: spec.name,
-            scheme: "native",
+            scheme: "native".to_string(),
             insns: native.stats.insns,
             wall: native.wall,
             mips: native.sim_mips(),
         });
-        for (label, scheme, rf) in [
-            ("d", Scheme::Dictionary, false),
-            ("d+rf", Scheme::Dictionary, true),
-            ("cp", Scheme::CodePack, false),
-            ("cp+rf", Scheme::CodePack, true),
-        ] {
+        for label in labels.iter().filter(|l| *l != "native") {
+            let (scheme, rf) = Scheme::parse(label).expect("registry label");
+            let all = Selection::all_compressed(generate_cached(&spec).procedures.len());
             let r = run_scheme(&spec, scheme, rf, &all, cfg);
-            assert_eq!(r.output, native.output, "{} {label}: diverged", spec.name);
+            assert_eq!(r.output, native_output, "{} {label}: diverged", spec.name);
             cells.push(Cell {
                 name: spec.name,
-                scheme: label,
+                scheme: label.clone(),
                 insns: r.stats.insns,
                 wall: r.wall,
                 mips: r.sim_mips(),
@@ -76,19 +107,18 @@ fn main() {
     }
 
     // Per-scheme aggregates (total simulated work / total host time).
-    let schemes = ["native", "d", "d+rf", "cp", "cp+rf"];
-    let totals: Vec<Cell> = schemes
+    let totals: Vec<Cell> = labels
         .iter()
-        .map(|&s| {
+        .map(|label| {
             let (mut insns, mut wall) = (0u64, Duration::ZERO);
-            for c in cells.iter().filter(|c| c.scheme == s) {
+            for c in cells.iter().filter(|c| &c.scheme == label) {
                 insns += c.insns;
                 wall += c.wall;
             }
             let secs = wall.as_secs_f64();
             Cell {
                 name: "all",
-                scheme: s,
+                scheme: label.clone(),
                 insns,
                 wall,
                 mips: if secs > 0.0 {
@@ -100,6 +130,25 @@ fn main() {
         })
         .collect();
 
+    // Parallel pass: the same work items fanned out across workers; one
+    // aggregate measures end-to-end wall-clock scaling.
+    let jobs = jobs_from_env();
+    let work: Vec<(BenchmarkSpec, String)> = all_benchmarks()
+        .into_iter()
+        .flat_map(|spec| labels.iter().map(move |l| (spec, l.clone())))
+        .collect();
+    eprintln!("parallel pass ({jobs} jobs, {} runs)...", work.len());
+    let t0 = Instant::now();
+    let par_cells = parallel_map(&work, jobs, |(spec, label)| run_cell(spec, label, cfg));
+    let par_wall = t0.elapsed();
+    let par_insns: u64 = par_cells.iter().map(|c| c.insns).sum();
+    let par_secs = par_wall.as_secs_f64();
+    let par_mips = if par_secs > 0.0 {
+        par_insns as f64 / par_secs / 1e6
+    } else {
+        0.0
+    };
+
     println!("{{");
     println!("  \"note\": \"sim-MIPS baseline; wall-clock numbers are host-dependent\",");
     println!("  \"config\": \"hpca2000_baseline (16KB I-cache, decode cache on)\",");
@@ -107,6 +156,11 @@ fn main() {
     let rows: Vec<String> = totals.iter().map(|c| json_row("    ", c)).collect();
     println!("{}", rows.join(",\n"));
     println!("  ],");
+    println!(
+        "  \"parallel\": {{\"jobs\": {jobs}, \"runs\": {}, \"wall_secs\": {:.4}, \"insns\": {par_insns}, \"sim_mips\": {par_mips:.2}}},",
+        work.len(),
+        par_secs,
+    );
     println!("  \"benchmarks\": [");
     let rows: Vec<String> = cells.iter().map(|c| json_row("    ", c)).collect();
     println!("{}", rows.join(",\n"));

@@ -3,7 +3,7 @@
 use rtdc::prelude::*;
 use rtdc_compress::lzrw1;
 use rtdc_sim::SimConfig;
-use rtdc_workloads::{generate_cached, BenchmarkSpec};
+use rtdc_workloads::{generate_cached, BenchmarkSpec, PaperReference};
 
 /// Generous commit budget: no experiment legitimately exceeds this.
 pub const MAX_INSNS: u64 = 2_000_000_000;
@@ -28,6 +28,17 @@ pub fn run_scheme(
     run_image(&image, cfg, MAX_INSNS).expect("compressed run")
 }
 
+/// One scheme's full-compression size measurement within a Table 2 row.
+#[derive(Debug, Clone, Copy)]
+pub struct SchemeSize {
+    /// Which scheme.
+    pub scheme: Scheme,
+    /// Fully-compressed payload bytes.
+    pub payload_bytes: u32,
+    /// Compression ratio (Eq. 1).
+    pub ratio: f64,
+}
+
 /// A measured Table 2 row.
 #[derive(Debug, Clone)]
 pub struct Table2Row {
@@ -39,20 +50,34 @@ pub struct Table2Row {
     pub miss_ratio: f64,
     /// Native `.text` bytes.
     pub original_bytes: u32,
-    /// Fully-compressed dictionary payload bytes.
-    pub dict_bytes: u32,
-    /// Fully-compressed CodePack payload bytes.
-    pub cp_bytes: u32,
-    /// Dictionary compression ratio.
-    pub dict_ratio: f64,
-    /// CodePack compression ratio.
-    pub cp_ratio: f64,
+    /// Per-scheme sizes, in [`Scheme::paper_schemes`] order.
+    pub schemes: Vec<SchemeSize>,
     /// LZRW1 whole-text compression ratio.
     pub lzrw1_ratio: f64,
 }
 
-/// Measures a Table 2 row: one native run plus the three compressors over
-/// the full `.text`.
+/// The paper's Table 2 compression ratio for `scheme`.
+pub fn paper_ratio(p: &PaperReference, scheme: Scheme) -> f64 {
+    match scheme.name() {
+        "d" => p.dict_ratio,
+        "cp" => p.codepack_ratio,
+        other => panic!("paper reports no Table 2 ratio for scheme `{other}`"),
+    }
+}
+
+/// The paper's Table 3 slowdown for `scheme` (+RF if `rf`).
+pub fn paper_slowdown(p: &PaperReference, scheme: Scheme, rf: bool) -> f64 {
+    match (scheme.name(), rf) {
+        ("d", false) => p.slowdown_d,
+        ("d", true) => p.slowdown_d_rf,
+        ("cp", false) => p.slowdown_cp,
+        ("cp", true) => p.slowdown_cp_rf,
+        (other, _) => panic!("paper reports no Table 3 slowdown for scheme `{other}`"),
+    }
+}
+
+/// Measures a Table 2 row: one native run plus every paper scheme's
+/// compressor over the full `.text` (and LZRW1 over the raw bytes).
 pub fn table2_row(spec: &BenchmarkSpec, cfg: SimConfig) -> Table2Row {
     let program = generate_cached(spec);
     let native = build_native(&program).expect("native build");
@@ -60,8 +85,16 @@ pub fn table2_row(spec: &BenchmarkSpec, cfg: SimConfig) -> Table2Row {
 
     let n = program.procedures.len();
     let all = Selection::all_compressed(n);
-    let dict = build_compressed(&program, Scheme::Dictionary, false, &all).expect("dict build");
-    let cp = build_compressed(&program, Scheme::CodePack, false, &all).expect("cp build");
+    let schemes = Scheme::paper_schemes()
+        .map(|scheme| {
+            let img = build_compressed(&program, scheme, false, &all).expect("compressed build");
+            SchemeSize {
+                scheme,
+                payload_bytes: img.sizes.compressed_payload_bytes,
+                ratio: img.sizes.compression_ratio(),
+            }
+        })
+        .collect();
 
     let text = native.segment(".text").expect("native text segment");
     let lz_ratio = lzrw1::compression_ratio(&text.bytes);
@@ -71,12 +104,21 @@ pub fn table2_row(spec: &BenchmarkSpec, cfg: SimConfig) -> Table2Row {
         dynamic_insns: report.stats.program_insns,
         miss_ratio: report.stats.imiss_ratio(),
         original_bytes: native.sizes.original_text_bytes,
-        dict_bytes: dict.sizes.compressed_payload_bytes,
-        cp_bytes: cp.sizes.compressed_payload_bytes,
-        dict_ratio: dict.sizes.compression_ratio(),
-        cp_ratio: cp.sizes.compression_ratio(),
+        schemes,
         lzrw1_ratio: lz_ratio,
     }
+}
+
+/// One scheme's slowdown pair (plain handler, +RF handler) within a
+/// Table 3 row.
+#[derive(Debug, Clone, Copy)]
+pub struct SchemeSlowdown {
+    /// Which scheme.
+    pub scheme: Scheme,
+    /// Cycles relative to native, plain handler.
+    pub plain: f64,
+    /// Cycles relative to native, second-register-file handler.
+    pub rf: f64,
 }
 
 /// A measured Table 3 row: slowdowns relative to native.
@@ -86,18 +128,13 @@ pub struct Table3Row {
     pub name: String,
     /// Native cycle count (the denominator).
     pub native_cycles: u64,
-    /// Dictionary slowdown.
-    pub d: f64,
-    /// Dictionary + second register file.
-    pub d_rf: f64,
-    /// CodePack slowdown.
-    pub cp: f64,
-    /// CodePack + second register file.
-    pub cp_rf: f64,
+    /// Per-scheme slowdowns, in [`Scheme::paper_schemes`] order.
+    pub slowdowns: Vec<SchemeSlowdown>,
 }
 
-/// Measures a Table 3 row: five full runs (native + four schemes), fully
-/// compressed, verifying architectural equivalence along the way.
+/// Measures a Table 3 row: one native run plus every paper scheme with
+/// both handler variants, fully compressed, verifying architectural
+/// equivalence along the way.
 pub fn table3_row(spec: &BenchmarkSpec, cfg: SimConfig) -> Table3Row {
     let native = run_native(spec, cfg);
     let n_cycles = native.stats.cycles as f64;
@@ -114,10 +151,13 @@ pub fn table3_row(spec: &BenchmarkSpec, cfg: SimConfig) -> Table3Row {
     Table3Row {
         name: spec.name.to_string(),
         native_cycles: native.stats.cycles,
-        d: slow(Scheme::Dictionary, false),
-        d_rf: slow(Scheme::Dictionary, true),
-        cp: slow(Scheme::CodePack, false),
-        cp_rf: slow(Scheme::CodePack, true),
+        slowdowns: Scheme::paper_schemes()
+            .map(|scheme| SchemeSlowdown {
+                scheme,
+                plain: slow(scheme, false),
+                rf: slow(scheme, true),
+            })
+            .collect(),
     }
 }
 

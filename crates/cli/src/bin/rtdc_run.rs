@@ -11,6 +11,7 @@
 //! rtdc-run --bench crc32 --trace 20        # trace the first N instructions
 //! rtdc-run --bench cc1,go,perl --jobs 4    # several benchmarks, fanned out
 //! rtdc-run --list                          # list benchmarks
+//! rtdc-run --list-schemes                  # list registered compression schemes
 //! ```
 //!
 //! `--bench` accepts a comma-separated list; each benchmark's report is
@@ -29,6 +30,28 @@ use rtdc_sim::SimConfig;
 use rtdc_workloads::{all_benchmarks, by_name, generate, programs};
 
 const MAX_INSNS: u64 = 2_000_000_000;
+
+/// `native|d|d+rf|cp|cp+rf|...` — derived from the scheme registry, so a
+/// newly registered codec shows up in error messages without CLI edits.
+fn scheme_usage() -> String {
+    let mut usage = String::from("native");
+    for s in Scheme::all() {
+        write!(usage, "|{0}|{0}+rf", s.name()).expect("write to string");
+    }
+    usage
+}
+
+/// Parses `--scheme`: `native`, or any registry name with an optional
+/// `+rf` suffix. `None` means native.
+fn parse_scheme_arg(arg: &str) -> Result<(Option<Scheme>, bool), String> {
+    if arg == "native" {
+        return Ok((None, false));
+    }
+    match Scheme::parse(arg) {
+        Some((s, rf)) => Ok((Some(s), rf)),
+        None => Err(format!("unknown --scheme `{arg}` ({})", scheme_usage())),
+    }
+}
 
 /// Resolves a benchmark-analog or known-answer program by name.
 fn resolve(name: &str) -> Result<ObjectProgram, String> {
@@ -52,20 +75,7 @@ fn run_one(name: &str, args: &Args, cfg: SimConfig, with_layout: bool) -> Result
     let n = program.procedures.len();
 
     let scheme_arg = args.opt("scheme").unwrap_or("native").to_ascii_lowercase();
-    let (scheme, rf) = match scheme_arg.as_str() {
-        "native" => (None, false),
-        "d" => (Some(Scheme::Dictionary), false),
-        "d+rf" => (Some(Scheme::Dictionary), true),
-        "cp" => (Some(Scheme::CodePack), false),
-        "cp+rf" => (Some(Scheme::CodePack), true),
-        "d2" => (Some(Scheme::ByteDict), false),
-        "d2+rf" => (Some(Scheme::ByteDict), true),
-        other => {
-            return Err(format!(
-                "unknown --scheme `{other}` (native|d|d+rf|cp|cp+rf|d2|d2+rf)"
-            ))
-        }
-    };
+    let (scheme, rf) = parse_scheme_arg(&scheme_arg)?;
 
     let image = match scheme {
         None => build_native(&program).map_err(|e| e.to_string())?,
@@ -137,25 +147,10 @@ fn trace_one(name: &str, args: &Args, cfg: SimConfig, ncount: u64) -> Result<(),
     let program = resolve(name)?;
     let scheme_arg = args.opt("scheme").unwrap_or("native").to_ascii_lowercase();
     let n = program.procedures.len();
-    let image = match scheme_arg.as_str() {
-        "native" => build_native(&program).map_err(|e| e.to_string())?,
-        "d" | "d+rf" | "cp" | "cp+rf" | "d2" | "d2+rf" => {
-            let (s, rf) = match scheme_arg.as_str() {
-                "d" => (Scheme::Dictionary, false),
-                "d+rf" => (Scheme::Dictionary, true),
-                "cp" => (Scheme::CodePack, false),
-                "cp+rf" => (Scheme::CodePack, true),
-                "d2" => (Scheme::ByteDict, false),
-                _ => (Scheme::ByteDict, true),
-            };
-            build_compressed(&program, s, rf, &Selection::all_compressed(n))
-                .map_err(|e| e.to_string())?
-        }
-        other => {
-            return Err(format!(
-                "unknown --scheme `{other}` (native|d|d+rf|cp|cp+rf|d2|d2+rf)"
-            ))
-        }
+    let image = match parse_scheme_arg(&scheme_arg)? {
+        (None, _) => build_native(&program).map_err(|e| e.to_string())?,
+        (Some(s), rf) => build_compressed(&program, s, rf, &Selection::all_compressed(n))
+            .map_err(|e| e.to_string())?,
     };
     let mut m = load_image(&image, cfg);
     while m.stats().insns < ncount {
@@ -180,6 +175,23 @@ fn trace_one(name: &str, args: &Args, cfg: SimConfig, ncount: u64) -> Result<(),
 
 fn run() -> Result<(), String> {
     let args = Args::from_env();
+    if args.has("list-schemes") {
+        println!(
+            "{:<8} {:<6} {:<12} description",
+            "name", "label", "long name"
+        );
+        for s in Scheme::all() {
+            println!(
+                "{:<8} {:<6} {:<12} {}",
+                s.name(),
+                s.label(),
+                s.long_name(),
+                s.describe()
+            );
+        }
+        println!("(append `+rf` to any name for the second-register-file handler)");
+        return Ok(());
+    }
     if args.has("list") {
         for b in all_benchmarks() {
             println!(

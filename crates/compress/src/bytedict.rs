@@ -21,6 +21,8 @@
 
 use std::collections::HashMap;
 
+use crate::codec::{le_u16s, le_u32s, Codec, CodecSegment, CompressError, CompressedLayout};
+
 /// Instructions per compressed line (one 32B I-cache line).
 pub const LINE_WORDS: usize = 8;
 
@@ -99,6 +101,25 @@ impl ByteDictCompressed {
             }
         }
 
+        ByteDictCompressed {
+            dict,
+            bytes,
+            bases,
+            deltas,
+            n_words,
+        }
+    }
+
+    /// Rebuilds a stream from its serialized parts (the inverse of the
+    /// `*_bytes` serializers), so decoders can go through the exact bytes
+    /// the run-time handler reads.
+    pub fn from_parts(
+        dict: Vec<u32>,
+        bytes: Vec<u8>,
+        bases: Vec<u32>,
+        deltas: Vec<u16>,
+        n_words: usize,
+    ) -> ByteDictCompressed {
         ByteDictCompressed {
             dict,
             bytes,
@@ -206,6 +227,73 @@ impl ByteDictCompressed {
     /// Serializes the mapping-table deltas to little-endian bytes.
     pub fn deltas_bytes(&self) -> Vec<u8> {
         self.deltas.iter().flat_map(|o| o.to_le_bytes()).collect()
+    }
+}
+
+/// The [`Codec`] view of the byte-dictionary scheme: four segments —
+/// `.linetab` (block bases), `.linedeltas` (per-line offsets),
+/// `.bytecodes` (tagged codewords), `.bytedict` (word dictionary).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ByteDictCodec;
+
+impl Codec for ByteDictCodec {
+    fn name(&self) -> &'static str {
+        "d2"
+    }
+
+    fn short_label(&self) -> &'static str {
+        "D2"
+    }
+
+    fn long_name(&self) -> &'static str {
+        "ByteDict"
+    }
+
+    fn describe(&self) -> &'static str {
+        "byte-granular tagged dictionary (1/2/4-byte codewords); better ratio than D"
+    }
+
+    fn unit_words(&self) -> usize {
+        LINE_WORDS
+    }
+
+    fn region_align(&self) -> u32 {
+        64
+    }
+
+    fn compress(&self, words: &[u32]) -> Result<CompressedLayout, CompressError> {
+        let c = ByteDictCompressed::compress(words);
+        Ok(CompressedLayout {
+            segments: vec![
+                CodecSegment {
+                    name: ".linetab",
+                    bytes: c.bases_bytes(),
+                },
+                CodecSegment {
+                    name: ".linedeltas",
+                    bytes: c.deltas_bytes(),
+                },
+                CodecSegment {
+                    name: ".bytecodes",
+                    bytes: c.code_bytes().to_vec(),
+                },
+                CodecSegment {
+                    name: ".bytedict",
+                    bytes: c.dict_bytes(),
+                },
+            ],
+        })
+    }
+
+    fn decode(&self, layout: &CompressedLayout, n_words: usize) -> Option<Vec<u32>> {
+        let bases = le_u32s(layout.segment(".linetab")?)?;
+        let deltas = le_u16s(layout.segment(".linedeltas")?)?;
+        let bytes = layout.segment(".bytecodes")?.to_vec();
+        let dict = le_u32s(layout.segment(".bytedict")?)?;
+        if deltas.len() * LINE_WORDS < n_words {
+            return None;
+        }
+        Some(ByteDictCompressed::from_parts(dict, bytes, bases, deltas, n_words).decompress())
     }
 }
 

@@ -1,0 +1,190 @@
+//! The [`Codec`] abstraction: one trait every compression scheme
+//! implements, so the image builder, CLI, and benchmark harnesses can be
+//! scheme-generic.
+//!
+//! A codec turns a stream of 32-bit instruction words into a set of named
+//! byte [`CodecSegment`]s (a [`CompressedLayout`]) and back. The segment
+//! *names* are the contract between a codec and its exception handler:
+//! the image builder lays the segments out in declaration order starting
+//! at the compressed-payload base, and the handler's C0 ABI table (see
+//! `rtdc-core`'s registry) binds C0 registers to segment base addresses
+//! by name.
+//!
+//! Adding a scheme means implementing this trait in its own module,
+//! writing its handler source, and adding one registry entry in
+//! `rtdc-core` — no edits to the builder, CLI, or harnesses.
+
+use std::fmt;
+
+use crate::dictionary::DictionaryOverflow;
+
+/// One named byte region produced by a codec.
+///
+/// The builder assigns each segment a base address (declaration order,
+/// 4-byte aligned) and the handler finds it through the codec's C0 ABI
+/// table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecSegment {
+    /// Link-time segment name, e.g. `".indices"`.
+    pub name: &'static str,
+    /// Raw little-endian payload bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// A codec's complete compressed output: its segments in layout order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CompressedLayout {
+    /// Segments in the order the builder must lay them out.
+    pub segments: Vec<CodecSegment>,
+}
+
+impl CompressedLayout {
+    /// Total payload size: the sum of all segment lengths in bytes.
+    pub fn payload_bytes(&self) -> usize {
+        self.segments.iter().map(|s| s.bytes.len()).sum()
+    }
+
+    /// The bytes of the segment called `name`, if present.
+    pub fn segment(&self, name: &str) -> Option<&[u8]> {
+        self.segments
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.bytes.as_slice())
+    }
+}
+
+/// Unified compression error across all codecs.
+///
+/// Replaces the per-scheme error enums: the builder and callers match on
+/// one type regardless of scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompressError {
+    /// The stream has more unique words than the scheme's dictionary can
+    /// index (the paper's signal to fall back to selective compression).
+    DictionaryOverflow(DictionaryOverflow),
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::DictionaryOverflow(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompressError::DictionaryOverflow(e) => Some(e),
+        }
+    }
+}
+
+impl From<DictionaryOverflow> for CompressError {
+    fn from(e: DictionaryOverflow) -> Self {
+        CompressError::DictionaryOverflow(e)
+    }
+}
+
+/// A compression scheme, as seen by every scheme-generic layer.
+///
+/// Implementations are zero-sized statics (see the `rtdc-core` registry);
+/// the trait is object-safe so the registry can hold `&'static dyn Codec`.
+pub trait Codec: Send + Sync {
+    /// Registry key and CLI name, e.g. `"d"`, `"cp"`.
+    fn name(&self) -> &'static str;
+
+    /// Short label used in tables and figures, e.g. `"D"`, `"CP"`.
+    fn short_label(&self) -> &'static str;
+
+    /// Human name used in figure panel titles, e.g. `"Dictionary"`.
+    fn long_name(&self) -> &'static str;
+
+    /// One-line description for `--list-schemes`.
+    fn describe(&self) -> &'static str;
+
+    /// Decode granularity in instruction words (a cache line, a CodePack
+    /// group, an LZ chunk). The compressed region is always padded to a
+    /// whole number of units.
+    fn unit_words(&self) -> usize;
+
+    /// Required alignment, in bytes, of the compressed region's end (the
+    /// native-region base), so no decode unit straddles the boundary.
+    fn region_align(&self) -> u32;
+
+    /// Compresses an instruction-word stream into named segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError`] when the stream cannot be represented
+    /// (e.g. dictionary index space exhausted).
+    fn compress(&self, words: &[u32]) -> Result<CompressedLayout, CompressError>;
+
+    /// Decodes a layout produced by [`Codec::compress`] back into the
+    /// first `n_words` instruction words, going through the *serialized*
+    /// segment bytes (the same representation the run-time handler reads).
+    ///
+    /// Returns `None` if the layout is malformed or does not contain
+    /// `n_words` words.
+    fn decode(&self, layout: &CompressedLayout, n_words: usize) -> Option<Vec<u32>>;
+}
+
+/// Reinterprets little-endian bytes as `u16`s (`None` on odd length).
+pub fn le_u16s(bytes: &[u8]) -> Option<Vec<u16>> {
+    if !bytes.len().is_multiple_of(2) {
+        return None;
+    }
+    Some(
+        bytes
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes([c[0], c[1]]))
+            .collect(),
+    )
+}
+
+/// Reinterprets little-endian bytes as `u32`s (`None` on non-multiple-of-4
+/// length).
+pub fn le_u32s(bytes: &[u8]) -> Option<Vec<u32>> {
+    if !bytes.len().is_multiple_of(4) {
+        return None;
+    }
+    Some(
+        bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_payload_is_segment_sum() {
+        let layout = CompressedLayout {
+            segments: vec![
+                CodecSegment {
+                    name: ".a",
+                    bytes: vec![1, 2, 3],
+                },
+                CodecSegment {
+                    name: ".b",
+                    bytes: vec![4],
+                },
+            ],
+        };
+        assert_eq!(layout.payload_bytes(), 4);
+        assert_eq!(layout.segment(".b"), Some(&[4u8][..]));
+        assert_eq!(layout.segment(".c"), None);
+    }
+
+    #[test]
+    fn le_helpers_reject_ragged_input() {
+        assert_eq!(le_u16s(&[1, 0, 2]), None);
+        assert_eq!(le_u32s(&[1, 0, 0]), None);
+        assert_eq!(le_u16s(&[1, 0, 2, 0]), Some(vec![1, 2]));
+        assert_eq!(le_u32s(&[1, 0, 0, 0]), Some(vec![1]));
+    }
+}

@@ -36,6 +36,7 @@
 use std::collections::HashMap;
 
 use crate::bits::{BitReader, BitWriter};
+use crate::codec::{le_u16s, le_u32s, Codec, CodecSegment, CompressError, CompressedLayout};
 
 /// Instructions per compressed group: two 8-instruction cache lines.
 pub const GROUP_WORDS: usize = 16;
@@ -235,6 +236,27 @@ impl CodePackCompressed {
         self.bases[group / GROUPS_PER_BLOCK] as usize + self.deltas[group] as usize
     }
 
+    /// Rebuilds a stream from its serialized parts (the inverse of the
+    /// `*_bytes` serializers), so decoders can go through the exact bytes
+    /// the run-time handler reads.
+    pub fn from_parts(
+        hi_dict: Vec<u16>,
+        lo_dict: Vec<u16>,
+        groups: Vec<u8>,
+        bases: Vec<u32>,
+        deltas: Vec<u16>,
+        n_words: usize,
+    ) -> CodePackCompressed {
+        CodePackCompressed {
+            hi_dict,
+            lo_dict,
+            groups,
+            bases,
+            deltas,
+            n_words,
+        }
+    }
+
     /// Reconstructs the original instruction words (padding trimmed).
     pub fn decompress(&self) -> Vec<u32> {
         let mut out = Vec::with_capacity(self.n_words);
@@ -316,6 +338,83 @@ impl CodePackCompressed {
     /// Serializes the low-half dictionary to little-endian bytes.
     pub fn lo_dict_bytes(&self) -> Vec<u8> {
         self.lo_dict.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+}
+
+/// The [`Codec`] view of the CodePack scheme: five segments —
+/// `.grouptab` (block bases), `.groupdeltas` (per-group offsets),
+/// `.groups` (bit-packed codewords), `.hidict`, `.lodict`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CodePackCodec;
+
+impl Codec for CodePackCodec {
+    fn name(&self) -> &'static str {
+        "cp"
+    }
+
+    fn short_label(&self) -> &'static str {
+        "CP"
+    }
+
+    fn long_name(&self) -> &'static str {
+        "CodePack"
+    }
+
+    fn describe(&self) -> &'static str {
+        "bit-packed per-half dictionaries with a group mapping table (paper §3.2); best ratio"
+    }
+
+    fn unit_words(&self) -> usize {
+        GROUP_WORDS
+    }
+
+    fn region_align(&self) -> u32 {
+        // One group = two I-cache lines; no group may straddle the
+        // native-region boundary.
+        64
+    }
+
+    fn compress(&self, words: &[u32]) -> Result<CompressedLayout, CompressError> {
+        let c = CodePackCompressed::compress(words);
+        Ok(CompressedLayout {
+            segments: vec![
+                CodecSegment {
+                    name: ".grouptab",
+                    bytes: c.bases_bytes(),
+                },
+                CodecSegment {
+                    name: ".groupdeltas",
+                    bytes: c.deltas_bytes(),
+                },
+                CodecSegment {
+                    name: ".groups",
+                    bytes: c.group_bytes().to_vec(),
+                },
+                CodecSegment {
+                    name: ".hidict",
+                    bytes: c.hi_dict_bytes(),
+                },
+                CodecSegment {
+                    name: ".lodict",
+                    bytes: c.lo_dict_bytes(),
+                },
+            ],
+        })
+    }
+
+    fn decode(&self, layout: &CompressedLayout, n_words: usize) -> Option<Vec<u32>> {
+        let bases = le_u32s(layout.segment(".grouptab")?)?;
+        let deltas = le_u16s(layout.segment(".groupdeltas")?)?;
+        let groups = layout.segment(".groups")?.to_vec();
+        let hi_dict = le_u16s(layout.segment(".hidict")?)?;
+        let lo_dict = le_u16s(layout.segment(".lodict")?)?;
+        if deltas.len() * GROUP_WORDS < n_words {
+            return None;
+        }
+        Some(
+            CodePackCompressed::from_parts(hi_dict, lo_dict, groups, bases, deltas, n_words)
+                .decompress(),
+        )
     }
 }
 

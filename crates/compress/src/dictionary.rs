@@ -11,6 +11,8 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
+use crate::codec::{le_u16s, le_u32s, Codec, CodecSegment, CompressError, CompressedLayout};
+
 /// Maximum dictionary entries addressable by a 16-bit index (§3.1).
 pub const MAX_ENTRIES: usize = 1 << 16;
 
@@ -77,6 +79,17 @@ impl DictionaryCompressed {
         })
     }
 
+    /// Rebuilds a stream from its serialized parts (the inverse of
+    /// [`DictionaryCompressed::dictionary_bytes`] /
+    /// [`DictionaryCompressed::indices_bytes`]), so decoders can go
+    /// through the exact bytes the run-time handler reads.
+    pub fn from_parts(dictionary: Vec<u32>, indices: Vec<u16>) -> DictionaryCompressed {
+        DictionaryCompressed {
+            dictionary,
+            indices,
+        }
+    }
+
     /// Reconstructs the original instruction words.
     pub fn decompress(&self) -> Vec<u32> {
         self.indices
@@ -122,6 +135,65 @@ impl DictionaryCompressed {
             .iter()
             .flat_map(|w| w.to_le_bytes())
             .collect()
+    }
+}
+
+/// The [`Codec`] view of dictionary compression: two segments,
+/// `.indices` (16-bit stream) and `.dictionary` (32-bit entries).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DictionaryCodec;
+
+impl Codec for DictionaryCodec {
+    fn name(&self) -> &'static str {
+        "d"
+    }
+
+    fn short_label(&self) -> &'static str {
+        "D"
+    }
+
+    fn long_name(&self) -> &'static str {
+        "Dictionary"
+    }
+
+    fn describe(&self) -> &'static str {
+        "16-bit indices into a 32-bit word dictionary (paper §3.1); fastest handler"
+    }
+
+    fn unit_words(&self) -> usize {
+        // The handler decompresses one 8-word I-cache line per miss.
+        8
+    }
+
+    fn region_align(&self) -> u32 {
+        64
+    }
+
+    fn compress(&self, words: &[u32]) -> Result<CompressedLayout, CompressError> {
+        let c = DictionaryCompressed::compress(words)?;
+        Ok(CompressedLayout {
+            segments: vec![
+                CodecSegment {
+                    name: ".indices",
+                    bytes: c.indices_bytes(),
+                },
+                CodecSegment {
+                    name: ".dictionary",
+                    bytes: c.dictionary_bytes(),
+                },
+            ],
+        })
+    }
+
+    fn decode(&self, layout: &CompressedLayout, n_words: usize) -> Option<Vec<u32>> {
+        let indices = le_u16s(layout.segment(".indices")?)?;
+        let dictionary = le_u32s(layout.segment(".dictionary")?)?;
+        if indices.len() < n_words || indices.iter().any(|&i| i as usize >= dictionary.len()) {
+            return None;
+        }
+        let mut words = DictionaryCompressed::from_parts(dictionary, indices).decompress();
+        words.truncate(n_words);
+        Some(words)
     }
 }
 

@@ -9,9 +9,18 @@
 //!   groups, and a group mapping table; compresses better, decodes slower.
 //! * [`lzrw1`] — Williams' LZRW1 (DCC '91), used for Table 2's
 //!   procedure-compression lower bound.
+//! * [`bytedict`] — a byte-aligned two-level dictionary ("D2"), exploring
+//!   the paper's §6 future-work space between the two.
+//! * [`lzchunk`] — LZRW1 over 512-byte chunks ("LZ"), the §5.2 bound made
+//!   runnable.
 //!
-//! All three are pure algorithms over instruction words / bytes; execution
-//! cost modeling lives in the simulator and the handler assembly in `rtdc`.
+//! Every scheme also implements the [`codec::Codec`] trait, which is how
+//! the image builder, CLI, and benchmark harnesses stay scheme-generic;
+//! see `rtdc-core`'s registry for the full catalogue.
+//!
+//! All of these are pure algorithms over instruction words / bytes;
+//! execution cost modeling lives in the simulator and the handler assembly
+//! in `rtdc`.
 //!
 //! # Example
 //!
@@ -30,6 +39,8 @@
 
 pub mod bits;
 pub mod bytedict;
+pub mod codec;
 pub mod codepack;
 pub mod dictionary;
+pub mod lzchunk;
 pub mod lzrw1;

@@ -11,27 +11,20 @@
 //!    region base; native procedures follow (their misses use the normal
 //!    cache controller);
 //! 3. the concatenated compressed-region instruction words are compressed
-//!    with the chosen scheme and emitted as data segments
+//!    with the scheme's [`Codec`](rtdc_compress::codec::Codec) and its
+//!    segments are laid out in declaration order at the compressed base
 //!    (`.indices`/`.dictionary`, or mapping table + groups + half
-//!    dictionaries for CodePack);
+//!    dictionaries for CodePack — the codec decides);
 //! 4. the matching exception handler is assembled into handler RAM and the
 //!    C0 base registers are recorded for the loader.
 
-use rtdc_compress::bytedict::ByteDictCompressed;
-use rtdc_compress::codepack::CodePackCompressed;
-use rtdc_compress::dictionary::DictionaryCompressed;
 use rtdc_isa::program::{ObjectProgram, Placement, ProcId};
 use rtdc_isa::{encode, C0Reg, Instruction};
 use rtdc_sim::map;
 
 use crate::error::BuildError;
-use crate::handlers;
 use crate::image::{MemoryImage, Scheme, Segment, SizeReport};
 use crate::select::Selection;
-
-/// Alignment of the compressed region's end: one CodePack group (two
-/// I-cache lines), so no group straddles into the native region.
-const REGION_ALIGN: u32 = 64;
 
 fn align_up(x: u32, a: u32) -> u32 {
     x.div_ceil(a) * a
@@ -104,8 +97,9 @@ pub fn build_native(program: &ObjectProgram) -> Result<MemoryImage, BuildError> 
 ///
 /// * [`BuildError::SelectionMismatch`] if the selection's procedure count
 ///   differs from the program's;
-/// * [`BuildError::Dictionary`] if the compressed region exceeds 64K unique
-///   instruction words (compress fewer procedures);
+/// * [`BuildError::Compress`] if the codec cannot represent the compressed
+///   region (e.g. more than 64K unique instruction words for the
+///   dictionary scheme — compress fewer procedures);
 /// * [`BuildError::Link`] on linking failures.
 pub fn build_compressed(
     program: &ObjectProgram,
@@ -175,7 +169,10 @@ pub fn build_compressed_ordered(
         }
     }
     let comp_end = cursor;
-    let native_base = align_up(comp_end, REGION_ALIGN);
+    // The compressed region's end is aligned to the codec's decode unit
+    // (one CodePack group for the paper's schemes), so no unit straddles
+    // into the native region.
+    let native_base = align_up(comp_end, scheme.codec().region_align());
     let mut cursor = native_base;
     for &id in order {
         if selection.is_native(id) {
@@ -213,11 +210,7 @@ pub fn build_compressed_ordered(
     }
 
     let data = program.patched_data(&placement)?;
-    let handler = match scheme {
-        Scheme::Dictionary => handlers::dictionary_handler(second_rf),
-        Scheme::CodePack => handlers::codepack_handler(second_rf),
-        Scheme::ByteDict => handlers::bytedict_handler(second_rf),
-    };
+    let handler = scheme.handler().assemble(second_rf);
     let handler_bytes: Vec<u8> = handler
         .encoded_text()
         .iter()
@@ -225,120 +218,40 @@ pub fn build_compressed_ordered(
         .collect();
 
     // --- compress the compressed-region words and lay out segments ---
-    let mut segments = Vec::new();
-    let mut c0_init = vec![(C0Reg::DECOMP_BASE, map::TEXT_BASE)];
-    let compressed_payload;
-    match scheme {
-        Scheme::Dictionary => {
-            let c = DictionaryCompressed::compress(&comp_words)?;
-            compressed_payload = c.compressed_bytes() as u32;
-            let indices_base = map::COMPRESSED_BASE;
-            let indices = c.indices_bytes();
-            let dict_base = align_up(indices_base + indices.len() as u32, 4);
-            c0_init.push((C0Reg::DICT_BASE, dict_base));
-            c0_init.push((C0Reg::INDICES_BASE, indices_base));
-            segments.push(Segment {
-                name: ".indices".into(),
-                base: indices_base,
-                bytes: indices,
-            });
-            segments.push(Segment {
-                name: ".dictionary".into(),
-                base: dict_base,
-                bytes: c.dictionary_bytes(),
-            });
-        }
-        Scheme::ByteDict => {
-            let c = ByteDictCompressed::compress(&comp_words);
-            debug_assert_eq!(
-                c.line_count() * 8,
-                comp_words.len(),
-                "compressed region must be line-aligned"
-            );
-            compressed_payload = c.compressed_bytes() as u32;
-            let bases_base = map::COMPRESSED_BASE;
-            let bases = c.bases_bytes();
-            let deltas_base = align_up(bases_base + bases.len() as u32, 4);
-            let deltas = c.deltas_bytes();
-            let code_base = align_up(deltas_base + deltas.len() as u32, 4);
-            let code = c.code_bytes().to_vec();
-            let dict_base = align_up(code_base + code.len() as u32, 4);
-            let dict = c.dict_bytes();
-            c0_init.push((C0Reg::DICT_BASE, dict_base));
-            c0_init.push((C0Reg::GROUPS_BASE, code_base));
-            c0_init.push((C0Reg::GROUPTAB_BASE, bases_base));
-            c0_init.push((C0Reg::AUX, deltas_base));
-            segments.push(Segment {
-                name: ".linetab".into(),
-                base: bases_base,
-                bytes: bases,
-            });
-            segments.push(Segment {
-                name: ".linedeltas".into(),
-                base: deltas_base,
-                bytes: deltas,
-            });
-            segments.push(Segment {
-                name: ".bytecodes".into(),
-                base: code_base,
-                bytes: code,
-            });
-            segments.push(Segment {
-                name: ".bytedict".into(),
-                base: dict_base,
-                bytes: dict,
-            });
-        }
-        Scheme::CodePack => {
-            let c = CodePackCompressed::compress(&comp_words);
-            debug_assert_eq!(
-                c.group_count() * 16,
-                comp_words.len(),
-                "compressed region must be group-aligned"
-            );
-            compressed_payload = c.compressed_bytes() as u32;
-            let bases_base = map::COMPRESSED_BASE;
-            let bases = c.bases_bytes();
-            let deltas_base = align_up(bases_base + bases.len() as u32, 4);
-            let deltas = c.deltas_bytes();
-            let groups_base = align_up(deltas_base + deltas.len() as u32, 4);
-            let groups = c.group_bytes().to_vec();
-            let hi_base = align_up(groups_base + groups.len() as u32, 4);
-            let hi = c.hi_dict_bytes();
-            let lo_base = align_up(hi_base + hi.len() as u32, 4);
-            let lo = c.lo_dict_bytes();
-            c0_init.push((C0Reg::DICT_BASE, hi_base));
-            c0_init.push((C0Reg::INDICES_BASE, lo_base));
-            c0_init.push((C0Reg::GROUPS_BASE, groups_base));
-            c0_init.push((C0Reg::GROUPTAB_BASE, bases_base));
-            c0_init.push((C0Reg::AUX, deltas_base));
-            segments.push(Segment {
-                name: ".grouptab".into(),
-                base: bases_base,
-                bytes: bases,
-            });
-            segments.push(Segment {
-                name: ".groupdeltas".into(),
-                base: deltas_base,
-                bytes: deltas,
-            });
-            segments.push(Segment {
-                name: ".groups".into(),
-                base: groups_base,
-                bytes: groups,
-            });
-            segments.push(Segment {
-                name: ".hidict".into(),
-                base: hi_base,
-                bytes: hi,
-            });
-            segments.push(Segment {
-                name: ".lodict".into(),
-                base: lo_base,
-                bytes: lo,
-            });
-        }
+    // One generic path for every scheme: the codec emits named segments
+    // in layout order; each is placed 4-byte aligned after the previous,
+    // starting at the compressed base, and the handler's C0 ABI table is
+    // resolved against the resulting base addresses.
+    let codec = scheme.codec();
+    debug_assert!(
+        comp_words.len().is_multiple_of(codec.unit_words()),
+        "compressed region must be unit-aligned"
+    );
+    let layout = codec.compress(&comp_words)?;
+    let compressed_payload = layout.payload_bytes() as u32;
+    let mut seg_bases: Vec<(&'static str, u32)> = Vec::with_capacity(layout.segments.len());
+    let mut seg_cursor = map::COMPRESSED_BASE;
+    for seg in &layout.segments {
+        seg_bases.push((seg.name, seg_cursor));
+        seg_cursor = align_up(seg_cursor + seg.bytes.len() as u32, 4);
     }
+    let mut c0_init = vec![(C0Reg::DECOMP_BASE, map::TEXT_BASE)];
+    c0_init.extend(scheme.handler().resolve_c0(|name| {
+        seg_bases
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, base)| base)
+    }));
+    let mut segments: Vec<Segment> = layout
+        .segments
+        .into_iter()
+        .zip(&seg_bases)
+        .map(|(seg, &(_, base))| Segment {
+            name: seg.name.into(),
+            base,
+            bytes: seg.bytes,
+        })
+        .collect();
 
     let native_bytes: Vec<u8> = native_words.iter().flat_map(|w| w.to_le_bytes()).collect();
     if !native_bytes.is_empty() {

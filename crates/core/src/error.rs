@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use rtdc_compress::codec::CompressError;
 use rtdc_compress::dictionary::DictionaryOverflow;
 use rtdc_isa::program::LinkError;
 use rtdc_sim::SimError;
@@ -11,9 +12,10 @@ use rtdc_sim::SimError;
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum BuildError {
-    /// The compressed region has too many unique instructions for 16-bit
-    /// indices; compress fewer procedures (§3.1's escape hatch).
-    Dictionary(DictionaryOverflow),
+    /// The chosen codec could not represent the compressed region (e.g.
+    /// too many unique instructions for 16-bit indices); compress fewer
+    /// procedures (§3.1's escape hatch).
+    Compress(CompressError),
     /// Linking failed.
     Link(LinkError),
     /// The selection was built for a different procedure count.
@@ -28,7 +30,7 @@ pub enum BuildError {
 impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BuildError::Dictionary(e) => write!(f, "dictionary compression failed: {e}"),
+            BuildError::Compress(e) => write!(f, "compression failed: {e}"),
             BuildError::Link(e) => write!(f, "link failed: {e}"),
             BuildError::SelectionMismatch { program, selection } => write!(
                 f,
@@ -41,16 +43,22 @@ impl fmt::Display for BuildError {
 impl Error for BuildError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            BuildError::Dictionary(e) => Some(e),
+            BuildError::Compress(e) => Some(e),
             BuildError::Link(e) => Some(e),
             BuildError::SelectionMismatch { .. } => None,
         }
     }
 }
 
+impl From<CompressError> for BuildError {
+    fn from(e: CompressError) -> BuildError {
+        BuildError::Compress(e)
+    }
+}
+
 impl From<DictionaryOverflow> for BuildError {
     fn from(e: DictionaryOverflow) -> BuildError {
-        BuildError::Dictionary(e)
+        BuildError::Compress(CompressError::from(e))
     }
 }
 

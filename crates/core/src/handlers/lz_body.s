@@ -1,0 +1,85 @@
+# L1 I-miss exception handler: LZRW1 chunk scheme ("LZ").
+# The paper's §5.2 large-granularity comparison point, made runnable: a
+# miss decompresses the whole surrounding 512B chunk (16 cache lines)
+# into scratch RAM, then fills every line of the chunk. Serial
+# byte-granular LZ decode makes this by far the most expensive handler —
+# the price §5.2 predicts for LZ-class compression ratios.
+#
+# Register use:
+#   $2  : decoded word          $8  : control bit / literal / length
+#   $9  : scratch / fill word   $10 : copy source ptr / fill cursor
+#   $11 : compressed byte ptr   $12 : control word buffer
+#   $13 : items left in group   $24 : scratch output cursor
+#   $25 : scratch end / chunk end
+#
+# C0: c0[BADVA] faulting PC, c0[0] decompressed base, c0[3] compressed
+#     stream base, c0[4] chunk offset table, c0[5] scratch RAM base.
+
+# Locate the chunk and its compressed bytes (flat u32 offset table).
+    mfc0 $27,c0[BADVA]
+    srl  $27,$27,9
+    sll  $27,$27,9        # chunk-aligned output address
+    mfc0 $26,c0[0]        # decompressed base
+    sub  $8,$27,$26
+    srl  $8,$8,9          # chunk index
+    sll  $8,$8,2
+    mfc0 $9,c0[GROUPTAB]
+    lw   $11,($8+$9)      # chunk byte offset in the stream
+    mfc0 $9,c0[GROUPS]
+    add  $11,$11,$9       # compressed byte pointer
+    mfc0 $24,c0[AUX]      # scratch RAM output cursor
+    add  $25,$24,512      # scratch end
+    li   $13,0            # force a control-word load first
+
+# LZRW1 decode: 16-item groups behind a little-endian control word;
+# bit i (LSB first) = 1 -> two-byte copy item, 0 -> literal byte.
+lz_item:
+    bne  $13,$0,lz_have
+    lbu  $12,0($11)       # next control word
+    lbu  $8,1($11)
+    sll  $8,$8,8
+    or   $12,$12,$8
+    add  $11,$11,2
+    li   $13,16
+lz_have:
+    andi $8,$12,1
+    srl  $12,$12,1
+    sub  $13,$13,1
+    bne  $8,$0,lz_copy
+# literal byte
+    lbu  $8,0($11)
+    add  $11,$11,1
+    sb   $8,0($24)
+    add  $24,$24,1
+    j    lz_next
+lz_copy:
+# copy item: byte0 = (offset>>8)<<4 | (len-3), byte1 = offset & 0xff
+    lbu  $8,0($11)
+    lbu  $9,1($11)
+    add  $11,$11,2
+    srl  $10,$8,4
+    sll  $10,$10,8
+    or   $10,$10,$9       # offset
+    andi $8,$8,0x0f
+    add  $8,$8,3          # length
+    sub  $10,$24,$10      # copy source (may overlap: byte-by-byte)
+lz_cploop:
+    lbu  $9,0($10)
+    add  $10,$10,1
+    sb   $9,0($24)
+    add  $24,$24,1
+    sub  $8,$8,1
+    bne  $8,$0,lz_cploop
+lz_next:
+    bne  $24,$25,lz_item
+
+# Fill all 16 lines of the chunk from scratch RAM.
+    mfc0 $24,c0[AUX]      # scratch RAM base
+    move $10,$27          # output cursor
+    add  $25,$27,512      # chunk end
+lz_fill:
+    lw   $2,0($24)
+    swic $2,0($10)
+    add  $24,$24,4
+    add  $10,$10,4
+    bne  $10,$25,lz_fill

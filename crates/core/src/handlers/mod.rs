@@ -12,6 +12,7 @@
 //! | CodePack              | 208 insns, ~1120 executed/group | same structure; see tests |
 //! | CodePack + 2nd RF     | save/restore removed        | same minus 26 insns |
 //! | byte-dictionary "D2" (±RF) | — (our §6 future-work scheme) | ~150 executed/line |
+//! | LZRW1 chunk "LZ" (±RF) | — (§5.2's bound, made runnable) | ~4–5K executed/512B chunk |
 //!
 //! Handler ABI (programmed into C0 by the image builder): `c0[BADVA]` is
 //! the missed PC; `c0[0]` the decompressed-region base; `c0[1]`/`c0[2]`
@@ -28,9 +29,10 @@ pub const DICTIONARY_SOURCE: &str = include_str!("dictionary.s");
 /// The unrolled second-register-file dictionary handler (§4.1).
 pub const DICTIONARY_RF_SOURCE: &str = include_str!("dictionary_rf.s");
 
-const CODEPACK_BODY: &str = include_str!("codepack_body.s");
-const READ_BITS: &str = include_str!("read_bits.s");
-const BYTEDICT_BODY: &str = include_str!("bytedict_body.s");
+pub(crate) const CODEPACK_BODY: &str = include_str!("codepack_body.s");
+pub(crate) const READ_BITS: &str = include_str!("read_bits.s");
+pub(crate) const BYTEDICT_BODY: &str = include_str!("bytedict_body.s");
+pub(crate) const LZ_BODY: &str = include_str!("lz_body.s");
 
 /// Static size of the paper's dictionary handler, in instructions.
 pub const DICTIONARY_STATIC_INSNS: usize = 26;
@@ -41,7 +43,7 @@ pub const DICTIONARY_INSNS_PER_LINE: usize = 75;
 /// Dynamic instructions the unrolled +RF dictionary handler executes.
 pub const DICTIONARY_RF_INSNS_PER_LINE: usize = 42;
 
-const CP_SAVES: &str = "\
+pub(crate) const CP_SAVES: &str = "\
     sw   $2,-4($sp)
     sw   $4,-8($sp)
     sw   $8,-12($sp)
@@ -57,7 +59,7 @@ const CP_SAVES: &str = "\
     sw   $31,-52($sp)
 ";
 
-const CP_RESTORES: &str = "\
+pub(crate) const CP_RESTORES: &str = "\
     lw   $2,-4($sp)
     lw   $4,-8($sp)
     lw   $8,-12($sp)
@@ -100,7 +102,7 @@ pub fn codepack_handler(second_rf: bool) -> Assembled {
         .expect("codepack handler source is valid")
 }
 
-const BD_SAVES: &str = "\
+pub(crate) const BD_SAVES: &str = "\
     sw   $2,-4($sp)
     sw   $8,-8($sp)
     sw   $9,-12($sp)
@@ -110,7 +112,7 @@ const BD_SAVES: &str = "\
     sw   $25,-28($sp)
 ";
 
-const BD_RESTORES: &str = "\
+pub(crate) const BD_RESTORES: &str = "\
     lw   $2,-4($sp)
     lw   $8,-8($sp)
     lw   $9,-12($sp)
@@ -133,6 +135,44 @@ pub fn bytedict_source(second_rf: bool) -> String {
 pub fn bytedict_handler(second_rf: bool) -> Assembled {
     assemble(&bytedict_source(second_rf), map::HANDLER_BASE, 0)
         .expect("bytedict handler source is valid")
+}
+
+pub(crate) const LZ_SAVES: &str = "\
+    sw   $2,-4($sp)
+    sw   $8,-8($sp)
+    sw   $9,-12($sp)
+    sw   $10,-16($sp)
+    sw   $11,-20($sp)
+    sw   $12,-24($sp)
+    sw   $13,-28($sp)
+    sw   $24,-32($sp)
+    sw   $25,-36($sp)
+";
+
+pub(crate) const LZ_RESTORES: &str = "\
+    lw   $2,-4($sp)
+    lw   $8,-8($sp)
+    lw   $9,-12($sp)
+    lw   $10,-16($sp)
+    lw   $11,-20($sp)
+    lw   $12,-24($sp)
+    lw   $13,-28($sp)
+    lw   $24,-32($sp)
+    lw   $25,-36($sp)
+";
+
+/// Builds the LZRW1-chunk ("LZ") handler source.
+pub fn lz_source(second_rf: bool) -> String {
+    if second_rf {
+        format!("{LZ_BODY}    iret\n")
+    } else {
+        format!("{LZ_SAVES}{LZ_BODY}{LZ_RESTORES}    iret\n")
+    }
+}
+
+/// Assembles the LZRW1-chunk ("LZ") handler at the handler RAM base.
+pub fn lz_handler(second_rf: bool) -> Assembled {
+    assemble(&lz_source(second_rf), map::HANDLER_BASE, 0).expect("lz handler source is valid")
 }
 
 #[cfg(test)]
@@ -190,8 +230,19 @@ mod tests {
             codepack_handler(true),
             bytedict_handler(false),
             bytedict_handler(true),
+            lz_handler(false),
+            lz_handler(true),
         ] {
             assert!(a.text_bytes() <= map::HANDLER_BYTES as usize);
         }
+    }
+
+    #[test]
+    fn lz_handlers_assemble() {
+        let plain = lz_handler(false);
+        let rf = lz_handler(true);
+        assert_eq!(plain.text.len(), rf.text.len() + 18); // 9 saves + 9 restores
+                                                          // Small static body; the cost is dynamic (serial LZ decode).
+        assert!(rf.text.len() > 40 && rf.text.len() < 80);
     }
 }

@@ -5,27 +5,102 @@
 
 use rtdc_isa::C0Reg;
 
-/// Which compression scheme an image uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Scheme {
+use crate::registry;
+
+/// Which compression scheme an image uses — a thin key into the scheme
+/// [`registry`].
+///
+/// The key is the codec's registry name (`"d"`, `"cp"`, ...). The
+/// associated constants keep call sites reading like the old enum
+/// (`Scheme::Dictionary`), but everything a scheme *does* — its codec,
+/// its handler, its labels — lives in the registry entry, so no layer
+/// needs to match on which scheme it has.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scheme(&'static str);
+
+#[allow(non_upper_case_globals)]
+impl Scheme {
     /// 16-bit-index dictionary compression (§3.1).
-    Dictionary,
+    pub const Dictionary: Scheme = Scheme("d");
     /// CodePack-style compression (§3.2).
-    CodePack,
+    pub const CodePack: Scheme = Scheme("cp");
     /// Byte-aligned two-level dictionary ("D2"): the denser-but-still-fast
     /// point the paper's conclusion asks about (§6); see
     /// [`rtdc_compress::bytedict`].
-    ByteDict,
+    pub const ByteDict: Scheme = Scheme("d2");
+    /// LZRW1 over 512-byte chunks ("LZ"): the paper's §5.2 bound made
+    /// runnable; see [`rtdc_compress::lzchunk`].
+    pub const LzChunk: Scheme = Scheme("lz");
 }
 
 impl Scheme {
+    /// Registry/CLI name (`"d"`, `"cp"`, `"d2"`, `"lz"`).
+    pub fn name(&self) -> &'static str {
+        self.0
+    }
+
     /// Short label used in reports ("D" / "CP", as in the paper's tables).
     pub fn label(&self) -> &'static str {
-        match self {
-            Scheme::Dictionary => "D",
-            Scheme::CodePack => "CP",
-            Scheme::ByteDict => "D2",
-        }
+        registry::entry(*self).codec.short_label()
+    }
+
+    /// Human name used in figure panel titles ("Dictionary", "CodePack").
+    pub fn long_name(&self) -> &'static str {
+        registry::entry(*self).codec.long_name()
+    }
+
+    /// One-line description for `--list-schemes`.
+    pub fn describe(&self) -> &'static str {
+        registry::entry(*self).codec.describe()
+    }
+
+    /// This scheme's codec.
+    pub fn codec(&self) -> &'static dyn rtdc_compress::codec::Codec {
+        registry::entry(*self).codec
+    }
+
+    /// This scheme's handler spec.
+    pub fn handler(&self) -> &'static registry::HandlerSpec {
+        &registry::entry(*self).handler
+    }
+
+    /// All registered schemes, in registry (paper-first) order.
+    pub fn all() -> impl Iterator<Item = Scheme> {
+        registry::REGISTRY.iter().map(|e| e.scheme)
+    }
+
+    /// The paper's own schemes (Dictionary and CodePack), in the order the
+    /// paper's tables list them. Harnesses that reproduce the paper
+    /// verbatim enumerate these.
+    pub fn paper_schemes() -> impl Iterator<Item = Scheme> {
+        registry::REGISTRY
+            .iter()
+            .filter(|e| e.in_paper_tables)
+            .map(|e| e.scheme)
+    }
+
+    /// Looks a scheme up by registry name.
+    pub fn by_name(name: &str) -> Option<Scheme> {
+        registry::by_name(name).map(|e| e.scheme)
+    }
+
+    /// Parses a CLI scheme argument: a registry name with an optional
+    /// `+rf` suffix selecting the second-register-file handler
+    /// (`"d"`, `"cp+rf"`, ...). Returns the scheme and the rf flag.
+    pub fn parse(arg: &str) -> Option<(Scheme, bool)> {
+        let (name, rf) = match arg.strip_suffix("+rf") {
+            Some(base) => (base, true),
+            None => (arg, false),
+        };
+        Scheme::by_name(name).map(|s| (s, rf))
+    }
+}
+
+impl std::fmt::Debug for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Keep the old enum's `{:?}` rendering ("Dictionary", "CodePack")
+        // so assertion messages stay familiar.
+        f.write_str(self.long_name())
     }
 }
 
@@ -210,5 +285,30 @@ mod tests {
         assert_eq!(Scheme::Dictionary.to_string(), "D");
         assert_eq!(Scheme::CodePack.to_string(), "CP");
         assert_eq!(Scheme::ByteDict.to_string(), "D2");
+        assert_eq!(Scheme::LzChunk.to_string(), "LZ");
+    }
+
+    #[test]
+    fn scheme_debug_matches_old_enum() {
+        assert_eq!(format!("{:?}", Scheme::Dictionary), "Dictionary");
+        assert_eq!(format!("{:?}", Scheme::CodePack), "CodePack");
+        assert_eq!(format!("{:?}", Scheme::ByteDict), "ByteDict");
+    }
+
+    #[test]
+    fn scheme_parse_handles_rf_suffix() {
+        assert_eq!(Scheme::parse("d"), Some((Scheme::Dictionary, false)));
+        assert_eq!(Scheme::parse("cp+rf"), Some((Scheme::CodePack, true)));
+        assert_eq!(Scheme::parse("lz"), Some((Scheme::LzChunk, false)));
+        assert_eq!(Scheme::parse("nope"), None);
+        assert_eq!(Scheme::parse("+rf"), None);
+    }
+
+    #[test]
+    fn scheme_all_is_registry_order() {
+        let names: Vec<&str> = Scheme::all().map(|s| s.name()).collect();
+        assert_eq!(names, ["d", "cp", "d2", "lz"]);
+        let paper: Vec<&str> = Scheme::paper_schemes().map(|s| s.name()).collect();
+        assert_eq!(paper, ["d", "cp"]);
     }
 }

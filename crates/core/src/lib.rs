@@ -12,8 +12,11 @@
 //! * [`handlers`] — the decompression exception handlers in assembly
 //!   (Figure 2 verbatim, plus the unrolled second-register-file variant
 //!   and both CodePack handlers); they *execute on the simulated core*.
+//! * [`registry`] — the scheme registry: every compression scheme's
+//!   codec, handler source, and C0 ABI in one table; the builder, CLI,
+//!   and harnesses are scheme-generic over it.
 //! * [`image`] / [`builder`] — compressed program images in the paper's
-//!   Figure 3 memory layout, for the dictionary and CodePack schemes.
+//!   Figure 3 memory layout, for any registered scheme.
 //! * [`select`] — selective compression (§3.3): execution-based and
 //!   miss-based native-procedure selection.
 //! * [`runner`] — loading, running, and native profiling.
@@ -59,6 +62,7 @@ pub mod error;
 pub mod handlers;
 pub mod image;
 pub mod proccache;
+pub mod registry;
 pub mod runner;
 pub mod select;
 
@@ -69,5 +73,6 @@ pub mod prelude {
     pub use crate::image::{MemoryImage, Scheme, SizeReport};
     pub use crate::runner::{load_image, profile_native, run_image, RunReport};
     pub use crate::select::{placement_hot_first, ProcedureProfile, SelectBy, Selection};
+    pub use rtdc_compress::codec::{Codec, CompressError};
     pub use rtdc_sim::SimConfig;
 }

@@ -346,7 +346,7 @@ fn dictionary_overflow_is_surfaced_and_codepack_is_not_limited() {
         &Selection::all_compressed(n),
     )
     .unwrap_err();
-    assert!(matches!(err, BuildError::Dictionary(_)), "{err}");
+    assert!(matches!(err, BuildError::Compress(_)), "{err}");
 
     // Selective compression is the paper's escape hatch: native-ize most
     // procedures and the rest fits in 16-bit indices.

@@ -1,0 +1,70 @@
+//! Guard: no layer outside the registry dispatches on *which* scheme it
+//! has. Adding a codec must never mean hunting down `match` arms across
+//! the workspace — the registry entry is the single point of extension.
+//!
+//! Enforced the blunt way: walk every `.rs` file in the workspace and
+//! reject `Scheme::<Variant> =>` match-arm patterns. Constructing a
+//! scheme (`Scheme::Dictionary`) is fine; branching on one is not.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(dir).expect("readable workspace dir") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name != "target" && name != ".git" {
+                rust_sources(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn no_scheme_match_arms_outside_registry() {
+    let workspace = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut files = Vec::new();
+    rust_sources(&workspace, &mut files);
+    assert!(
+        files.len() > 30,
+        "workspace walk looks broken: only {} .rs files",
+        files.len()
+    );
+
+    // Built as "Scheme" + "::" so this file does not match itself.
+    let needle = format!("{}{}", "Scheme", "::");
+    let mut offenders = Vec::new();
+    for file in &files {
+        if file.ends_with("no_scheme_match.rs") {
+            continue;
+        }
+        let text = fs::read_to_string(file).expect("readable source file");
+        for (lineno, line) in text.lines().enumerate() {
+            let mut rest = line;
+            while let Some(pos) = rest.find(&needle) {
+                let after = &rest[pos + needle.len()..];
+                let variant_len = after
+                    .find(|c: char| !c.is_alphanumeric() && c != '_')
+                    .unwrap_or(after.len());
+                let tail = after[variant_len..].trim_start();
+                if variant_len > 0 && tail.starts_with("=>") {
+                    offenders.push(format!(
+                        "{}:{}: {}",
+                        file.strip_prefix(&workspace).unwrap_or(file).display(),
+                        lineno + 1,
+                        line.trim()
+                    ));
+                }
+                rest = &after[variant_len..];
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "scheme dispatch belongs in the registry; found match arms:\n{}",
+        offenders.join("\n")
+    );
+}

@@ -68,6 +68,15 @@ pub mod map {
     pub const HANDLER_BASE: u32 = 0x0ff0_0000;
     /// Size of the handler RAM (generously above the paper's 832B worst case).
     pub const HANDLER_BYTES: u32 = 0x1000;
+    /// Base of the handler's scratch RAM: a small data buffer for
+    /// decompressors that must materialize a whole unit before filling
+    /// cache lines (e.g. the LZ chunk scheme). Like the handler RAM it
+    /// models a dedicated on-chip buffer; main memory is sparse, so only
+    /// codecs that use it pay for it.
+    pub const SCRATCH_BASE: u32 = 0x0fe0_0000;
+    /// Size of the handler scratch RAM (holds one 512-byte decode unit,
+    /// with headroom).
+    pub const SCRATCH_BYTES: u32 = 0x1000;
     /// Base of compressed segments (`.dictionary`, `.indices`, CodePack
     /// groups and mapping table) in main memory.
     pub const COMPRESSED_BASE: u32 = 0x0400_0000;

@@ -568,6 +568,22 @@ mod tests {
     }
 
     #[test]
+    fn same_spec_hits_calibration_cache_and_reproduces() {
+        // A seed no other spec (or test) uses, so the calibration cache
+        // key is provably cold before the first generation.
+        let mut s = spec::pegwit();
+        s.seed = 0xCA11_B5EE_D000_0002;
+        let (_, misses_before) = crate::idioms::calibration_cache_stats();
+        let a = generate(&s);
+        let (hits_mid, misses_mid) = crate::idioms::calibration_cache_stats();
+        assert!(misses_mid > misses_before, "first generation calibrates");
+        let b = generate(&s);
+        let (hits_after, _) = crate::idioms::calibration_cache_stats();
+        assert!(hits_after > hits_mid, "second generation hits the cache");
+        assert_eq!(a, b, "cached calibration must reproduce the program");
+    }
+
+    #[test]
     fn static_size_tracks_paper_target() {
         for s in spec::all_benchmarks() {
             let p = crate::generate_cached(&s);

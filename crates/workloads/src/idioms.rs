@@ -14,11 +14,35 @@
 //! calibrates the vocabulary size *empirically* so the emitted stream hits
 //! the benchmark's Table 2 unique-word fraction.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{LazyLock, Mutex};
+
 use rtdc_isa::{encode, Instruction};
 use rtdc_rng::Rng64;
 
 use crate::vocab::Vocabulary;
 use crate::zipf::Zipf;
+
+/// Process-global memo of calibration results: `(seed, n, target)` →
+/// calibrated vocabulary size. Calibration is a pure function of its
+/// arguments (the bisection is fully deterministic), so re-generating the
+/// same benchmark spec — harness after harness in one process — can skip
+/// the ~20 bisection probe streams, which dominate generation cost.
+type CalibrationKey = (u64, usize, usize);
+static CALIBRATION_CACHE: LazyLock<Mutex<HashMap<CalibrationKey, usize>>> =
+    LazyLock::new(Mutex::default);
+static CALIBRATION_HITS: AtomicU64 = AtomicU64::new(0);
+static CALIBRATION_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// `(hits, misses)` of the process-global calibration cache — one count
+/// per [`CodeSampler::for_unique_target`] call.
+pub fn calibration_cache_stats() -> (u64, u64) {
+    (
+        CALIBRATION_HITS.load(Ordering::Relaxed),
+        CALIBRATION_MISSES.load(Ordering::Relaxed),
+    )
+}
 
 /// Zipf exponent for instruction popularity inside idioms.
 const MEMBER_S: f64 = 1.0;
@@ -130,12 +154,33 @@ impl CodeSampler {
     ///
     /// Builds the vocabulary **once** at the upper bound and probes
     /// prefixes (same-seed vocabularies are prefix-stable, see
-    /// [`Vocabulary::prefix`]).
+    /// [`Vocabulary::prefix`]). Calibrated sizes are memoized process-wide
+    /// (see [`calibration_cache_stats`]); repeat calls with the same
+    /// arguments skip the bisection and return an identical sampler.
     pub fn for_unique_target(seed: u64, n: usize, target_uniques: usize) -> CodeSampler {
         let target = target_uniques.max(16);
         // Upper bound: idiom reuse means uniques(T) saturates well below T,
         // but the safe family has ~2.7M distinct encodings — stay below it.
         let (mut lo, mut hi) = (64usize, (32 * target.max(64)).min(900_000));
+
+        let key = (seed, n, target);
+        let cached = CALIBRATION_CACHE
+            .lock()
+            .expect("cache lock")
+            .get(&key)
+            .copied();
+        if let Some(size) = cached {
+            CALIBRATION_HITS.fetch_add(1, Ordering::Relaxed);
+            // `Vocabulary::generate(seed, k)` is NOT guaranteed to equal
+            // `master.prefix(k)` for k < the master's size (the generator's
+            // head/tail switchover depends on the requested size), so the
+            // hit path must rebuild the master at the same upper bound and
+            // take the same prefix the miss path took. Only the bisection
+            // probes — the dominant cost — are skipped.
+            let master = Vocabulary::generate(seed, hi);
+            return CodeSampler::with_vocab(seed, master.prefix(size));
+        }
+        CALIBRATION_MISSES.fetch_add(1, Ordering::Relaxed);
         let master = Vocabulary::generate(seed, hi);
         // uniques(T) is statistically monotone in T; the slope can be
         // shallow (idiom reuse), so bisect tightly.
@@ -151,7 +196,12 @@ impl CodeSampler {
                 hi = mid;
             }
         }
-        CodeSampler::with_vocab(seed, master.prefix((lo + hi) / 2))
+        let size = (lo + hi) / 2;
+        CALIBRATION_CACHE
+            .lock()
+            .expect("cache lock")
+            .insert(key, size);
+        CodeSampler::with_vocab(seed, master.prefix(size))
     }
 }
 
@@ -195,6 +245,26 @@ mod tests {
         let u = CodeSampler::estimate_uniques(11, s.vocab_len(), n);
         let err = (u as f64 - target as f64).abs() / target as f64;
         assert!(err < 0.10, "target {target}, got {u}");
+    }
+
+    #[test]
+    fn calibration_cache_hit_reproduces_sampler() {
+        // Seed unique to this test so the cache key cannot be prewarmed
+        // (or raced) by other tests in the same process.
+        let seed = 0xCA11_B5EE_D000_0001;
+        let (n, target) = (40_000, 8_000);
+        let (_, misses_before) = calibration_cache_stats();
+        let mut a = CodeSampler::for_unique_target(seed, n, target);
+        let (hits_mid, misses_mid) = calibration_cache_stats();
+        assert!(misses_mid > misses_before, "first call must calibrate");
+        let mut b = CodeSampler::for_unique_target(seed, n, target);
+        let (hits_after, _) = calibration_cache_stats();
+        assert!(hits_after > hits_mid, "second call must hit the cache");
+        // The cached path must reproduce the calibrated sampler exactly.
+        assert_eq!(a.vocab_len(), b.vocab_len());
+        for _ in 0..2000 {
+            assert_eq!(a.next_insn(), b.next_insn());
+        }
     }
 
     #[test]
