@@ -10,15 +10,53 @@
 //! Parallel-pass numbers and per-benchmark rows are informational only —
 //! they are too host-noise-sensitive to gate on.
 //!
+//! When both reports carry the per-phase metrics simperf records since
+//! the tracing PR (`cycles`, `handler_share`, `exc_per_kinsn`,
+//! `stall_*`), a second, **non-blocking** section diffs them so a
+//! sim-MIPS drop can be attributed to a simulated phase (e.g. "the
+//! handler share doubled" vs "host noise"). These metrics are
+//! deterministic, so *any* change means the simulated machine changed —
+//! it is called out, but never fails the guard. Reports from before the
+//! metrics existed simply skip the section.
+//!
 //! Schemes only present on one side (e.g. a newly registered codec not
 //! yet in the baseline) are reported but never fail the guard.
 
 use std::process::ExitCode;
 
-/// Extracts `(scheme, sim_mips)` pairs from the `"schemes"` array of a
-/// simperf report. The format is simperf's own hand-rolled JSON (one row
-/// per line), so a line scanner is all the parsing this needs.
-fn scheme_mips(report: &str) -> Result<Vec<(String, f64)>, String> {
+/// The deterministic per-phase metrics of one scheme row (absent in
+/// baselines recorded before simperf emitted them).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RowMetrics {
+    cycles: u64,
+    handler_share: f64,
+    exc_per_kinsn: f64,
+    /// `(name, cycles)` per stall cause, in simperf's field order.
+    stalls: [(&'static str, u64); 8],
+}
+
+#[derive(Debug, Clone)]
+struct SchemeRow {
+    scheme: String,
+    mips: f64,
+    metrics: Option<RowMetrics>,
+}
+
+const STALL_KEYS: [&str; 8] = [
+    "stall_imiss",
+    "stall_dmiss",
+    "stall_branch",
+    "stall_regjump",
+    "stall_loaduse",
+    "stall_hilo",
+    "stall_swic",
+    "stall_exception",
+];
+
+/// Extracts the scheme rows from the `"schemes"` array of a simperf
+/// report. The format is simperf's own hand-rolled JSON (one row per
+/// line), so a line scanner is all the parsing this needs.
+fn scheme_rows(report: &str) -> Result<Vec<SchemeRow>, String> {
     let start = report
         .find("\"schemes\": [")
         .ok_or("no \"schemes\" array")?;
@@ -26,22 +64,82 @@ fn scheme_mips(report: &str) -> Result<Vec<(String, f64)>, String> {
     let end = body.find(']').ok_or("unterminated \"schemes\" array")?;
     let mut rows = Vec::new();
     for line in body[..end].lines().filter(|l| l.contains("\"scheme\":")) {
-        let field = |key: &str| -> Result<&str, String> {
+        let field = |key: &str| -> Option<&str> {
             let pat = format!("\"{key}\": ");
-            let at = line.find(&pat).ok_or(format!("row missing {key}"))? + pat.len();
+            let at = line.find(&pat)? + pat.len();
             let rest = &line[at..];
-            Ok(rest[..rest.find([',', '}']).ok_or(format!("unterminated {key}"))?].trim())
+            Some(rest[..rest.find([',', '}'])?].trim())
         };
-        let scheme = field("scheme")?.trim_matches('"').to_string();
-        let mips: f64 = field("sim_mips")?
+        let scheme = field("scheme")
+            .ok_or("row missing scheme")?
+            .trim_matches('"')
+            .to_string();
+        let mips: f64 = field("sim_mips")
+            .ok_or("row missing sim_mips")?
             .parse()
             .map_err(|e| format!("bad sim_mips: {e}"))?;
-        rows.push((scheme, mips));
+        // The phase metrics arrived later; a row without them is an old
+        // baseline, not an error.
+        let metrics = (|| -> Option<RowMetrics> {
+            let mut stalls = [("", 0u64); 8];
+            for (slot, key) in stalls.iter_mut().zip(STALL_KEYS) {
+                *slot = (
+                    key.strip_prefix("stall_").expect("key shape"),
+                    field(key)?.parse().ok()?,
+                );
+            }
+            Some(RowMetrics {
+                cycles: field("cycles")?.parse().ok()?,
+                handler_share: field("handler_share")?.parse().ok()?,
+                exc_per_kinsn: field("exc_per_kinsn")?.parse().ok()?,
+                stalls,
+            })
+        })();
+        rows.push(SchemeRow {
+            scheme,
+            mips,
+            metrics,
+        });
     }
     if rows.is_empty() {
         return Err("\"schemes\" array has no rows".into());
     }
     Ok(rows)
+}
+
+/// Prints the non-blocking per-phase diff for one scheme present in both
+/// reports with metrics on both sides.
+fn print_metrics_diff(scheme: &str, base: &RowMetrics, cur: &RowMetrics) {
+    if base == cur {
+        return;
+    }
+    println!("{scheme:<10} phase metrics changed (deterministic — the simulated machine changed):");
+    if base.cycles != cur.cycles {
+        println!(
+            "  cycles        {:>14} -> {:>14} ({:+.2}%)",
+            base.cycles,
+            cur.cycles,
+            100.0 * (cur.cycles as f64 - base.cycles as f64) / base.cycles.max(1) as f64
+        );
+    }
+    if (base.handler_share - cur.handler_share).abs() > 1e-9 {
+        println!(
+            "  handler_share {:>13.2}% -> {:>13.2}%",
+            100.0 * base.handler_share,
+            100.0 * cur.handler_share
+        );
+    }
+    if (base.exc_per_kinsn - cur.exc_per_kinsn).abs() > 1e-9 {
+        println!(
+            "  exc_per_kinsn {:>14.3} -> {:>14.3}",
+            base.exc_per_kinsn, cur.exc_per_kinsn
+        );
+    }
+    for ((name, b), (_, c)) in base.stalls.iter().zip(cur.stalls.iter()) {
+        if b != c {
+            println!("  stall {name:<9} {b:>12} -> {c:>12} cycles");
+        }
+    }
 }
 
 fn run() -> Result<bool, String> {
@@ -54,18 +152,20 @@ fn run() -> Result<bool, String> {
         std::fs::read_to_string(&baseline_path).map_err(|e| format!("{baseline_path}: {e}"))?;
     let current =
         std::fs::read_to_string(&current_path).map_err(|e| format!("{current_path}: {e}"))?;
-    let baseline = scheme_mips(&baseline).map_err(|e| format!("{baseline_path}: {e}"))?;
-    let current = scheme_mips(&current).map_err(|e| format!("{current_path}: {e}"))?;
+    let baseline = scheme_rows(&baseline).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let current = scheme_rows(&current).map_err(|e| format!("{current_path}: {e}"))?;
 
     let mut ok = true;
-    for (scheme, base) in &baseline {
-        match current.iter().find(|(s, _)| s == scheme) {
+    for row in &baseline {
+        let (scheme, base) = (&row.scheme, row.mips);
+        match current.iter().find(|r| &r.scheme == scheme) {
             None => {
                 println!("{scheme:<10} baseline {base:>8.2} sim-MIPS, not in current (skipped)")
             }
-            Some((_, cur)) => {
+            Some(cur_row) => {
+                let cur = cur_row.mips;
                 let floor = base * 0.7;
-                let verdict = if *cur < floor {
+                let verdict = if cur < floor {
                     ok = false;
                     "REGRESSION (>30% drop)"
                 } else {
@@ -77,10 +177,30 @@ fn run() -> Result<bool, String> {
             }
         }
     }
-    for (scheme, cur) in &current {
-        if !baseline.iter().any(|(s, _)| s == scheme) {
-            println!("{scheme:<10} current {cur:>8.2} sim-MIPS, not in baseline (new scheme)");
+    for row in &current {
+        if !baseline.iter().any(|r| r.scheme == row.scheme) {
+            println!(
+                "{:<10} current {:>8.2} sim-MIPS, not in baseline (new scheme)",
+                row.scheme, row.mips
+            );
         }
+    }
+
+    // Per-phase metrics diff: informational only, never fails the guard.
+    let mut any_metrics = false;
+    for row in &baseline {
+        let Some(base_m) = &row.metrics else { continue };
+        let Some(cur_row) = current.iter().find(|r| r.scheme == row.scheme) else {
+            continue;
+        };
+        let Some(cur_m) = &cur_row.metrics else {
+            continue;
+        };
+        any_metrics = true;
+        print_metrics_diff(&row.scheme, base_m, cur_m);
+    }
+    if !any_metrics {
+        println!("(no per-phase metrics on both sides — pre-tracing baseline; diff skipped)");
     }
     Ok(ok)
 }

@@ -23,8 +23,8 @@ use std::time::{Duration, Instant};
 use rtdc::prelude::*;
 use rtdc_bench::experiments::{run_native, run_scheme};
 use rtdc_bench::jobs::{jobs_from_env, parallel_map};
-use rtdc_sim::SimConfig;
-use rtdc_workloads::{all_benchmarks, generate_cached, BenchmarkSpec};
+use rtdc_sim::{SimConfig, StallBreakdown, Stats};
+use rtdc_workloads::{all_benchmarks, generate_cached, idioms, BenchmarkSpec};
 
 struct Cell {
     name: &'static str,
@@ -32,6 +32,44 @@ struct Cell {
     insns: u64,
     wall: Duration,
     mips: f64,
+    /// Deterministic per-run metrics (unlike wall/mips these are
+    /// host-independent, so `benchguard` can diff them exactly and
+    /// attribute a sim-MIPS regression to a simulated phase).
+    metrics: Metrics,
+}
+
+#[derive(Clone, Copy, Default)]
+struct Metrics {
+    cycles: u64,
+    handler_cycles: u64,
+    exceptions: u64,
+    stalls: StallBreakdown,
+}
+
+impl Metrics {
+    fn from_stats(s: &Stats) -> Metrics {
+        Metrics {
+            cycles: s.cycles,
+            handler_cycles: s.handler_cycles,
+            exceptions: s.exceptions,
+            stalls: s.stalls,
+        }
+    }
+
+    fn accumulate(&mut self, other: &Metrics) {
+        self.cycles += other.cycles;
+        self.handler_cycles += other.handler_cycles;
+        self.exceptions += other.exceptions;
+        let (a, b) = (&mut self.stalls, &other.stalls);
+        a.imiss += b.imiss;
+        a.dmiss += b.dmiss;
+        a.branch += b.branch;
+        a.reg_jump += b.reg_jump;
+        a.load_use += b.load_use;
+        a.hilo += b.hilo;
+        a.swic += b.swic;
+        a.exception += b.exception;
+    }
 }
 
 /// `native`, then every registry scheme plain and `+rf`, in registry
@@ -60,17 +98,42 @@ fn run_cell(spec: &BenchmarkSpec, label: &str, cfg: SimConfig) -> Cell {
         insns: r.stats.insns,
         wall: r.wall,
         mips: r.sim_mips(),
+        metrics: Metrics::from_stats(&r.stats),
     }
 }
 
 fn json_row(indent: &str, c: &Cell) -> String {
+    let m = &c.metrics;
+    let b = &m.stalls;
+    let handler_share = if m.cycles == 0 {
+        0.0
+    } else {
+        m.handler_cycles as f64 / m.cycles as f64
+    };
+    let exc_per_kinsn = if c.insns == 0 {
+        0.0
+    } else {
+        1000.0 * m.exceptions as f64 / c.insns as f64
+    };
     format!(
-        "{indent}{{\"name\": \"{}\", \"scheme\": \"{}\", \"insns\": {}, \"wall_secs\": {:.4}, \"sim_mips\": {:.2}}}",
+        "{indent}{{\"name\": \"{}\", \"scheme\": \"{}\", \"insns\": {}, \"wall_secs\": {:.4}, \"sim_mips\": {:.2}, \
+         \"cycles\": {}, \"handler_share\": {handler_share:.4}, \"exc_per_kinsn\": {exc_per_kinsn:.3}, \
+         \"stall_imiss\": {}, \"stall_dmiss\": {}, \"stall_branch\": {}, \"stall_regjump\": {}, \
+         \"stall_loaduse\": {}, \"stall_hilo\": {}, \"stall_swic\": {}, \"stall_exception\": {}}}",
         c.name,
         c.scheme,
         c.insns,
         c.wall.as_secs_f64(),
-        c.mips
+        c.mips,
+        m.cycles,
+        b.imiss,
+        b.dmiss,
+        b.branch,
+        b.reg_jump,
+        b.load_use,
+        b.hilo,
+        b.swic,
+        b.exception,
     )
 }
 
@@ -89,6 +152,7 @@ fn main() {
             insns: native.stats.insns,
             wall: native.wall,
             mips: native.sim_mips(),
+            metrics: Metrics::from_stats(&native.stats),
         });
         for label in labels.iter().filter(|l| *l != "native") {
             let (scheme, rf) = Scheme::parse(label).expect("registry label");
@@ -101,6 +165,7 @@ fn main() {
                 insns: r.stats.insns,
                 wall: r.wall,
                 mips: r.sim_mips(),
+                metrics: Metrics::from_stats(&r.stats),
             });
         }
         eprintln!("{}: done", spec.name);
@@ -111,9 +176,11 @@ fn main() {
         .iter()
         .map(|label| {
             let (mut insns, mut wall) = (0u64, Duration::ZERO);
+            let mut metrics = Metrics::default();
             for c in cells.iter().filter(|c| &c.scheme == label) {
                 insns += c.insns;
                 wall += c.wall;
+                metrics.accumulate(&c.metrics);
             }
             let secs = wall.as_secs_f64();
             Cell {
@@ -126,6 +193,7 @@ fn main() {
                 } else {
                     0.0
                 },
+                metrics,
             }
         })
         .collect();
@@ -166,4 +234,16 @@ fn main() {
     println!("{}", rows.join(",\n"));
     println!("  ]");
     println!("}}");
+
+    // Workload-generation observability: how much repeated generation the
+    // calibration cache absorbed across both passes (stderr only — the
+    // numbers depend on run order, unlike the JSON above).
+    let (hits, misses) = idioms::calibration_cache_stats();
+    let total = hits + misses;
+    if total > 0 {
+        eprintln!(
+            "calibration cache: {hits} hits / {misses} misses ({:.1}% hit rate)",
+            100.0 * hits as f64 / total as f64
+        );
+    }
 }

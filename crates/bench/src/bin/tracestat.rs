@@ -1,0 +1,58 @@
+//! `tracestat` — analyze a JSONL trace produced by `rtdc-run --trace`.
+//!
+//! Usage: `tracestat <trace.jsonl> [--line-bytes N]`
+//!
+//! Everything printed is derived from the trace file alone: folded
+//! statistics, the cycle-overhead breakdown, I-line reuse, the
+//! miss-interval histogram, and per-procedure decompression cost.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use rtdc_bench::analyze;
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<&str> = None;
+    let mut line_bytes: u32 = 32;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--line-bytes" => {
+                i += 1;
+                line_bytes = args
+                    .get(i)
+                    .ok_or("--line-bytes needs a value")?
+                    .parse()
+                    .map_err(|_| "--line-bytes: not a number".to_string())?;
+                if !line_bytes.is_power_of_two() {
+                    return Err("--line-bytes must be a power of two".into());
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: tracestat <trace.jsonl> [--line-bytes N]");
+                return Ok(());
+            }
+            arg if path.is_none() && !arg.starts_with('-') => path = Some(arg),
+            arg => return Err(format!("unexpected argument `{arg}`")),
+        }
+        i += 1;
+    }
+    let path = path.ok_or("usage: tracestat <trace.jsonl> [--line-bytes N]")?;
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let trace = analyze::parse_trace(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+    let analysis = analyze::analyze(&trace, line_bytes);
+    print!("{}", analyze::report(&analysis));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tracestat: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -8,7 +8,10 @@
 //! rtdc-run --bench go --scheme d --select miss --threshold 20
 //! rtdc-run --bench go --scheme d --icache 64
 //! rtdc-run --bench go --scheme d --layout  # print the Figure-3 layout
-//! rtdc-run --bench crc32 --trace 20        # trace the first N instructions
+//! rtdc-run --bench go --scheme d --metrics # derived cycle/exception metrics
+//! rtdc-run --bench go --scheme d --trace out.jsonl   # structured event trace
+//! rtdc-run --bench go --scheme d --trace out.jsonl --trace-filter exc,swic
+//! rtdc-run --bench crc32 --disasm 20       # disassemble the first N instructions
 //! rtdc-run --bench cc1,go,perl --jobs 4    # several benchmarks, fanned out
 //! rtdc-run --list                          # list benchmarks
 //! rtdc-run --list-schemes                  # list registered compression schemes
@@ -17,16 +20,23 @@
 //! `--bench` accepts a comma-separated list; each benchmark's report is
 //! built in full by its worker and printed in list order, so stdout is
 //! byte-identical for any `--jobs` value (the default is 1 — serial).
-//! `--layout` and `--trace` only apply to a single benchmark.
+//! `--layout`, `--trace`, and `--disasm` only apply to a single benchmark.
+//!
+//! `--trace` writes a JSONL event trace (preamble: `meta` + one
+//! `region_def` per procedure; then one event per line) that `tracestat`
+//! and `rtdc_bench::analyze` consume; `--trace-filter` limits which
+//! event kinds are recorded (`exc,swic,stall,...` or `all`).
 
 use std::fmt::Write as _;
+use std::io::BufWriter;
 use std::process::ExitCode;
 
 use rtdc::prelude::*;
 use rtdc_bench::jobs::parallel_map;
-use rtdc_cli::{format_stats, Args};
+use rtdc_cli::{format_metrics, format_stats, Args};
 use rtdc_isa::program::ObjectProgram;
-use rtdc_sim::SimConfig;
+use rtdc_sim::trace::RegionDef;
+use rtdc_sim::{JsonlTracer, SimConfig, TraceFilter};
 use rtdc_workloads::{all_benchmarks, by_name, generate, programs};
 
 const MAX_INSNS: u64 = 2_000_000_000;
@@ -68,9 +78,10 @@ fn resolve(name: &str) -> Result<ObjectProgram, String> {
     }
 }
 
-/// Builds the image for one benchmark and runs it, returning the full
-/// stdout report as a string (so parallel workers cannot interleave).
-fn run_one(name: &str, args: &Args, cfg: SimConfig, with_layout: bool) -> Result<String, String> {
+/// Resolves the benchmark and builds its image per `--scheme`,
+/// `--select`, and `--threshold`, returning the scheme label used in
+/// reports (`native`, `d`, `cp+rf`, ...) alongside the image.
+fn build_image(name: &str, args: &Args, cfg: SimConfig) -> Result<(String, MemoryImage), String> {
     let program = resolve(name)?;
     let n = program.procedures.len();
 
@@ -102,16 +113,27 @@ fn run_one(name: &str, args: &Args, cfg: SimConfig, with_layout: bool) -> Result
             build_compressed(&program, s, rf, &selection).map_err(|e| e.to_string())?
         }
     };
+    let label = match scheme {
+        None => "native".to_string(),
+        Some(s) => format!("{}{}", s.name(), if rf { "+rf" } else { "" }),
+    };
+    Ok((label, image))
+}
+
+/// Builds the image for one benchmark and runs it, returning the full
+/// stdout report as a string (so parallel workers cannot interleave).
+fn run_one(name: &str, args: &Args, cfg: SimConfig, with_layout: bool) -> Result<String, String> {
+    let (label, image) = build_image(name, args, cfg)?;
 
     let mut out = String::new();
     writeln!(
         out,
         "{name} [{}]: {} procedures, code {:.1} KB ({:.1}% of native), handler {} B",
-        match scheme {
+        match image.scheme {
             None => "native".to_string(),
-            Some(s) => format!("{s}{}", if rf { "+RF" } else { "" }),
+            Some(s) => format!("{s}{}", if image.second_regfile { "+RF" } else { "" }),
         },
-        n,
+        image.proc_count(),
         image.sizes.total_code_bytes() as f64 / 1024.0,
         100.0 * image.sizes.compression_ratio(),
         image.sizes.handler_bytes,
@@ -131,8 +153,11 @@ fn run_one(name: &str, args: &Args, cfg: SimConfig, with_layout: bool) -> Result
     )
     .expect("write to string");
     write!(out, "{}", format_stats(&report.stats)).expect("write to string");
+    if args.has("metrics") {
+        write!(out, "{}", format_metrics(&report.stats)).expect("write to string");
+    }
     eprintln!(
-        "{name}: {:.1} sim-MIPS ({} insns in {:.3}s)",
+        "{name} [{label}]: {:.1} sim-MIPS ({} insns in {:.3}s)",
         report.sim_mips(),
         report.stats.insns,
         report.wall.as_secs_f64()
@@ -140,10 +165,46 @@ fn run_one(name: &str, args: &Args, cfg: SimConfig, with_layout: bool) -> Result
     Ok(out)
 }
 
-/// Traces the first `ncount` instructions of one benchmark to stdout.
-fn trace_one(name: &str, args: &Args, cfg: SimConfig, ncount: u64) -> Result<(), String> {
-    // Trace wants a compressed image too; reuse run_one's builder path by
-    // duplicating only the parts it needs (resolve + scheme + build).
+/// Runs one benchmark with a JSONL event tracer attached, writing the
+/// trace to `path`, and prints the usual stats afterwards.
+fn trace_jsonl_one(name: &str, args: &Args, cfg: SimConfig, path: &str) -> Result<(), String> {
+    let filter = match args.opt("trace-filter") {
+        Some(spec) => TraceFilter::parse(spec)?,
+        None => TraceFilter::all(),
+    };
+    let (label, image) = build_image(name, args, cfg)?;
+
+    let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut tracer = JsonlTracer::with_filter(BufWriter::new(file), filter);
+    tracer.write_meta(name, &label);
+    for &(start, end, id) in &image.proc_regions {
+        tracer.write_region_def(&RegionDef {
+            id: id as u32,
+            name: image.proc_names[id].clone(),
+            start,
+            end,
+        });
+    }
+    let (report, tracer) =
+        run_image_with_sink(&image, cfg, MAX_INSNS, tracer).map_err(|e| e.to_string())?;
+    tracer
+        .finish()
+        .map_err(|e| format!("{path}: trace write failed: {e}"))?;
+    print!("{}", format_stats(&report.stats));
+    if args.has("metrics") {
+        print!("{}", format_metrics(&report.stats));
+    }
+    eprintln!(
+        "{name} [{label}]: trace written to {path} ({} insns, {} cycles); analyze with `tracestat {path}`",
+        report.stats.insns, report.stats.cycles
+    );
+    Ok(())
+}
+
+/// Disassembles the first `ncount` committed instructions of one
+/// benchmark to stdout (previously `--trace N`; renamed to `--disasm`
+/// when `--trace` became the structured event trace).
+fn disasm_one(name: &str, args: &Args, cfg: SimConfig, ncount: u64) -> Result<(), String> {
     let program = resolve(name)?;
     let scheme_arg = args.opt("scheme").unwrap_or("native").to_ascii_lowercase();
     let n = program.procedures.len();
@@ -234,12 +295,21 @@ fn run() -> Result<(), String> {
         None => 1,
     };
 
-    if let Some(ncount) = args.opt("trace") {
+    if let Some(path) = args.opt("trace") {
         if names.len() > 1 {
             return Err("--trace only applies to a single --bench".into());
         }
-        let ncount: u64 = ncount.parse().map_err(|_| "bad --trace".to_string())?;
-        return trace_one(names[0], &args, cfg, ncount);
+        return trace_jsonl_one(names[0], &args, cfg, path);
+    }
+    if args.opt("trace-filter").is_some() {
+        return Err("--trace-filter requires --trace FILE".into());
+    }
+    if let Some(ncount) = args.opt("disasm") {
+        if names.len() > 1 {
+            return Err("--disasm only applies to a single --bench".into());
+        }
+        let ncount: u64 = ncount.parse().map_err(|_| "bad --disasm".to_string())?;
+        return disasm_one(names[0], &args, cfg, ncount);
     }
     let with_layout = args.has("layout");
     if with_layout && names.len() > 1 {

@@ -125,6 +125,50 @@ pub fn format_stats(stats: &rtdc_sim::Stats) -> String {
     s
 }
 
+/// Formats the derived metrics block printed by `rtdc-run --metrics`:
+/// where the cycles went (per stall cause and in the handler) and the
+/// exception rate, all derived from [`rtdc_sim::Stats`] alone.
+pub fn format_metrics(stats: &rtdc_sim::Stats) -> String {
+    let mut s = String::new();
+    let cycles = stats.cycles.max(1) as f64;
+    let share = |n: u64| 100.0 * n as f64 / cycles;
+    let _ = writeln!(s, "metrics:");
+    let _ = writeln!(
+        s,
+        "  handler share   {:>10.2}% of cycles ({} of {})",
+        share(stats.handler_cycles),
+        stats.handler_cycles,
+        stats.cycles
+    );
+    let _ = writeln!(
+        s,
+        "  exceptions      {:>10.3} per K-insn",
+        1000.0 * stats.exceptions as f64 / stats.insns.max(1) as f64
+    );
+    let _ = writeln!(
+        s,
+        "  commit cycles   {:>10.2}% (CPI {:.3})",
+        share(stats.insns),
+        stats.cpi()
+    );
+    let b = stats.stalls;
+    for (name, cyc) in [
+        ("imiss", b.imiss),
+        ("dmiss", b.dmiss),
+        ("branch", b.branch),
+        ("regjump", b.reg_jump),
+        ("loaduse", b.load_use),
+        ("hilo", b.hilo),
+        ("swic", b.swic),
+        ("exception", b.exception),
+    ] {
+        if cyc > 0 {
+            let _ = writeln!(s, "  stall {name:<9} {:>8.2}% ({cyc} cycles)", share(cyc));
+        }
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +197,22 @@ mod tests {
         let s = format_stats(&rtdc_sim::Stats::default());
         assert!(s.contains("instructions"));
         assert!(s.contains("stall cycles"));
+    }
+
+    #[test]
+    fn metrics_format_reports_shares() {
+        let mut stats = rtdc_sim::Stats {
+            insns: 60,
+            cycles: 100,
+            handler_cycles: 25,
+            exceptions: 3,
+            ..Default::default()
+        };
+        stats.stalls.imiss = 40;
+        let s = format_metrics(&stats);
+        assert!(s.contains("handler share"), "{s}");
+        assert!(s.contains("25.00%"), "{s}");
+        assert!(s.contains("stall imiss"), "{s}");
+        assert!(s.contains("50.000 per K-insn"), "{s}");
     }
 }

@@ -71,7 +71,9 @@ pub mod prelude {
     pub use crate::builder::{build_compressed, build_compressed_ordered, build_native};
     pub use crate::error::{BuildError, RunError};
     pub use crate::image::{MemoryImage, Scheme, SizeReport};
-    pub use crate::runner::{load_image, profile_native, run_image, RunReport};
+    pub use crate::runner::{
+        load_image, load_image_with_sink, profile_native, run_image, run_image_with_sink, RunReport,
+    };
     pub use crate::select::{placement_hot_first, ProcedureProfile, SelectBy, Selection};
     pub use rtdc_compress::codec::{Codec, CompressError};
     pub use rtdc_sim::SimConfig;

@@ -1,7 +1,7 @@
 //! Loading images into the simulator and running experiments.
 
 use rtdc_isa::program::ObjectProgram;
-use rtdc_sim::{Machine, RegionProfiler, SimConfig, Stats};
+use rtdc_sim::{Machine, NoTrace, RegionProfiler, SimConfig, Stats, TraceSink};
 
 use crate::builder::build_native;
 use crate::error::{BuildError, RunError};
@@ -41,8 +41,20 @@ impl RunReport {
 /// The configuration's `second_regfile` flag is forced to match the image
 /// so a non-RF handler never runs with banked registers or vice versa.
 pub fn load_image(image: &MemoryImage, config: SimConfig) -> Machine {
+    load_image_with_sink(image, config, NoTrace)
+}
+
+/// [`load_image`] with an explicit trace sink: the returned machine emits
+/// a [`rtdc_sim::TraceEvent`] at every statistics site. Loading is
+/// identical to the untraced path; with [`NoTrace`] this *is*
+/// [`load_image`].
+pub fn load_image_with_sink<S: TraceSink>(
+    image: &MemoryImage,
+    config: SimConfig,
+    sink: S,
+) -> Machine<S> {
     let cfg = config.with_second_regfile(image.second_regfile);
-    let mut m = Machine::new(cfg);
+    let mut m = Machine::with_sink(cfg, sink);
     for seg in &image.segments {
         m.mem_mut().write_bytes(seg.base, &seg.bytes);
     }
@@ -71,16 +83,42 @@ pub fn run_image(
     config: SimConfig,
     max_insns: u64,
 ) -> Result<RunReport, RunError> {
-    let mut m = load_image(image, config);
+    run_image_with_sink(image, config, max_insns, NoTrace).map(|(report, NoTrace)| report)
+}
+
+/// Runs `image` to completion with a trace sink attached, returning the
+/// report and the sink (e.g. a [`rtdc_sim::JsonlTracer`] to `finish()`, or
+/// a [`rtdc_sim::VecSink`] full of events). A [`rtdc_sim::RegionProfiler`]
+/// over the image's procedure regions is attached so the sink also sees
+/// [`rtdc_sim::TraceEvent::RegionEntry`] events.
+///
+/// # Errors
+///
+/// Returns [`RunError::Sim`] on any simulator fault (including exceeding
+/// `max_insns`).
+pub fn run_image_with_sink<S: TraceSink>(
+    image: &MemoryImage,
+    config: SimConfig,
+    max_insns: u64,
+    sink: S,
+) -> Result<(RunReport, S), RunError> {
+    let mut m = load_image_with_sink(image, config, sink);
+    if S::ENABLED {
+        m.attach_profiler(RegionProfiler::new(
+            image.proc_regions.clone(),
+            image.proc_count(),
+        ));
+    }
     let started = std::time::Instant::now();
     let outcome = m.run(max_insns)?;
     let wall = started.elapsed();
-    Ok(RunReport {
+    let report = RunReport {
         exit_code: outcome.exit_code,
         stats: *m.stats(),
         output: m.output().to_vec(),
         wall,
-    })
+    };
+    Ok((report, m.into_sink()))
 }
 
 /// Profiles a program natively (§3.3/§4.2: profiles come from the original
@@ -116,6 +154,7 @@ pub fn profile_native(
         exec: profiler.exec_counts().to_vec(),
         miss: profiler.miss_counts().to_vec(),
         entry_trace: profiler.entry_trace().to_vec(),
+        entry_trace_truncated: profiler.truncated(),
     };
     Ok((report, profile))
 }

@@ -26,6 +26,10 @@ pub struct ProcedureProfile {
     /// Dynamic procedure-entry (call) sequence, for procedure-granularity
     /// models ([`crate::proccache`]).
     pub entry_trace: Vec<u32>,
+    /// Whether `entry_trace` hit the profiler's cap and dropped entries
+    /// ([`rtdc_sim::RegionProfiler::ENTRY_TRACE_CAP`]). `exec`/`miss`
+    /// counts are always complete; only the trace saturates.
+    pub entry_trace_truncated: bool,
 }
 
 impl ProcedureProfile {
@@ -187,6 +191,7 @@ mod tests {
             exec: vec![100, 400, 50, 250, 200], // total 1000
             miss: vec![10, 0, 80, 5, 5],        // total 100
             entry_trace: Vec::new(),
+            entry_trace_truncated: false,
         }
     }
 
@@ -245,6 +250,7 @@ mod tests {
             exec: vec![0],
             miss: vec![0],
             entry_trace: Vec::new(),
+            entry_trace_truncated: false,
         };
         let s = Selection::by_profile(&p, SelectBy::Miss, 0.5);
         assert_eq!(s.native_count(), 0);

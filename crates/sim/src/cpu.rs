@@ -35,6 +35,7 @@ use crate::error::SimError;
 use crate::mem::MainMemory;
 use crate::profile::RegionProfiler;
 use crate::stats::Stats;
+use crate::trace::{MissKind, NoTrace, StallCause, TraceEvent, TraceSink};
 
 /// Processor privilege/context mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,9 +80,15 @@ struct DecodeEntry {
     insn: Instruction,
 }
 
-/// The simulated machine.
+/// The simulated machine, generic over the attached [`TraceSink`].
+///
+/// The default sink is [`NoTrace`], whose `ENABLED = false` constant
+/// compiles every event emission out of the step loop — plain
+/// `Machine::new` is exactly the untraced machine. Attach a real sink
+/// with [`Machine::with_sink`] to observe structured events
+/// (see [`crate::trace`]).
 #[derive(Debug)]
-pub struct Machine {
+pub struct Machine<S: TraceSink = NoTrace> {
     cfg: SimConfig,
     regs: [[u32; 32]; 2],
     hi: u32,
@@ -106,11 +113,23 @@ pub struct Machine {
     /// Entries are validated against the fetched word, so they can never go
     /// stale; `None` when the feature is disabled.
     decode: Option<Box<[DecodeEntry]>>,
+    sink: S,
+    /// `(handler_insns, handler_cycles)` at the last exception entry, so
+    /// `iret` can emit per-exception deltas. Only written when tracing.
+    exc_snapshot: (u64, u64),
 }
 
 impl Machine {
-    /// Creates a machine with empty memory and cold caches.
+    /// Creates an untraced machine with empty memory and cold caches.
     pub fn new(cfg: SimConfig) -> Machine {
+        Machine::with_sink(cfg, NoTrace)
+    }
+}
+
+impl<S: TraceSink> Machine<S> {
+    /// Creates a machine with empty memory, cold caches, and `sink`
+    /// attached for event tracing.
+    pub fn with_sink(cfg: SimConfig, sink: S) -> Machine<S> {
         Machine {
             cfg,
             regs: [[0; 32]; 2],
@@ -142,12 +161,30 @@ impl Machine {
                 ]
                 .into_boxed_slice()
             }),
+            sink,
+            exc_snapshot: (0, 0),
         }
     }
 
     /// The machine's configuration.
     pub fn config(&self) -> &SimConfig {
         &self.cfg
+    }
+
+    /// Read access to the trace sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Write access to the trace sink (e.g. to flush a writer).
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Consumes the machine and returns the sink (to collect or finish
+    /// a trace after the run).
+    pub fn into_sink(self) -> S {
+        self.sink
     }
 
     /// Read access to main memory.
@@ -295,6 +332,33 @@ impl Machine {
         }
     }
 
+    /// Charges `n` stall cycles to `cause`: the single place where cycle
+    /// accounting, the [`crate::StallBreakdown`] bucket, and the
+    /// [`TraceEvent::Stall`] emission are kept in lock-step (the folded
+    /// trace reconstructs the breakdown exactly because they cannot
+    /// diverge).
+    fn stall(&mut self, cause: StallCause, n: u64) {
+        self.cycle(n);
+        let b = &mut self.stats.stalls;
+        match cause {
+            StallCause::IMiss => b.imiss += n,
+            StallCause::DMiss => b.dmiss += n,
+            StallCause::Branch => b.branch += n,
+            StallCause::RegJump => b.reg_jump += n,
+            StallCause::LoadUse => b.load_use += n,
+            StallCause::Hilo => b.hilo += n,
+            StallCause::Swic => b.swic += n,
+            StallCause::Exception => b.exception += n,
+        }
+        if S::ENABLED {
+            self.sink.event(&TraceEvent::Stall {
+                cause,
+                cycles: n,
+                handler: self.mode == Mode::Exception,
+            });
+        }
+    }
+
     fn fetch(&mut self, pc: u32) -> Result<Fetch, SimError> {
         if Self::in_range(self.handler_range, pc) {
             // Dedicated on-chip RAM: single-cycle, never misses.
@@ -306,6 +370,9 @@ impl Machine {
             return Err(SimError::HandlerEscaped { pc });
         }
         self.stats.ifetches += 1;
+        if S::ENABLED {
+            self.sink.event(&TraceEvent::Fetch { pc });
+        }
         if let Some(word) = self.icache.touch_read(pc) {
             return Ok(Fetch::Word(word));
         }
@@ -320,14 +387,23 @@ impl Machine {
                 .ok_or(SimError::NoHandlerInstalled { pc })?;
             self.stats.imisses_compressed += 1;
             self.stats.exceptions += 1;
+            if S::ENABLED {
+                let cycle = self.stats.cycles;
+                self.sink.event(&TraceEvent::FetchMiss {
+                    pc,
+                    cycle,
+                    kind: MissKind::Compressed,
+                });
+                self.sink.event(&TraceEvent::ExcEntry { pc, cycle });
+                self.exc_snapshot = (self.stats.handler_insns, self.stats.handler_cycles);
+            }
             self.c0[C0Reg::BADVA.number() as usize] = pc;
             self.c0[C0Reg::EPC.number() as usize] = pc;
             self.mode = Mode::Exception;
             self.pc = handler_base;
             self.last_load_dest = None;
             let penalty = self.cfg.exception_entry_penalty;
-            self.cycle(penalty);
-            self.stats.stalls.exception += penalty;
+            self.stall(StallCause::Exception, penalty);
             return Ok(Fetch::TookException);
         }
         // Hardware-managed miss: fill the line from main memory.
@@ -335,9 +411,20 @@ impl Machine {
         let line_bytes = self.cfg.icache.line_bytes;
         let base = self.cfg.icache.line_base(pc);
         let data = self.mem.read_bytes(base, line_bytes as usize);
-        self.icache.fill(base, &data);
-        self.cycle(self.cfg.mem_transfer_cycles(line_bytes));
-        self.stats.stalls.imiss += self.cfg.mem_transfer_cycles(line_bytes);
+        let ev = self.icache.fill(base, &data);
+        if S::ENABLED {
+            self.sink.event(&TraceEvent::FetchMiss {
+                pc,
+                cycle: self.stats.cycles,
+                kind: MissKind::Native,
+            });
+            self.sink.event(&TraceEvent::IFill {
+                base,
+                cycle: self.stats.cycles,
+                evicted: ev.evicted,
+            });
+        }
+        self.stall(StallCause::IMiss, self.cfg.mem_transfer_cycles(line_bytes));
         let word = self.icache.read_word(pc).expect("just filled");
         Ok(Fetch::Word(word))
     }
@@ -372,6 +459,13 @@ impl Machine {
         } else {
             self.dcache.touch(addr)
         };
+        if S::ENABLED {
+            self.sink.event(&TraceEvent::DAccess {
+                addr,
+                store: is_store,
+                hit,
+            });
+        }
         if hit {
             return;
         }
@@ -380,13 +474,19 @@ impl Machine {
         let base = self.cfg.dcache.line_base(addr);
         let data = self.mem.read_bytes(base, line_bytes as usize);
         let ev = self.dcache.fill(base, &data);
+        if S::ENABLED {
+            self.sink.event(&TraceEvent::DFill {
+                base,
+                cycle: self.stats.cycles,
+                evicted: ev.evicted,
+                dirty: ev.dirty,
+            });
+        }
         if ev.dirty {
             self.stats.writebacks += 1;
-            self.cycle(self.cfg.mem_transfer_cycles(line_bytes));
-            self.stats.stalls.dmiss += self.cfg.mem_transfer_cycles(line_bytes);
+            self.stall(StallCause::DMiss, self.cfg.mem_transfer_cycles(line_bytes));
         }
-        self.cycle(self.cfg.mem_transfer_cycles(line_bytes));
-        self.stats.stalls.dmiss += self.cfg.mem_transfer_cycles(line_bytes);
+        self.stall(StallCause::DMiss, self.cfg.mem_transfer_cycles(line_bytes));
         if is_store {
             self.dcache.mark_dirty(addr);
         }
@@ -414,20 +514,34 @@ impl Machine {
 
         self.stats.insns += 1;
         self.cycle(1);
+        if S::ENABLED {
+            self.sink.event(&TraceEvent::Commit {
+                pc,
+                handler: self.mode == Mode::Exception,
+            });
+        }
         if self.mode == Mode::Exception {
             self.stats.handler_insns += 1;
         } else {
             self.stats.program_insns += 1;
             if let Some(p) = self.profiler.as_mut() {
-                p.record_exec(pc);
+                let entered = p.record_exec(pc);
+                if S::ENABLED {
+                    if let Some(region) = entered {
+                        self.sink.event(&TraceEvent::RegionEntry {
+                            region,
+                            pc,
+                            cycle: self.stats.cycles,
+                        });
+                    }
+                }
             }
         }
 
         if let Some(dest) = self.last_load_dest.take() {
             let (a, b) = insn.src_regs();
             if a == Some(dest) || b == Some(dest) {
-                self.cycle(1); // load-use interlock bubble
-                self.stats.stalls.load_use += 1;
+                self.stall(StallCause::LoadUse, 1); // load-use interlock bubble
             }
         }
 
@@ -442,10 +556,17 @@ impl Machine {
         self.stats.branches += 1;
         let predicted = self.bpred.predict(pc);
         self.bpred.update(pc, taken);
-        if predicted != taken {
+        let mispredict = predicted != taken;
+        if S::ENABLED {
+            self.sink.event(&TraceEvent::Branch {
+                pc,
+                taken,
+                mispredict,
+            });
+        }
+        if mispredict {
             self.stats.mispredicts += 1;
-            self.cycle(self.cfg.mispredict_penalty);
-            self.stats.stalls.branch += self.cfg.mispredict_penalty;
+            self.stall(StallCause::Branch, self.cfg.mispredict_penalty);
         }
         if taken {
             pc.wrapping_add(4).wrapping_add((offset as i32 as u32) << 2)
@@ -582,8 +703,7 @@ impl Machine {
             Mfhi { rd } => {
                 if self.stats.cycles < self.hilo_ready {
                     let wait = self.hilo_ready - self.stats.cycles;
-                    self.cycle(wait);
-                    self.stats.stalls.hilo += wait;
+                    self.stall(StallCause::Hilo, wait);
                 }
                 let v = self.hi;
                 self.set_reg(rd, v);
@@ -591,8 +711,7 @@ impl Machine {
             Mflo { rd } => {
                 if self.stats.cycles < self.hilo_ready {
                     let wait = self.hilo_ready - self.stats.cycles;
-                    self.cycle(wait);
-                    self.stats.stalls.hilo += wait;
+                    self.stall(StallCause::Hilo, wait);
                 }
                 let v = self.lo;
                 self.set_reg(rd, v);
@@ -602,10 +721,17 @@ impl Machine {
             Jr { rs } => {
                 let target = self.reg(rs);
                 self.stats.reg_jumps += 1;
-                if self.ras.pop() != Some(target) {
+                let ras_miss = self.ras.pop() != Some(target);
+                if S::ENABLED {
+                    self.sink.event(&TraceEvent::RegJump {
+                        pc,
+                        target,
+                        ras_miss,
+                    });
+                }
+                if ras_miss {
                     self.stats.reg_jump_misses += 1;
-                    self.cycle(self.cfg.mispredict_penalty);
-                    self.stats.stalls.reg_jump += self.cfg.mispredict_penalty;
+                    self.stall(StallCause::RegJump, self.cfg.mispredict_penalty);
                 }
                 next = target;
             }
@@ -614,9 +740,15 @@ impl Machine {
                 self.set_reg(rd, pc.wrapping_add(4));
                 self.ras.push(pc.wrapping_add(4));
                 self.stats.reg_jumps += 1;
+                if S::ENABLED {
+                    self.sink.event(&TraceEvent::RegJump {
+                        pc,
+                        target,
+                        ras_miss: false,
+                    });
+                }
                 // Indirect-call target resolves in EX: front-end redirect.
-                self.cycle(self.cfg.mispredict_penalty);
-                self.stats.stalls.reg_jump += self.cfg.mispredict_penalty;
+                self.stall(StallCause::RegJump, self.cfg.mispredict_penalty);
                 next = target;
             }
             Syscall => self.syscall(pc)?,
@@ -731,10 +863,16 @@ impl Machine {
                 let addr = self.reg(base).wrapping_add(offset as i32 as u32);
                 self.check_align(pc, addr, 4)?;
                 let word = self.reg(rt);
-                self.icache.write_word_alloc(addr, word);
+                let ev = self.icache.write_word_alloc(addr, word);
                 self.stats.swics += 1;
-                self.cycle(self.cfg.swic_penalty);
-                self.stats.stalls.swic += self.cfg.swic_penalty;
+                if S::ENABLED {
+                    self.sink.event(&TraceEvent::Swic {
+                        addr,
+                        pc,
+                        evicted: ev.is_some_and(|e| e.evicted),
+                    });
+                }
+                self.stall(StallCause::Swic, self.cfg.swic_penalty);
             }
             Beq { rs, rt, offset } => {
                 let taken = self.reg(rs) == self.reg(rt);
@@ -781,11 +919,19 @@ impl Machine {
                     return Err(SimError::IretOutsideHandler { pc });
                 }
                 // Count the refill against the handler before leaving it.
-                self.cycle(self.cfg.exception_return_penalty);
-                self.stats.stalls.exception += self.cfg.exception_return_penalty;
+                self.stall(StallCause::Exception, self.cfg.exception_return_penalty);
                 self.mode = Mode::Normal;
                 self.last_load_dest = None;
                 next = self.c0(C0Reg::EPC);
+                if S::ENABLED {
+                    let (insns0, cycles0) = self.exc_snapshot;
+                    self.sink.event(&TraceEvent::ExcExit {
+                        epc: next,
+                        cycle: self.stats.cycles,
+                        insns: self.stats.handler_insns - insns0,
+                        cycles: self.stats.handler_cycles - cycles0,
+                    });
+                }
             }
         }
         self.pc = next;

@@ -48,6 +48,7 @@ mod error;
 mod mem;
 mod profile;
 mod stats;
+pub mod trace;
 
 pub use bpred::{Bimode, ReturnStack};
 pub use cache::{Cache, Eviction};
@@ -57,6 +58,7 @@ pub use error::SimError;
 pub use mem::MainMemory;
 pub use profile::RegionProfiler;
 pub use stats::{StallBreakdown, Stats};
+pub use trace::{JsonlTracer, NoTrace, TraceEvent, TraceFilter, TraceSink, VecSink};
 
 /// Conventional memory map shared by the image builder and the workload
 /// generators. Addresses are virtual; see DESIGN.md for how they relate to

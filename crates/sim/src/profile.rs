@@ -29,20 +29,42 @@ pub struct RegionProfiler {
     exec: Vec<u64>,
     miss: Vec<u64>,
     entries: Vec<u32>,
+    entry_cap: usize,
+    truncated: bool,
 }
 
-/// Cap on recorded entries (procedure calls); programs in this repository
-/// make a few thousand to a few hundred thousand calls.
-const ENTRY_TRACE_CAP: usize = 8_000_000;
-
 impl RegionProfiler {
+    /// Default cap on recorded entries (procedure calls); programs in this
+    /// repository make a few thousand to a few hundred thousand calls, so
+    /// the cap only saturates on pathological workloads. When it does,
+    /// recording stops silently for the *trace* (per-region exec/miss
+    /// counters keep accumulating) and [`RegionProfiler::truncated`]
+    /// reports the loss.
+    pub const ENTRY_TRACE_CAP: usize = 8_000_000;
+
     /// Creates a profiler over `regions` (`(start, end, id)` half-open byte
-    /// ranges; ids may repeat if a region is split).
+    /// ranges; ids may repeat if a region is split), with the default
+    /// [`RegionProfiler::ENTRY_TRACE_CAP`] on the entry trace.
     ///
     /// # Panics
     ///
     /// Panics if ranges overlap or are unsorted after normalization.
-    pub fn new(mut regions: Vec<(u32, u32, usize)>, region_count: usize) -> RegionProfiler {
+    pub fn new(regions: Vec<(u32, u32, usize)>, region_count: usize) -> RegionProfiler {
+        RegionProfiler::with_entry_cap(regions, region_count, RegionProfiler::ENTRY_TRACE_CAP)
+    }
+
+    /// Like [`RegionProfiler::new`] with an explicit entry-trace cap
+    /// (tests exercise saturation with a small cap; `usize::MAX`
+    /// effectively disables it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if ranges overlap or are unsorted after normalization.
+    pub fn with_entry_cap(
+        mut regions: Vec<(u32, u32, usize)>,
+        region_count: usize,
+        entry_cap: usize,
+    ) -> RegionProfiler {
         regions.sort_by_key(|r| r.0);
         for w in regions.windows(2) {
             assert!(w[0].1 <= w[1].0, "profiler regions overlap");
@@ -56,6 +78,8 @@ impl RegionProfiler {
             exec: vec![0; region_count],
             miss: vec![0; region_count],
             entries: Vec::new(),
+            entry_cap,
+            truncated: false,
         }
     }
 
@@ -72,14 +96,22 @@ impl RegionProfiler {
         self.lookup_range(pc).map(|(_, id)| id)
     }
 
-    /// Records one committed instruction at `pc`.
-    pub fn record_exec(&mut self, pc: u32) {
-        if let Some((start, id)) = self.lookup_range(pc) {
-            self.exec[id] += 1;
-            if pc == start && self.entries.len() < ENTRY_TRACE_CAP {
-                self.entries.push(id as u32);
-            }
+    /// Records one committed instruction at `pc`. Returns the region id
+    /// when `pc` is a region's first instruction (a region *entry*),
+    /// whether or not the entry trace still has room — callers tracing
+    /// entries see every one even past the cap.
+    pub fn record_exec(&mut self, pc: u32) -> Option<u32> {
+        let (start, id) = self.lookup_range(pc)?;
+        self.exec[id] += 1;
+        if pc != start {
+            return None;
         }
+        if self.entries.len() < self.entry_cap {
+            self.entries.push(id as u32);
+        } else {
+            self.truncated = true;
+        }
+        Some(id as u32)
     }
 
     /// Records one I-cache miss at `pc`.
@@ -101,10 +133,20 @@ impl RegionProfiler {
 
     /// The region entry trace: region ids in the order their first
     /// instruction executed (i.e. the dynamic call sequence when regions
-    /// are procedures). Truncated at a large cap; compare its length with
-    /// the sum of entry counts if exactness matters.
+    /// are procedures). Recording saturates at the entry cap
+    /// ([`RegionProfiler::ENTRY_TRACE_CAP`] by default): later entries
+    /// are dropped from the trace (never from the exec/miss counters)
+    /// and [`RegionProfiler::truncated`] turns `true`.
     pub fn entry_trace(&self) -> &[u32] {
         &self.entries
+    }
+
+    /// Whether the entry trace hit its cap and dropped entries. A
+    /// truncated trace is a prefix of the real entry sequence; consumers
+    /// that replay it (e.g. procedure-cache models) must not treat it as
+    /// complete.
+    pub fn truncated(&self) -> bool {
+        self.truncated
     }
 }
 
@@ -153,5 +195,35 @@ mod tests {
     #[should_panic(expected = "overlap")]
     fn overlapping_regions_rejected() {
         let _ = RegionProfiler::new(vec![(0, 0x20, 0), (0x10, 0x30, 1)], 2);
+    }
+
+    #[test]
+    fn record_exec_reports_entries() {
+        let mut p = RegionProfiler::new(vec![(0x100, 0x200, 0)], 1);
+        assert_eq!(p.record_exec(0x100), Some(0));
+        assert_eq!(p.record_exec(0x104), None);
+        assert_eq!(p.record_exec(0x300), None);
+    }
+
+    #[test]
+    fn hitting_the_entry_cap_is_reported_not_silent() {
+        let mut p = RegionProfiler::with_entry_cap(vec![(0x100, 0x200, 0)], 1, 3);
+        for _ in 0..3 {
+            assert_eq!(p.record_exec(0x100), Some(0));
+        }
+        assert!(!p.truncated(), "under the cap nothing is lost");
+        // The fourth entry saturates the trace but is still returned and
+        // still counted.
+        assert_eq!(p.record_exec(0x100), Some(0));
+        assert!(p.truncated(), "dropping an entry must set the flag");
+        assert_eq!(p.entry_trace().len(), 3);
+        assert_eq!(p.exec_counts(), &[4]);
+    }
+
+    #[test]
+    fn default_cap_matches_documented_constant() {
+        let p = RegionProfiler::new(vec![(0, 4, 0)], 1);
+        assert!(!p.truncated());
+        assert_eq!(RegionProfiler::ENTRY_TRACE_CAP, 8_000_000);
     }
 }
