@@ -75,7 +75,7 @@ fn bench_compressors() {
 }
 
 fn run_100k(image: &MemoryImage, cfg: SimConfig) -> u64 {
-    let mut m = load_image(image, cfg);
+    let mut m = load_image(image, cfg).expect("image verifies");
     while m.stats().insns < 100_000 {
         if !matches!(m.step().expect("step"), rtdc_sim::Step::Continue) {
             break;

@@ -1,14 +1,27 @@
 //! `benchguard` — sim-MIPS regression guard over `BENCH_sim.json`.
 //!
 //! ```sh
-//! benchguard <baseline.json> <current.json>
+//! benchguard <baseline.json> <current.json> [--config benchguard.toml]
 //! ```
 //!
 //! Compares the **serial** per-scheme aggregate rows (the `"schemes"`
 //! array) of two simperf reports and fails if any scheme present in both
-//! has dropped to below 70% of the baseline's sim-MIPS (a >30% regression).
-//! Parallel-pass numbers and per-benchmark rows are informational only —
-//! they are too host-noise-sensitive to gate on.
+//! has dropped to below `floor_ratio` of the baseline's sim-MIPS (default
+//! 0.7, a >30% regression). Parallel-pass numbers and per-benchmark rows
+//! are informational only — they are too host-noise-sensitive to gate on.
+//!
+//! `--config` points at a checked-in TOML-subset file setting the
+//! threshold, so tightening or loosening the gate is a reviewed one-line
+//! diff instead of a CI-workflow edit:
+//!
+//! ```toml
+//! floor_ratio = 0.7        # global floor as a fraction of baseline
+//! [scheme_floors]
+//! lz = 0.6                 # optional per-scheme overrides
+//! ```
+//!
+//! (Parsed with a hand-rolled scanner — key = value lines, `#` comments,
+//! one optional `[scheme_floors]` section — no TOML dependency.)
 //!
 //! When both reports carry the per-phase metrics simperf records since
 //! the tracing PR (`cycles`, `handler_share`, `exc_per_kinsn`,
@@ -23,6 +36,71 @@
 //! yet in the baseline) are reported but never fail the guard.
 
 use std::process::ExitCode;
+
+/// The guard's thresholds, from `benchguard.toml` (or defaults).
+#[derive(Debug, Clone)]
+struct GuardConfig {
+    /// Global floor as a fraction of baseline sim-MIPS.
+    floor_ratio: f64,
+    /// Per-scheme overrides of `floor_ratio`.
+    scheme_floors: Vec<(String, f64)>,
+}
+
+impl Default for GuardConfig {
+    fn default() -> GuardConfig {
+        GuardConfig {
+            floor_ratio: 0.7,
+            scheme_floors: Vec::new(),
+        }
+    }
+}
+
+impl GuardConfig {
+    /// The floor ratio that applies to `scheme`.
+    fn floor_for(&self, scheme: &str) -> f64 {
+        self.scheme_floors
+            .iter()
+            .find(|(s, _)| s == scheme)
+            .map_or(self.floor_ratio, |&(_, r)| r)
+    }
+
+    /// Parses the TOML subset described in the module docs.
+    fn parse(text: &str) -> Result<GuardConfig, String> {
+        let mut cfg = GuardConfig::default();
+        let mut in_scheme_floors = false;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(section) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                in_scheme_floors = match section.trim() {
+                    "scheme_floors" => true,
+                    other => return Err(format!("line {}: unknown section [{other}]", lineno + 1)),
+                };
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected key = value", lineno + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            let ratio: f64 = value
+                .parse()
+                .map_err(|_| format!("line {}: `{value}` is not a number", lineno + 1))?;
+            if !(0.0..=1.0).contains(&ratio) {
+                return Err(format!("line {}: ratio {ratio} outside 0..=1", lineno + 1));
+            }
+            if in_scheme_floors {
+                cfg.scheme_floors.push((key.to_string(), ratio));
+            } else if key == "floor_ratio" {
+                cfg.floor_ratio = ratio;
+            } else {
+                return Err(format!("line {}: unknown key `{key}`", lineno + 1));
+            }
+        }
+        Ok(cfg)
+    }
+}
 
 /// The deterministic per-phase metrics of one scheme row (absent in
 /// baselines recorded before simperf emitted them).
@@ -143,10 +221,24 @@ fn print_metrics_diff(scheme: &str, base: &RowMetrics, cur: &RowMetrics) {
 }
 
 fn run() -> Result<bool, String> {
+    const USAGE: &str = "usage: benchguard <baseline.json> <current.json> [--config FILE]";
+    let mut paths: Vec<String> = Vec::new();
+    let mut config = GuardConfig::default();
     let mut args = std::env::args().skip(1);
-    let (baseline_path, current_path) = match (args.next(), args.next()) {
-        (Some(b), Some(c)) => (b, c),
-        _ => return Err("usage: benchguard <baseline.json> <current.json>".into()),
+    while let Some(arg) = args.next() {
+        if arg == "--config" {
+            let path = args.next().ok_or("--config needs a file")?;
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+            config = GuardConfig::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        } else if arg.starts_with('-') {
+            return Err(format!("unexpected option `{arg}`\n{USAGE}"));
+        } else {
+            paths.push(arg);
+        }
+    }
+    let (baseline_path, current_path) = match paths.as_slice() {
+        [b, c] => (b.clone(), c.clone()),
+        _ => return Err(USAGE.into()),
     };
     let baseline =
         std::fs::read_to_string(&baseline_path).map_err(|e| format!("{baseline_path}: {e}"))?;
@@ -164,10 +256,11 @@ fn run() -> Result<bool, String> {
             }
             Some(cur_row) => {
                 let cur = cur_row.mips;
-                let floor = base * 0.7;
+                let ratio = config.floor_for(scheme);
+                let floor = base * ratio;
                 let verdict = if cur < floor {
                     ok = false;
-                    "REGRESSION (>30% drop)"
+                    "REGRESSION"
                 } else {
                     "ok"
                 };
@@ -208,7 +301,7 @@ fn run() -> Result<bool, String> {
 fn main() -> ExitCode {
     match run() {
         Ok(true) => {
-            println!("benchguard: serial sim-MIPS within 30% of baseline");
+            println!("benchguard: serial sim-MIPS above the configured floor");
             ExitCode::SUCCESS
         }
         Ok(false) => {

@@ -2,16 +2,33 @@
 //! one benchmark (default cc1).
 
 use std::collections::HashMap;
+use std::process::ExitCode;
 
 use rtdc::prelude::*;
-use rtdc_workloads::{by_name, generate};
+use rtdc_workloads::{all_benchmarks, by_name, generate};
 
-fn main() {
+fn main() -> ExitCode {
     let name = std::env::args().nth(1).unwrap_or_else(|| "cc1".into());
-    let spec = by_name(&name).expect("unknown benchmark");
+    let Some(spec) = by_name(&name) else {
+        let known: Vec<&str> = all_benchmarks().iter().map(|b| b.name).collect();
+        eprintln!(
+            "cpprobe: unknown benchmark `{name}` (one of: {})",
+            known.join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
     let program = generate(&spec);
-    let native = build_native(&program).unwrap();
-    let text = &native.segment(".text").unwrap().bytes;
+    let native = match build_native(&program) {
+        Ok(img) => img,
+        Err(e) => {
+            eprintln!("cpprobe: {name}: native build failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = &native
+        .segment(".text")
+        .expect("native images have .text")
+        .bytes;
     let words: Vec<u32> = text
         .chunks_exact(4)
         .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
@@ -53,4 +70,5 @@ fn main() {
             100.0 * cum(4368),
         );
     }
+    ExitCode::SUCCESS
 }

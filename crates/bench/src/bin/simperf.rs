@@ -21,7 +21,7 @@
 use std::time::{Duration, Instant};
 
 use rtdc::prelude::*;
-use rtdc_bench::experiments::{run_native, run_scheme};
+use rtdc_bench::experiments::{run_native, run_scheme, run_scheme_verified};
 use rtdc_bench::jobs::{jobs_from_env, parallel_map};
 use rtdc_sim::{SimConfig, StallBreakdown, Stats};
 use rtdc_workloads::{all_benchmarks, generate_cached, idioms, BenchmarkSpec};
@@ -72,26 +72,40 @@ impl Metrics {
     }
 }
 
-/// `native`, then every registry scheme plain and `+rf`, in registry
-/// order — the row set for both passes.
+/// `native`, then every registry scheme plain, `+rf`, and `+vl` (the
+/// `--verify-lines` runner: identical simulated stats, host-side
+/// per-fill CRC checks — its sim-MIPS delta vs the plain row is the
+/// verification overhead), in registry order — the row set for both
+/// passes.
 fn scheme_labels() -> Vec<String> {
     let mut labels = vec!["native".to_string()];
     for s in Scheme::all() {
         labels.push(s.name().to_string());
         labels.push(format!("{}+rf", s.name()));
+        labels.push(format!("{}+vl", s.name()));
     }
     labels
 }
 
-/// Runs one benchmark under one labeled scheme and returns its cell.
-fn run_cell(spec: &BenchmarkSpec, label: &str, cfg: SimConfig) -> Cell {
-    let r = if label == "native" {
-        run_native(spec, cfg)
+/// Runs one benchmark under one labeled scheme (`native`, a registry
+/// name, `+rf`, or `+vl`) and returns the report.
+fn run_labeled(spec: &BenchmarkSpec, label: &str, cfg: SimConfig) -> rtdc::runner::RunReport {
+    if label == "native" {
+        return run_native(spec, cfg);
+    }
+    let all = Selection::all_compressed(generate_cached(spec).procedures.len());
+    if let Some(name) = label.strip_suffix("+vl") {
+        let (scheme, rf) = Scheme::parse(name).expect("label came from the registry");
+        run_scheme_verified(spec, scheme, rf, &all, cfg)
     } else {
         let (scheme, rf) = Scheme::parse(label).expect("label came from the registry");
-        let all = Selection::all_compressed(generate_cached(spec).procedures.len());
         run_scheme(spec, scheme, rf, &all, cfg)
-    };
+    }
+}
+
+/// Runs one benchmark under one labeled scheme and returns its cell.
+fn run_cell(spec: &BenchmarkSpec, label: &str, cfg: SimConfig) -> Cell {
+    let r = run_labeled(spec, label, cfg);
     Cell {
         name: spec.name,
         scheme: label.to_string(),
@@ -155,9 +169,7 @@ fn main() {
             metrics: Metrics::from_stats(&native.stats),
         });
         for label in labels.iter().filter(|l| *l != "native") {
-            let (scheme, rf) = Scheme::parse(label).expect("registry label");
-            let all = Selection::all_compressed(generate_cached(&spec).procedures.len());
-            let r = run_scheme(&spec, scheme, rf, &all, cfg);
+            let r = run_labeled(&spec, label, cfg);
             assert_eq!(r.output, native_output, "{} {label}: diverged", spec.name);
             cells.push(Cell {
                 name: spec.name,

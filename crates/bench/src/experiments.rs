@@ -28,6 +28,23 @@ pub fn run_scheme(
     run_image(&image, cfg, MAX_INSNS).expect("compressed run")
 }
 
+/// [`run_scheme`] through the `--verify-lines` runner: every handler
+/// fill is re-checked against the build-time per-line CRCs. Simulated
+/// stats are identical to [`run_scheme`]; only host wall-clock (and so
+/// sim-MIPS) differ — that delta *is* the verification overhead simperf
+/// records.
+pub fn run_scheme_verified(
+    spec: &BenchmarkSpec,
+    scheme: Scheme,
+    rf: bool,
+    selection: &Selection,
+    cfg: SimConfig,
+) -> RunReport {
+    let program = generate_cached(spec);
+    let image = build_compressed(&program, scheme, rf, selection).expect("compressed build");
+    run_image_verified(&image, cfg, MAX_INSNS).expect("verified run")
+}
+
 /// One scheme's full-compression size measurement within a Table 2 row.
 #[derive(Debug, Clone, Copy)]
 pub struct SchemeSize {

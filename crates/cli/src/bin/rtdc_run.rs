@@ -13,6 +13,9 @@
 //! rtdc-run --bench go --scheme d --trace out.jsonl --trace-filter exc,swic
 //! rtdc-run --bench crc32 --disasm 20       # disassemble the first N instructions
 //! rtdc-run --bench cc1,go,perl --jobs 4    # several benchmarks, fanned out
+//! rtdc-run --bench sort --scheme d --verify-lines      # re-check every fill
+//! rtdc-run --bench sort --scheme d --inject rand:7     # corrupt the image
+//! rtdc-run --bench sort --scheme d --inject flip:.dictionary:0:3 --inject-fixup
 //! rtdc-run --list                          # list benchmarks
 //! rtdc-run --list-schemes                  # list registered compression schemes
 //! ```
@@ -26,6 +29,16 @@
 //! `region_def` per procedure; then one event per line) that `tracestat`
 //! and `rtdc_bench::analyze` consume; `--trace-filter` limits which
 //! event kinds are recorded (`exc,swic,stall,...` or `all`).
+//!
+//! `--inject SPEC` applies a deterministic fault plan to the image after
+//! building it (`rand:SEED[:N]`, or a comma list of
+//! `flip:SEG:OFF:BIT` / `stuck:SEG:OFF:0xVV` / `trunc:SEG:OFF`) —
+//! load-time integrity verification then rejects the image unless
+//! `--inject-fixup` also re-seals the segment digests, modelling
+//! corruption that happens *after* the image was loaded and verified.
+//! `--verify-lines` re-checks every decompression fill against the
+//! build-time per-line CRCs, catching such post-load corruption at the
+//! first miss that decodes wrong bytes.
 
 use std::fmt::Write as _;
 use std::io::BufWriter;
@@ -113,6 +126,19 @@ fn build_image(name: &str, args: &Args, cfg: SimConfig) -> Result<(String, Memor
             build_compressed(&program, s, rf, &selection).map_err(|e| e.to_string())?
         }
     };
+    let mut image = image;
+    if let Some(spec) = args.opt("inject") {
+        let plan = FaultPlan::parse(spec, &image).map_err(|e| e.to_string())?;
+        for f in &plan.faults {
+            eprintln!("{name}: injecting {f}");
+        }
+        plan.apply(&mut image).map_err(|e| e.to_string())?;
+        if args.has("inject-fixup") {
+            image.reseal_segments();
+        }
+    } else if args.has("inject-fixup") {
+        return Err("--inject-fixup requires --inject SPEC".into());
+    }
     let label = match scheme {
         None => "native".to_string(),
         Some(s) => format!("{}{}", s.name(), if rf { "+rf" } else { "" }),
@@ -144,7 +170,11 @@ fn run_one(name: &str, args: &Args, cfg: SimConfig, with_layout: bool) -> Result
         write!(out, "{}", image.describe()).expect("write to string");
     }
 
-    let report = run_image(&image, cfg, MAX_INSNS).map_err(|e| e.to_string())?;
+    let report = if args.has("verify-lines") {
+        run_image_verified(&image, cfg, MAX_INSNS).map_err(|e| e.to_string())?
+    } else {
+        run_image(&image, cfg, MAX_INSNS).map_err(|e| e.to_string())?
+    };
     writeln!(
         out,
         "exit code {}, output: {:?}",
@@ -213,7 +243,7 @@ fn disasm_one(name: &str, args: &Args, cfg: SimConfig, ncount: u64) -> Result<()
         (Some(s), rf) => build_compressed(&program, s, rf, &Selection::all_compressed(n))
             .map_err(|e| e.to_string())?,
     };
-    let mut m = load_image(&image, cfg);
+    let mut m = load_image(&image, cfg).map_err(|e| e.to_string())?;
     while m.stats().insns < ncount {
         let pc = m.pc();
         let disasm = m

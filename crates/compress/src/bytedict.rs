@@ -21,7 +21,10 @@
 
 use std::collections::HashMap;
 
-use crate::codec::{le_u16s, le_u32s, Codec, CodecSegment, CompressError, CompressedLayout};
+use crate::codec::{
+    req_segment, req_u16s, req_u32s, Codec, CodecSegment, CompressError, CompressedLayout,
+    DecodeError,
+};
 
 /// Instructions per compressed line (one 32B I-cache line).
 pub const LINE_WORDS: usize = 8;
@@ -130,8 +133,32 @@ impl ByteDictCompressed {
     }
 
     /// Byte offset of `line` within [`ByteDictCompressed::code_bytes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` has no mapping-table entry; see
+    /// [`ByteDictCompressed::try_line_offset`].
     pub fn line_offset(&self, line: usize) -> usize {
-        self.bases[line / LINES_PER_BLOCK] as usize + self.deltas[line] as usize
+        self.try_line_offset(line).expect("line out of range")
+    }
+
+    /// Fallible [`ByteDictCompressed::line_offset`].
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::IndexOutOfRange`] if the two-level mapping table has
+    /// no base or delta for `line`.
+    pub fn try_line_offset(&self, line: usize) -> Result<usize, DecodeError> {
+        let base = self
+            .bases
+            .get(line / LINES_PER_BLOCK)
+            .ok_or(DecodeError::IndexOutOfRange {
+                segment: ".linetab",
+            })?;
+        let delta = self.deltas.get(line).ok_or(DecodeError::IndexOutOfRange {
+            segment: ".linedeltas",
+        })?;
+        Ok(*base as usize + *delta as usize)
     }
 
     /// Decompresses one 8-instruction cache line.
@@ -139,41 +166,74 @@ impl ByteDictCompressed {
     /// # Panics
     ///
     /// Panics if `line` is out of range or the stream is corrupt (internal
-    /// invariants of a compressed value).
+    /// invariants of a compressed value); untrusted bytes go through
+    /// [`ByteDictCompressed::try_decompress_line`].
     pub fn decompress_line(&self, line: usize) -> [u32; LINE_WORDS] {
-        let mut pos = self.line_offset(line);
+        self.try_decompress_line(line).expect("corrupt code stream")
+    }
+
+    /// Fallible [`ByteDictCompressed::decompress_line`]: safe on
+    /// arbitrary (corrupt, truncated) serialized parts.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`DecodeError`] naming the segment at fault — mapping-table
+    /// entry out of range, truncated codeword stream, or a codeword
+    /// indexing a nonexistent dictionary entry.
+    pub fn try_decompress_line(&self, line: usize) -> Result<[u32; LINE_WORDS], DecodeError> {
+        const TRUNCATED: DecodeError = DecodeError::Truncated {
+            segment: ".bytecodes",
+        };
+        const OOB: DecodeError = DecodeError::IndexOutOfRange {
+            segment: ".bytedict",
+        };
+        let mut pos = self.try_line_offset(line)?;
         let mut out = [0u32; LINE_WORDS];
         for slot in &mut out {
-            let tag = self.bytes[pos];
+            let tag = *self.bytes.get(pos).ok_or(TRUNCATED)?;
             pos += 1;
             *slot = if tag & 0x80 != 0 {
-                self.dict[(tag & 0x7f) as usize]
+                *self.dict.get((tag & 0x7f) as usize).ok_or(OOB)?
             } else if tag & 0x40 != 0 {
-                let lo = self.bytes[pos] as usize;
+                let lo = *self.bytes.get(pos).ok_or(TRUNCATED)? as usize;
                 pos += 1;
-                self.dict[ONE_BYTE_ENTRIES + (((tag & 0x3f) as usize) << 8 | lo)]
+                *self
+                    .dict
+                    .get(ONE_BYTE_ENTRIES + (((tag & 0x3f) as usize) << 8 | lo))
+                    .ok_or(OOB)?
             } else {
-                let w = u32::from_le_bytes([
-                    self.bytes[pos],
-                    self.bytes[pos + 1],
-                    self.bytes[pos + 2],
-                    self.bytes[pos + 3],
-                ]);
+                let raw = self.bytes.get(pos..pos + 4).ok_or(TRUNCATED)?;
+                let w = u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]);
                 pos += 4;
                 w
             };
         }
-        out
+        Ok(out)
     }
 
     /// Reconstructs the original words (padding trimmed).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a corrupt stream; untrusted bytes go through
+    /// [`ByteDictCompressed::try_decompress`].
     pub fn decompress(&self) -> Vec<u32> {
+        self.try_decompress().expect("corrupt code stream")
+    }
+
+    /// Fallible [`ByteDictCompressed::decompress`]: safe on arbitrary
+    /// serialized parts.
+    ///
+    /// # Errors
+    ///
+    /// The first [`DecodeError`] any line produces.
+    pub fn try_decompress(&self) -> Result<Vec<u32>, DecodeError> {
         let mut out = Vec::with_capacity(self.n_words);
         for line in 0..self.deltas.len() {
-            out.extend_from_slice(&self.decompress_line(line));
+            out.extend_from_slice(&self.try_decompress_line(line)?);
         }
         out.truncate(self.n_words);
-        out
+        Ok(out)
     }
 
     /// Number of compressed lines.
@@ -285,15 +345,18 @@ impl Codec for ByteDictCodec {
         })
     }
 
-    fn decode(&self, layout: &CompressedLayout, n_words: usize) -> Option<Vec<u32>> {
-        let bases = le_u32s(layout.segment(".linetab")?)?;
-        let deltas = le_u16s(layout.segment(".linedeltas")?)?;
-        let bytes = layout.segment(".bytecodes")?.to_vec();
-        let dict = le_u32s(layout.segment(".bytedict")?)?;
+    fn decode(&self, layout: &CompressedLayout, n_words: usize) -> Result<Vec<u32>, DecodeError> {
+        let bases = req_u32s(layout, ".linetab")?;
+        let deltas = req_u16s(layout, ".linedeltas")?;
+        let bytes = req_segment(layout, ".bytecodes")?.to_vec();
+        let dict = req_u32s(layout, ".bytedict")?;
         if deltas.len() * LINE_WORDS < n_words {
-            return None;
+            return Err(DecodeError::TooFewUnits {
+                have_words: deltas.len() * LINE_WORDS,
+                need_words: n_words,
+            });
         }
-        Some(ByteDictCompressed::from_parts(dict, bytes, bases, deltas, n_words).decompress())
+        ByteDictCompressed::from_parts(dict, bytes, bases, deltas, n_words).try_decompress()
     }
 }
 

@@ -87,6 +87,100 @@ impl From<DictionaryOverflow> for CompressError {
     }
 }
 
+/// Typed decode failure: what is wrong with a [`CompressedLayout`] that
+/// could not be decoded.
+///
+/// Decoding consumes *serialized* segment bytes — exactly what the
+/// run-time handler reads from main memory — so every variant here is a
+/// condition a corrupted or truncated image can produce. Decode paths
+/// must return one of these rather than panic or read out of bounds, a
+/// property the `decode_no_panic` fuzz suite enforces for every
+/// registered codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// A segment the codec requires is absent from the layout.
+    MissingSegment {
+        /// The missing segment's name.
+        segment: &'static str,
+    },
+    /// A segment's length is not a multiple of its element size.
+    RaggedSegment {
+        /// The offending segment's name.
+        segment: &'static str,
+    },
+    /// The layout holds fewer decodable words than were requested.
+    TooFewUnits {
+        /// Words the layout can hold.
+        have_words: usize,
+        /// Words requested.
+        need_words: usize,
+    },
+    /// A bit/byte stream ended before a full unit was decoded.
+    Truncated {
+        /// The segment whose stream ran out.
+        segment: &'static str,
+    },
+    /// A codeword referenced a dictionary or table entry that does not
+    /// exist.
+    IndexOutOfRange {
+        /// The dictionary/table segment the reference points into.
+        segment: &'static str,
+    },
+    /// An LZ copy item points before the start of its chunk.
+    BadBackReference,
+    /// A decoded unit has the wrong size (e.g. an LZ chunk that did not
+    /// expand to exactly one chunk's worth of bytes).
+    WrongUnitSize {
+        /// The decode unit's index.
+        unit: usize,
+        /// Bytes produced.
+        got: usize,
+        /// Bytes expected.
+        want: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::MissingSegment { segment } => {
+                write!(f, "required segment {segment} missing from layout")
+            }
+            DecodeError::RaggedSegment { segment } => {
+                write!(
+                    f,
+                    "segment {segment} has a ragged (non-element-multiple) length"
+                )
+            }
+            DecodeError::TooFewUnits {
+                have_words,
+                need_words,
+            } => write!(
+                f,
+                "layout holds {have_words} words but {need_words} were requested"
+            ),
+            DecodeError::Truncated { segment } => {
+                write!(f, "stream in segment {segment} ended mid-unit")
+            }
+            DecodeError::IndexOutOfRange { segment } => {
+                write!(f, "codeword references a nonexistent entry in {segment}")
+            }
+            DecodeError::BadBackReference => {
+                write!(f, "LZ back-reference points outside the decoded chunk")
+            }
+            DecodeError::WrongUnitSize { unit, got, want } => {
+                write!(
+                    f,
+                    "decode unit {unit} expanded to {got} bytes, expected {want}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
 /// A compression scheme, as seen by every scheme-generic layer.
 ///
 /// Implementations are zero-sized statics (see the `rtdc-core` registry);
@@ -125,9 +219,35 @@ pub trait Codec: Send + Sync {
     /// first `n_words` instruction words, going through the *serialized*
     /// segment bytes (the same representation the run-time handler reads).
     ///
-    /// Returns `None` if the layout is malformed or does not contain
-    /// `n_words` words.
-    fn decode(&self, layout: &CompressedLayout, n_words: usize) -> Option<Vec<u32>>;
+    /// # Errors
+    ///
+    /// Returns a typed [`DecodeError`] if the layout is malformed,
+    /// corrupt, or does not contain `n_words` words. Implementations must
+    /// never panic or read out of bounds on arbitrary input bytes.
+    fn decode(&self, layout: &CompressedLayout, n_words: usize) -> Result<Vec<u32>, DecodeError>;
+}
+
+/// The bytes of the segment called `name`, or
+/// [`DecodeError::MissingSegment`].
+pub fn req_segment<'a>(
+    layout: &'a CompressedLayout,
+    name: &'static str,
+) -> Result<&'a [u8], DecodeError> {
+    layout
+        .segment(name)
+        .ok_or(DecodeError::MissingSegment { segment: name })
+}
+
+/// The segment `name` reinterpreted as little-endian `u16`s, or a typed
+/// missing/ragged error.
+pub fn req_u16s(layout: &CompressedLayout, name: &'static str) -> Result<Vec<u16>, DecodeError> {
+    le_u16s(req_segment(layout, name)?).ok_or(DecodeError::RaggedSegment { segment: name })
+}
+
+/// The segment `name` reinterpreted as little-endian `u32`s, or a typed
+/// missing/ragged error.
+pub fn req_u32s(layout: &CompressedLayout, name: &'static str) -> Result<Vec<u32>, DecodeError> {
+    le_u32s(req_segment(layout, name)?).ok_or(DecodeError::RaggedSegment { segment: name })
 }
 
 /// Reinterprets little-endian bytes as `u16`s (`None` on odd length).

@@ -36,7 +36,10 @@
 use std::collections::HashMap;
 
 use crate::bits::{BitReader, BitWriter};
-use crate::codec::{le_u16s, le_u32s, Codec, CodecSegment, CompressError, CompressedLayout};
+use crate::codec::{
+    req_segment, req_u16s, req_u32s, Codec, CodecSegment, CompressError, CompressedLayout,
+    DecodeError,
+};
 
 /// Instructions per compressed group: two 8-instruction cache lines.
 pub const GROUP_WORDS: usize = 16;
@@ -124,30 +127,36 @@ fn encode_lo(w: &mut BitWriter, index: Option<usize>, value: u16) {
     }
 }
 
-fn decode_hi(r: &mut BitReader<'_>, dict: &[u16]) -> Option<u16> {
-    if r.read(1)? == 0 {
-        return dict.get(r.read(4)? as usize).copied();
+const TRUNCATED: DecodeError = DecodeError::Truncated { segment: ".groups" };
+
+fn decode_hi(r: &mut BitReader<'_>, dict: &[u16]) -> Result<u16, DecodeError> {
+    const OOB: DecodeError = DecodeError::IndexOutOfRange { segment: ".hidict" };
+    let bit = |r: &mut BitReader<'_>, w: u32| r.read(w).ok_or(TRUNCATED);
+    if bit(r, 1)? == 0 {
+        return dict.get(bit(r, 4)? as usize).copied().ok_or(OOB);
     }
-    if r.read(1)? == 0 {
-        return dict.get(16 + r.read(7)? as usize).copied();
+    if bit(r, 1)? == 0 {
+        return dict.get(16 + bit(r, 7)? as usize).copied().ok_or(OOB);
     }
-    if r.read(1)? == 0 {
-        return dict.get(144 + r.read(11)? as usize).copied();
+    if bit(r, 1)? == 0 {
+        return dict.get(144 + bit(r, 11)? as usize).copied().ok_or(OOB);
     }
-    Some(r.read(16)? as u16)
+    Ok(bit(r, 16)? as u16)
 }
 
-fn decode_lo(r: &mut BitReader<'_>, dict: &[u16]) -> Option<u16> {
-    match r.read(2)? {
-        0b00 => Some(0),
-        0b01 => dict.get(r.read(4)? as usize).copied(),
-        0b10 => dict.get(16 + r.read(8)? as usize).copied(),
+fn decode_lo(r: &mut BitReader<'_>, dict: &[u16]) -> Result<u16, DecodeError> {
+    const OOB: DecodeError = DecodeError::IndexOutOfRange { segment: ".lodict" };
+    let bit = |r: &mut BitReader<'_>, w: u32| r.read(w).ok_or(TRUNCATED);
+    match bit(r, 2)? {
+        0b00 => Ok(0),
+        0b01 => dict.get(bit(r, 4)? as usize).copied().ok_or(OOB),
+        0b10 => dict.get(16 + bit(r, 8)? as usize).copied().ok_or(OOB),
         _ => {
             // 3-bit tags: 110 = 12-bit index, 111 = raw.
-            if r.read(1)? == 0 {
-                dict.get(272 + r.read(12)? as usize).copied()
+            if bit(r, 1)? == 0 {
+                dict.get(272 + bit(r, 12)? as usize).copied().ok_or(OOB)
             } else {
-                Some(r.read(16)? as u16)
+                Ok(bit(r, 16)? as u16)
             }
         }
     }
@@ -218,22 +227,62 @@ impl CodePackCompressed {
     ///
     /// Panics if `group` is out of range or the stream is corrupt (both are
     /// internal invariants of a value built by [`CodePackCompressed::compress`]).
+    /// Untrusted bytes go through [`CodePackCompressed::try_decompress_group`].
     pub fn decompress_group(&self, group: usize) -> [u32; GROUP_WORDS] {
-        let off = self.group_offset(group);
+        self.try_decompress_group(group)
+            .expect("corrupt group stream")
+    }
+
+    /// Fallible [`CodePackCompressed::decompress_group`]: safe on
+    /// arbitrary (corrupt, truncated) serialized parts.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`DecodeError`] naming the segment at fault — mapping-table
+    /// entry out of range, truncated bit stream, or a codeword indexing a
+    /// nonexistent dictionary entry.
+    pub fn try_decompress_group(&self, group: usize) -> Result<[u32; GROUP_WORDS], DecodeError> {
+        let off = self.try_group_offset(group)?;
+        // An offset past the stream is fine to hand to the reader: every
+        // subsequent read reports exhaustion.
         let mut r = BitReader::at_byte(&self.groups, off);
         let mut out = [0u32; GROUP_WORDS];
         for slot in &mut out {
-            let hi = decode_hi(&mut r, &self.hi_dict).expect("corrupt group stream");
-            let lo = decode_lo(&mut r, &self.lo_dict).expect("corrupt group stream");
+            let hi = decode_hi(&mut r, &self.hi_dict)?;
+            let lo = decode_lo(&mut r, &self.lo_dict)?;
             *slot = ((hi as u32) << 16) | lo as u32;
         }
-        out
+        Ok(out)
     }
 
     /// Byte offset of `group` within [`CodePackCompressed::group_bytes`]
     /// (block base + per-group delta, exactly what the handler computes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` has no mapping-table entry; see
+    /// [`CodePackCompressed::try_group_offset`].
     pub fn group_offset(&self, group: usize) -> usize {
-        self.bases[group / GROUPS_PER_BLOCK] as usize + self.deltas[group] as usize
+        self.try_group_offset(group).expect("group out of range")
+    }
+
+    /// Fallible [`CodePackCompressed::group_offset`].
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::IndexOutOfRange`] if the two-level mapping table has
+    /// no base or delta for `group`.
+    pub fn try_group_offset(&self, group: usize) -> Result<usize, DecodeError> {
+        let base =
+            self.bases
+                .get(group / GROUPS_PER_BLOCK)
+                .ok_or(DecodeError::IndexOutOfRange {
+                    segment: ".grouptab",
+                })?;
+        let delta = self.deltas.get(group).ok_or(DecodeError::IndexOutOfRange {
+            segment: ".groupdeltas",
+        })?;
+        Ok(*base as usize + *delta as usize)
     }
 
     /// Rebuilds a stream from its serialized parts (the inverse of the
@@ -258,13 +307,29 @@ impl CodePackCompressed {
     }
 
     /// Reconstructs the original instruction words (padding trimmed).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a corrupt stream (an internal invariant of a value built
+    /// by [`CodePackCompressed::compress`]); untrusted bytes go through
+    /// [`CodePackCompressed::try_decompress`].
     pub fn decompress(&self) -> Vec<u32> {
+        self.try_decompress().expect("corrupt group stream")
+    }
+
+    /// Fallible [`CodePackCompressed::decompress`]: safe on arbitrary
+    /// serialized parts.
+    ///
+    /// # Errors
+    ///
+    /// The first [`DecodeError`] any group produces.
+    pub fn try_decompress(&self) -> Result<Vec<u32>, DecodeError> {
         let mut out = Vec::with_capacity(self.n_words);
         for g in 0..self.deltas.len() {
-            out.extend_from_slice(&self.decompress_group(g));
+            out.extend_from_slice(&self.try_decompress_group(g)?);
         }
         out.truncate(self.n_words);
-        out
+        Ok(out)
     }
 
     /// Number of compressed groups.
@@ -402,19 +467,20 @@ impl Codec for CodePackCodec {
         })
     }
 
-    fn decode(&self, layout: &CompressedLayout, n_words: usize) -> Option<Vec<u32>> {
-        let bases = le_u32s(layout.segment(".grouptab")?)?;
-        let deltas = le_u16s(layout.segment(".groupdeltas")?)?;
-        let groups = layout.segment(".groups")?.to_vec();
-        let hi_dict = le_u16s(layout.segment(".hidict")?)?;
-        let lo_dict = le_u16s(layout.segment(".lodict")?)?;
+    fn decode(&self, layout: &CompressedLayout, n_words: usize) -> Result<Vec<u32>, DecodeError> {
+        let bases = req_u32s(layout, ".grouptab")?;
+        let deltas = req_u16s(layout, ".groupdeltas")?;
+        let groups = req_segment(layout, ".groups")?.to_vec();
+        let hi_dict = req_u16s(layout, ".hidict")?;
+        let lo_dict = req_u16s(layout, ".lodict")?;
         if deltas.len() * GROUP_WORDS < n_words {
-            return None;
+            return Err(DecodeError::TooFewUnits {
+                have_words: deltas.len() * GROUP_WORDS,
+                need_words: n_words,
+            });
         }
-        Some(
-            CodePackCompressed::from_parts(hi_dict, lo_dict, groups, bases, deltas, n_words)
-                .decompress(),
-        )
+        CodePackCompressed::from_parts(hi_dict, lo_dict, groups, bases, deltas, n_words)
+            .try_decompress()
     }
 }
 

@@ -11,7 +11,9 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use crate::codec::{le_u16s, le_u32s, Codec, CodecSegment, CompressError, CompressedLayout};
+use crate::codec::{
+    req_u16s, req_u32s, Codec, CodecSegment, CompressError, CompressedLayout, DecodeError,
+};
 
 /// Maximum dictionary entries addressable by a 16-bit index (§3.1).
 pub const MAX_ENTRIES: usize = 1 << 16;
@@ -185,15 +187,23 @@ impl Codec for DictionaryCodec {
         })
     }
 
-    fn decode(&self, layout: &CompressedLayout, n_words: usize) -> Option<Vec<u32>> {
-        let indices = le_u16s(layout.segment(".indices")?)?;
-        let dictionary = le_u32s(layout.segment(".dictionary")?)?;
-        if indices.len() < n_words || indices.iter().any(|&i| i as usize >= dictionary.len()) {
-            return None;
+    fn decode(&self, layout: &CompressedLayout, n_words: usize) -> Result<Vec<u32>, DecodeError> {
+        let indices = req_u16s(layout, ".indices")?;
+        let dictionary = req_u32s(layout, ".dictionary")?;
+        if indices.len() < n_words {
+            return Err(DecodeError::TooFewUnits {
+                have_words: indices.len(),
+                need_words: n_words,
+            });
+        }
+        if indices.iter().any(|&i| i as usize >= dictionary.len()) {
+            return Err(DecodeError::IndexOutOfRange {
+                segment: ".dictionary",
+            });
         }
         let mut words = DictionaryCompressed::from_parts(dictionary, indices).decompress();
         words.truncate(n_words);
-        Some(words)
+        Ok(words)
     }
 }
 

@@ -23,7 +23,9 @@
 //! lives here plus one handler source (`lz_body.s`) and one registry
 //! entry in `rtdc-core` — no builder, CLI, or harness edits.
 
-use crate::codec::{le_u32s, Codec, CodecSegment, CompressError, CompressedLayout};
+use crate::codec::{
+    req_segment, req_u32s, Codec, CodecSegment, CompressError, CompressedLayout, DecodeError,
+};
 use crate::lzrw1;
 
 /// Bytes per decode unit: 16 I-cache lines.
@@ -91,19 +93,35 @@ impl Codec for LzChunkCodec {
         })
     }
 
-    fn decode(&self, layout: &CompressedLayout, n_words: usize) -> Option<Vec<u32>> {
-        let offsets = le_u32s(layout.segment(".lzchunks")?)?;
-        let stream = layout.segment(".lzbytes")?;
-        let n_chunks = offsets.len().checked_sub(1)?;
+    fn decode(&self, layout: &CompressedLayout, n_words: usize) -> Result<Vec<u32>, DecodeError> {
+        let offsets = req_u32s(layout, ".lzchunks")?;
+        let stream = req_segment(layout, ".lzbytes")?;
+        let n_chunks = offsets.len().checked_sub(1).ok_or(DecodeError::Truncated {
+            segment: ".lzchunks",
+        })?;
         if n_chunks * CHUNK_WORDS < n_words {
-            return None;
+            return Err(DecodeError::TooFewUnits {
+                have_words: n_chunks * CHUNK_WORDS,
+                need_words: n_words,
+            });
         }
         let mut words = Vec::with_capacity(n_chunks * CHUNK_WORDS);
         for i in 0..n_chunks {
             let (start, end) = (offsets[i] as usize, offsets[i + 1] as usize);
-            let raw = lzrw1::decompress(stream.get(start..end)?)?;
+            // A non-monotone or out-of-range chunk table is a corrupt
+            // `.lzchunks`; a stream that fails to expand is corrupt
+            // `.lzbytes` (truncation or a back-reference before the
+            // chunk's start — lzrw1 reports both as `None`).
+            let chunk = stream.get(start..end).ok_or(DecodeError::IndexOutOfRange {
+                segment: ".lzchunks",
+            })?;
+            let raw = lzrw1::decompress(chunk).ok_or(DecodeError::BadBackReference)?;
             if raw.len() != CHUNK_BYTES {
-                return None;
+                return Err(DecodeError::WrongUnitSize {
+                    unit: i,
+                    got: raw.len(),
+                    want: CHUNK_BYTES,
+                });
             }
             words.extend(
                 raw.chunks_exact(4)
@@ -111,7 +129,7 @@ impl Codec for LzChunkCodec {
             );
         }
         words.truncate(n_words);
-        Some(words)
+        Ok(words)
     }
 }
 

@@ -1,0 +1,170 @@
+//! Fuzz harness: `Codec::decode` must be total — typed errors, never
+//! panics, never out-of-bounds reads — over three adversarial input
+//! families, for every codec.
+//!
+//! 1. **mutated-valid** — a real compressed layout with random byte
+//!    flips and truncations (the realistic corruption model: mostly
+//!    valid structure, a few wrong bytes);
+//! 2. **random garbage** — layouts whose segments are pure noise of
+//!    plausible sizes (no valid structure at all);
+//! 3. **resized** — valid segment bytes with lengths grown or shrunk,
+//!    probing every length-validation path.
+//!
+//! CI runs a fixed smoke iteration count; set `RTDC_FUZZ_ITERS` to fuzz
+//! longer (e.g. `RTDC_FUZZ_ITERS=20000 cargo test -p rtdc-compress
+//! --test decode_no_panic --release`).
+//!
+//! Panics are detected by `catch_unwind`, so a failure names the codec
+//! and reports the seed of the offending iteration — replay it by
+//! hard-coding the seed into the harness.
+
+use rtdc_compress::bytedict::ByteDictCodec;
+use rtdc_compress::codec::{Codec, CodecSegment, CompressedLayout};
+use rtdc_compress::codepack::CodePackCodec;
+use rtdc_compress::dictionary::DictionaryCodec;
+use rtdc_compress::lzchunk::LzChunkCodec;
+use rtdc_rng::Rng64;
+
+/// Every codec the core registry registers, duplicated here because the
+/// registry crate depends on this one; `registry_covers_all_codecs` in
+/// `rtdc` guards the other direction.
+const CODECS: &[&dyn Codec] = &[
+    &DictionaryCodec,
+    &CodePackCodec,
+    &ByteDictCodec,
+    &LzChunkCodec,
+];
+
+fn iters(default: u64) -> u64 {
+    std::env::var("RTDC_FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Instruction-like words: a hot pool plus random escapes.
+fn words(rng: &mut Rng64, n: usize) -> Vec<u32> {
+    let pool: Vec<u32> = (0..24).map(|_| rng.gen_u32()).collect();
+    (0..n)
+        .map(|_| {
+            if rng.gen_range(0..4usize) == 0 {
+                rng.gen_u32()
+            } else {
+                pool[rng.gen_range(0..pool.len())]
+            }
+        })
+        .collect()
+}
+
+/// Asserts that decoding `layout` returns (`Ok` or `Err`) rather than
+/// panicking, and that the outcome is deterministic.
+fn must_not_panic(codec: &dyn Codec, layout: &CompressedLayout, n: usize, what: &str) {
+    let once = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| codec.decode(layout, n)))
+        .unwrap_or_else(|_| panic!("{}: decode panicked on {what}", codec.name()));
+    let twice = codec.decode(layout, n);
+    assert_eq!(
+        once,
+        twice,
+        "{}: non-deterministic decode on {what}",
+        codec.name()
+    );
+}
+
+#[test]
+fn mutated_valid_layouts_never_panic() {
+    for codec in CODECS {
+        let mut rng = Rng64::seed_from_u64(0xFA57_0001 ^ codec.unit_words() as u64);
+        let n = 16 * codec.unit_words();
+        let clean = codec.compress(&words(&mut rng, n)).unwrap();
+        for i in 0..iters(200) {
+            let mut layout = clean.clone();
+            for _ in 0..rng.gen_range(1..6usize) {
+                let si = rng.gen_range(0..layout.segments.len());
+                let seg = &mut layout.segments[si].bytes;
+                match (seg.is_empty(), rng.gen_range(0..8u32)) {
+                    (true, _) | (false, 0) => {
+                        let keep = if seg.is_empty() {
+                            0
+                        } else {
+                            rng.gen_range(0..seg.len())
+                        };
+                        seg.truncate(keep);
+                    }
+                    (false, 1) => {
+                        // Grow with garbage: oversized segments must be
+                        // handled, not trusted.
+                        let extra = rng.gen_range(1..64usize);
+                        for _ in 0..extra {
+                            seg.push(rng.gen_range(0u8..=255));
+                        }
+                    }
+                    _ => {
+                        let off = rng.gen_range(0..seg.len());
+                        seg[off] ^= 1 << rng.gen_range(0..8u32);
+                    }
+                }
+            }
+            must_not_panic(*codec, &layout, n, &format!("mutated layout (iter {i})"));
+        }
+    }
+}
+
+#[test]
+fn garbage_layouts_never_panic() {
+    for codec in CODECS {
+        let mut rng = Rng64::seed_from_u64(0xFA57_0002 ^ codec.unit_words() as u64);
+        let n = 8 * codec.unit_words();
+        // Learn the segment names from one valid compress, then fill them
+        // with noise of random sizes (including empty).
+        let template = codec.compress(&words(&mut rng, n)).unwrap();
+        for i in 0..iters(200) {
+            let layout = CompressedLayout {
+                segments: template
+                    .segments
+                    .iter()
+                    .map(|s| CodecSegment {
+                        name: s.name,
+                        bytes: (0..rng.gen_range(0..512usize))
+                            .map(|_| rng.gen_range(0u8..=255))
+                            .collect(),
+                    })
+                    .collect(),
+            };
+            must_not_panic(*codec, &layout, n, &format!("garbage layout (iter {i})"));
+        }
+    }
+}
+
+#[test]
+fn missing_segments_are_typed_errors() {
+    for codec in CODECS {
+        let mut rng = Rng64::seed_from_u64(0xFA57_0003);
+        let n = 4 * codec.unit_words();
+        let clean = codec.compress(&words(&mut rng, n)).unwrap();
+        // Dropping any one segment entirely must be an Err, not a panic.
+        for drop in 0..clean.segments.len() {
+            let layout = CompressedLayout {
+                segments: clean
+                    .segments
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != drop)
+                    .map(|(_, s)| s.clone())
+                    .collect(),
+            };
+            must_not_panic(*codec, &layout, n, "layout with a segment missing");
+            assert!(
+                codec.decode(&layout, n).is_err(),
+                "{}: decode without {} must fail",
+                codec.name(),
+                clean.segments[drop].name
+            );
+        }
+        // The empty layout too.
+        let empty = CompressedLayout::default();
+        must_not_panic(*codec, &empty, n, "empty layout");
+        if n > 0 {
+            assert!(codec.decode(&empty, n).is_err(), "{}", codec.name());
+        }
+    }
+}

@@ -24,6 +24,7 @@ use rtdc_sim::map;
 
 use crate::error::BuildError;
 use crate::image::{MemoryImage, Scheme, Segment, SizeReport};
+use crate::integrity;
 use crate::select::Selection;
 
 fn align_up(x: u32, a: u32) -> u32 {
@@ -51,7 +52,7 @@ pub fn build_native(program: &ObjectProgram) -> Result<MemoryImage, BuildError> 
     let data = program.patched_data(&placement)?;
     let original = program.text_bytes();
 
-    Ok(MemoryImage {
+    let mut image = MemoryImage {
         name: program.name.clone(),
         scheme: None,
         second_regfile: false,
@@ -80,7 +81,11 @@ pub fn build_native(program: &ObjectProgram) -> Result<MemoryImage, BuildError> 
             compressed_payload_bytes: 0,
             handler_bytes: 0,
         },
-    })
+        integrity: Vec::new(),
+        line_crcs: Vec::new(),
+    };
+    image.seal();
+    Ok(image)
 }
 
 /// Builds a compressed image under `scheme`, keeping the procedures in
@@ -273,7 +278,7 @@ pub fn build_compressed_ordered(
     });
 
     let native_text_bytes = native_end - native_base;
-    Ok(MemoryImage {
+    let mut image = MemoryImage {
         name: program.name.clone(),
         scheme: Some(scheme),
         second_regfile: second_rf,
@@ -291,5 +296,11 @@ pub fn build_compressed_ordered(
             compressed_payload_bytes: compressed_payload,
             handler_bytes: handler_bytes.len() as u32,
         },
-    })
+        integrity: Vec::new(),
+        // Reference measurements of what every compressed-region line
+        // must decompress to; the padded words are exactly that region.
+        line_crcs: integrity::line_crcs(&comp_words),
+    };
+    image.seal();
+    Ok(image)
 }

@@ -3,10 +3,90 @@
 use std::error::Error;
 use std::fmt;
 
-use rtdc_compress::codec::CompressError;
+use rtdc_compress::codec::{CompressError, DecodeError};
 use rtdc_compress::dictionary::DictionaryOverflow;
 use rtdc_isa::program::LinkError;
 use rtdc_sim::SimError;
+
+/// Errors verifying a [`MemoryImage`](crate::image::MemoryImage)'s
+/// integrity at load time, against the digests recorded when it was
+/// built (see [`crate::integrity`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ImageError {
+    /// The image carries no digests at all — it was never sealed, so
+    /// nothing about it can be attested.
+    Unsealed,
+    /// A digest exists for a segment the image no longer has, or the
+    /// digest and segment counts disagree.
+    MissingSegment {
+        /// The digested segment that is absent.
+        segment: String,
+    },
+    /// A segment's length differs from the length recorded at build time
+    /// (e.g. a truncated image transfer). Rejected, never silently
+    /// truncated or zero-padded.
+    LengthMismatch {
+        /// The offending segment.
+        segment: String,
+        /// Length recorded at build time.
+        declared: u32,
+        /// The segment's actual length.
+        actual: u32,
+    },
+    /// A segment's bytes no longer match their build-time CRC32.
+    ChecksumMismatch {
+        /// The corrupted segment.
+        segment: String,
+        /// CRC32 recorded at build time.
+        expected: u32,
+        /// CRC32 of the bytes as loaded.
+        actual: u32,
+    },
+    /// A segment's base + length overflows the 32-bit address space, so
+    /// loading it would wrap.
+    SegmentOverflow {
+        /// The offending segment.
+        segment: String,
+        /// Its base address.
+        base: u32,
+        /// Its length in bytes.
+        len: u64,
+    },
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::Unsealed => write!(f, "image carries no integrity digests"),
+            ImageError::MissingSegment { segment } => {
+                write!(f, "digested segment {segment} is missing from the image")
+            }
+            ImageError::LengthMismatch {
+                segment,
+                declared,
+                actual,
+            } => write!(
+                f,
+                "segment {segment} is {actual} bytes but was built with {declared}"
+            ),
+            ImageError::ChecksumMismatch {
+                segment,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "segment {segment} CRC32 {actual:#010x} does not match build-time {expected:#010x}"
+            ),
+            ImageError::SegmentOverflow { segment, base, len } => write!(
+                f,
+                "segment {segment} at {base:#010x} with {len} bytes overflows the address space"
+            ),
+        }
+    }
+}
+
+impl Error for ImageError {}
 
 /// Errors building a [`MemoryImage`](crate::image::MemoryImage).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,6 +162,22 @@ pub enum RunError {
         /// What the simulator config provides.
         config_rf: bool,
     },
+    /// Load-time integrity verification rejected the image.
+    CorruptImage(ImageError),
+    /// The `--verify-lines` runner caught a handler fill whose bytes do
+    /// not match the build-time reference CRC — corrupted compressed
+    /// data (or a corrupted handler) decoded into wrong instructions.
+    CorruptFill {
+        /// Base address of the bad 32-byte line.
+        line_addr: u32,
+        /// Build-time reference CRC32 of the line.
+        expected: u32,
+        /// CRC32 of the line the handler actually filled.
+        actual: u32,
+    },
+    /// The `--verify-lines` runner could not reference-decode the
+    /// image's compressed region to begin with.
+    Decode(DecodeError),
 }
 
 impl fmt::Display for RunError {
@@ -92,6 +188,16 @@ impl fmt::Display for RunError {
                 f,
                 "image built for second_regfile={image_rf} but config has second_regfile={config_rf}"
             ),
+            RunError::CorruptImage(e) => write!(f, "corrupt image rejected at load: {e}"),
+            RunError::CorruptFill {
+                line_addr,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "corrupt fill detected at miss: line {line_addr:#010x} CRC32 {actual:#010x}, reference {expected:#010x}"
+            ),
+            RunError::Decode(e) => write!(f, "compressed region does not decode: {e}"),
         }
     }
 }
@@ -100,7 +206,9 @@ impl Error for RunError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             RunError::Sim(e) => Some(e),
-            RunError::RegfileMismatch { .. } => None,
+            RunError::RegfileMismatch { .. } | RunError::CorruptFill { .. } => None,
+            RunError::CorruptImage(e) => Some(e),
+            RunError::Decode(e) => Some(e),
         }
     }
 }
@@ -108,6 +216,18 @@ impl Error for RunError {
 impl From<SimError> for RunError {
     fn from(e: SimError) -> RunError {
         RunError::Sim(e)
+    }
+}
+
+impl From<ImageError> for RunError {
+    fn from(e: ImageError) -> RunError {
+        RunError::CorruptImage(e)
+    }
+}
+
+impl From<DecodeError> for RunError {
+    fn from(e: DecodeError) -> RunError {
+        RunError::Decode(e)
     }
 }
 

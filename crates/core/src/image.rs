@@ -5,6 +5,8 @@
 
 use rtdc_isa::C0Reg;
 
+use crate::error::ImageError;
+use crate::integrity::{crc32, SegmentDigest};
 use crate::registry;
 
 /// Which compression scheme an image uses — a thin key into the scheme
@@ -190,12 +192,103 @@ pub struct MemoryImage {
     pub proc_names: Vec<String>,
     /// Code-size accounting.
     pub sizes: SizeReport,
+    /// Per-segment integrity digests, recorded by [`MemoryImage::seal`]
+    /// at build time and verified at every load.
+    pub integrity: Vec<SegmentDigest>,
+    /// Build-time CRC32 of each 32-byte line of the *decompressed*
+    /// compressed region ([`crate::integrity::LINE_BYTES`]-sized windows
+    /// from the region base). Reference measurements for the
+    /// `--verify-lines` runner; empty for native images.
+    pub line_crcs: Vec<u32>,
 }
 
 impl MemoryImage {
     /// The segment named `name`, if present.
     pub fn segment(&self, name: &str) -> Option<&Segment> {
         self.segments.iter().find(|s| s.name == name)
+    }
+
+    /// Measures every loadable segment (length + CRC32) into
+    /// [`MemoryImage::integrity`]. The builders call this as their final
+    /// step; anything that mutates segment bytes afterwards (see
+    /// [`crate::fault`]) leaves the digests stale, which is exactly what
+    /// load-time verification exists to catch.
+    pub fn seal(&mut self) {
+        self.integrity = self
+            .segments
+            .iter()
+            .map(|s| SegmentDigest {
+                name: s.name.clone(),
+                declared_len: s.bytes.len() as u32,
+                crc: crc32(&s.bytes),
+            })
+            .collect();
+    }
+
+    /// Re-measures the segment digests only, leaving
+    /// [`MemoryImage::line_crcs`] (the build-time reference
+    /// measurements) untouched. This models corruption that happens
+    /// *after* load — the load-time CRC passes, and only the
+    /// `--verify-lines` runner (or the architectural outcome) can tell
+    /// something is wrong.
+    pub fn reseal_segments(&mut self) {
+        self.seal();
+    }
+
+    /// Verifies the image against its build-time digests: every digested
+    /// segment must exist with its recorded length and CRC32, no
+    /// undigested segment may have appeared, and no segment may wrap the
+    /// address space. Called by the loader before any byte reaches
+    /// simulated memory.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ImageError`] found.
+    pub fn verify_integrity(&self) -> Result<(), ImageError> {
+        if self.integrity.is_empty() && !self.segments.is_empty() {
+            return Err(ImageError::Unsealed);
+        }
+        for seg in &self.segments {
+            let len = seg.bytes.len() as u64;
+            if u64::from(seg.base) + len > u64::from(u32::MAX) {
+                return Err(ImageError::SegmentOverflow {
+                    segment: seg.name.clone(),
+                    base: seg.base,
+                    len,
+                });
+            }
+        }
+        for digest in &self.integrity {
+            let seg = self
+                .segment(&digest.name)
+                .ok_or_else(|| ImageError::MissingSegment {
+                    segment: digest.name.clone(),
+                })?;
+            let actual_len = seg.bytes.len() as u32;
+            if actual_len != digest.declared_len {
+                return Err(ImageError::LengthMismatch {
+                    segment: digest.name.clone(),
+                    declared: digest.declared_len,
+                    actual: actual_len,
+                });
+            }
+            let actual = crc32(&seg.bytes);
+            if actual != digest.crc {
+                return Err(ImageError::ChecksumMismatch {
+                    segment: digest.name.clone(),
+                    expected: digest.crc,
+                    actual,
+                });
+            }
+        }
+        for seg in &self.segments {
+            if !self.integrity.iter().any(|d| d.name == seg.name) {
+                return Err(ImageError::MissingSegment {
+                    segment: seg.name.clone(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Number of procedures.

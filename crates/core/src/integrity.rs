@@ -1,0 +1,106 @@
+//! Image integrity: per-segment CRC32 digests and per-line reference
+//! CRCs over the decompressed text.
+//!
+//! The threat model is the paper's own premise turned around: compressed
+//! `.text` lives in main memory and is expanded at every I-cache miss, so
+//! a flipped bit in `.dictionary` or `.indices` silently becomes wrong
+//! instructions at run time. Two layers of measurement defend against
+//! that (DESIGN.md §11):
+//!
+//! * **segment digests** — a CRC32 and declared length per loadable
+//!   segment, computed when an image is built ([`MemoryImage::seal`])
+//!   and verified every time one is loaded. This catches corruption of
+//!   the stored image (bad flash, truncated transfer) before a single
+//!   instruction runs.
+//! * **line CRCs** — a CRC32 of each 32-byte line of the *decompressed*
+//!   compressed region, also computed at build time. They are reference
+//!   measurements in the attestation sense: the `--verify-lines` runner
+//!   re-CRCs every line the handler fills and compares, catching
+//!   corruption that happened *after* load (bit rot in RAM) at the first
+//!   miss that decodes through it.
+//!
+//! [`MemoryImage::seal`]: crate::image::MemoryImage::seal
+
+/// Bytes per verified line: one 32-byte I-cache line of the baseline
+/// configuration, the unit the paper's handlers fill.
+pub const LINE_BYTES: usize = 32;
+
+/// IEEE 802.3 CRC32 lookup table (reflected, polynomial `0xEDB88320`).
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC32 of `bytes` (the ubiquitous zlib/PNG/802.3 variant).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// The build-time measurement of one loadable segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentDigest {
+    /// The measured segment's name.
+    pub name: String,
+    /// Length the segment had when measured, in bytes.
+    pub declared_len: u32,
+    /// CRC32 of the segment's bytes when measured.
+    pub crc: u32,
+}
+
+/// Per-line reference CRCs for a decompressed region: `crcs[i]` covers
+/// the [`LINE_BYTES`]-byte line starting `i * LINE_BYTES` bytes into the
+/// region.
+pub fn line_crcs(words: &[u32]) -> Vec<u32> {
+    let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+    bytes.chunks(LINE_BYTES).map(crc32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic check value for IEEE CRC32.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn line_crcs_cover_every_line() {
+        let words: Vec<u32> = (0..24).collect(); // 96 bytes = 3 lines
+        let crcs = line_crcs(&words);
+        assert_eq!(crcs.len(), 3);
+        // Each line's CRC matches an independent computation.
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        assert_eq!(crcs[1], crc32(&bytes[32..64]));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let mut data = vec![0xAAu8; 64];
+        let clean = crc32(&data);
+        data[17] ^= 0x04;
+        assert_ne!(crc32(&data), clean);
+    }
+}

@@ -59,8 +59,10 @@
 
 pub mod builder;
 pub mod error;
+pub mod fault;
 pub mod handlers;
 pub mod image;
+pub mod integrity;
 pub mod proccache;
 pub mod registry;
 pub mod runner;
@@ -69,10 +71,12 @@ pub mod select;
 /// One-stop imports for experiments and examples.
 pub mod prelude {
     pub use crate::builder::{build_compressed, build_compressed_ordered, build_native};
-    pub use crate::error::{BuildError, RunError};
+    pub use crate::error::{BuildError, ImageError, RunError};
+    pub use crate::fault::{Fault, FaultKind, FaultPlan};
     pub use crate::image::{MemoryImage, Scheme, SizeReport};
     pub use crate::runner::{
-        load_image, load_image_with_sink, profile_native, run_image, run_image_with_sink, RunReport,
+        load_image, load_image_with_sink, profile_native, run_image, run_image_verified,
+        run_image_with_sink, RunReport,
     };
     pub use crate::select::{placement_hot_first, ProcedureProfile, SelectBy, Selection};
     pub use rtdc_compress::codec::{Codec, CompressError};

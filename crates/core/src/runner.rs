@@ -1,11 +1,13 @@
 //! Loading images into the simulator and running experiments.
 
 use rtdc_isa::program::ObjectProgram;
-use rtdc_sim::{Machine, NoTrace, RegionProfiler, SimConfig, Stats, TraceSink};
+use rtdc_isa::C0Reg;
+use rtdc_sim::{Machine, Mode, NoTrace, RegionProfiler, SimConfig, Stats, Step, TraceSink};
 
 use crate::builder::build_native;
-use crate::error::{BuildError, RunError};
+use crate::error::{BuildError, ImageError, RunError};
 use crate::image::MemoryImage;
+use crate::integrity::{crc32, LINE_BYTES};
 use crate::select::ProcedureProfile;
 
 /// Result of running an image to completion.
@@ -36,11 +38,18 @@ impl RunReport {
 }
 
 /// Loads an image into a fresh machine (segments, C0 registers, handler and
-/// compressed regions, entry PC and stack pointer).
+/// compressed regions, entry PC and stack pointer), after verifying the
+/// image against its build-time integrity digests.
 ///
 /// The configuration's `second_regfile` flag is forced to match the image
 /// so a non-RF handler never runs with banked registers or vice versa.
-pub fn load_image(image: &MemoryImage, config: SimConfig) -> Machine {
+///
+/// # Errors
+///
+/// [`ImageError`] if any segment fails its length or CRC32 check — a
+/// corrupt image is rejected before a single byte reaches simulated
+/// memory.
+pub fn load_image(image: &MemoryImage, config: SimConfig) -> Result<Machine, ImageError> {
     load_image_with_sink(image, config, NoTrace)
 }
 
@@ -48,11 +57,16 @@ pub fn load_image(image: &MemoryImage, config: SimConfig) -> Machine {
 /// a [`rtdc_sim::TraceEvent`] at every statistics site. Loading is
 /// identical to the untraced path; with [`NoTrace`] this *is*
 /// [`load_image`].
+///
+/// # Errors
+///
+/// As [`load_image`].
 pub fn load_image_with_sink<S: TraceSink>(
     image: &MemoryImage,
     config: SimConfig,
     sink: S,
-) -> Machine<S> {
+) -> Result<Machine<S>, ImageError> {
+    image.verify_integrity()?;
     let cfg = config.with_second_regfile(image.second_regfile);
     let mut m = Machine::with_sink(cfg, sink);
     for seg in &image.segments {
@@ -69,7 +83,7 @@ pub fn load_image_with_sink<S: TraceSink>(
     }
     m.set_pc(image.entry);
     m.set_reg(rtdc_isa::Reg::SP, image.initial_sp);
-    m
+    Ok(m)
 }
 
 /// Runs `image` to completion under `config`.
@@ -94,15 +108,16 @@ pub fn run_image(
 ///
 /// # Errors
 ///
-/// Returns [`RunError::Sim`] on any simulator fault (including exceeding
-/// `max_insns`).
+/// Returns [`RunError::CorruptImage`] if the image fails load-time
+/// integrity verification, or [`RunError::Sim`] on any simulator fault
+/// (including exceeding `max_insns`).
 pub fn run_image_with_sink<S: TraceSink>(
     image: &MemoryImage,
     config: SimConfig,
     max_insns: u64,
     sink: S,
 ) -> Result<(RunReport, S), RunError> {
-    let mut m = load_image_with_sink(image, config, sink);
+    let mut m = load_image_with_sink(image, config, sink)?;
     if S::ENABLED {
         m.attach_profiler(RegionProfiler::new(
             image.proc_regions.clone(),
@@ -121,6 +136,123 @@ pub fn run_image_with_sink<S: TraceSink>(
     Ok((report, m.into_sink()))
 }
 
+/// Runs `image` to completion re-verifying every handler fill — the
+/// `--verify-lines` mode.
+///
+/// After each decompression exception returns (`iret`), the 32-byte
+/// lines of the decode unit around the faulting address are read back
+/// from the I-cache, CRC32'd, and compared against the build-time
+/// reference measurements in [`MemoryImage::line_crcs`]. Lines evicted
+/// before the check (possible only in pathologically small caches) are
+/// skipped rather than misreported. Native images and native-region
+/// misses are unaffected — only compressed fills carry references.
+///
+/// The simulated machine and its [`Stats`] are exactly those of
+/// [`run_image`]; verification reads the cache purely from the host
+/// side, so only host wall-clock time (and therefore
+/// [`RunReport::sim_mips`]) differs.
+///
+/// # Errors
+///
+/// [`RunError::CorruptImage`] at load, [`RunError::CorruptFill`] at the
+/// first miss whose fill does not match its reference CRC, or
+/// [`RunError::Sim`] as [`run_image`].
+pub fn run_image_verified(
+    image: &MemoryImage,
+    config: SimConfig,
+    max_insns: u64,
+) -> Result<RunReport, RunError> {
+    let mut m = load_image(image, config)?;
+    let region = image
+        .compressed_range
+        .filter(|_| !image.line_crcs.is_empty());
+    let unit_bytes = image
+        .scheme
+        .map(|s| 4 * s.codec().unit_words() as u32)
+        .unwrap_or(LINE_BYTES as u32);
+
+    let started = std::time::Instant::now();
+    let mut in_handler = false;
+    let mut badva = 0u32;
+    let exit_code = loop {
+        match m.step().map_err(RunError::Sim)? {
+            Step::Exited(code) => break code,
+            Step::Continue => {}
+        }
+        match (in_handler, m.mode()) {
+            (false, Mode::Exception) => {
+                in_handler = true;
+                badva = m.c0(C0Reg::BADVA);
+            }
+            (true, Mode::Normal) => {
+                in_handler = false;
+                if let Some((base, end)) = region {
+                    if (base..end).contains(&badva) {
+                        verify_filled_unit(&m, image, base, badva, unit_bytes)?;
+                    }
+                }
+            }
+            _ => {}
+        }
+        if m.stats().insns >= max_insns {
+            return Err(RunError::Sim(rtdc_sim::SimError::InsnLimitExceeded {
+                limit: max_insns,
+            }));
+        }
+    };
+    let wall = started.elapsed();
+    Ok(RunReport {
+        exit_code,
+        stats: *m.stats(),
+        output: m.output().to_vec(),
+        wall,
+    })
+}
+
+/// Checks every fully-resident 32-byte line of the decode unit
+/// containing `badva` against its build-time reference CRC.
+fn verify_filled_unit<S: TraceSink>(
+    m: &Machine<S>,
+    image: &MemoryImage,
+    region_base: u32,
+    badva: u32,
+    unit_bytes: u32,
+) -> Result<(), RunError> {
+    let unit_base = region_base + (badva - region_base) / unit_bytes * unit_bytes;
+    for line_addr in (unit_base..unit_base + unit_bytes).step_by(LINE_BYTES) {
+        let line_index = ((line_addr - region_base) as usize) / LINE_BYTES;
+        let Some(&expected) = image.line_crcs.get(line_index) else {
+            continue;
+        };
+        let mut bytes = [0u8; LINE_BYTES];
+        let mut resident = true;
+        for (k, word_addr) in (line_addr..line_addr + LINE_BYTES as u32)
+            .step_by(4)
+            .enumerate()
+        {
+            match m.icache().read_word(word_addr) {
+                Some(w) => bytes[4 * k..4 * k + 4].copy_from_slice(&w.to_le_bytes()),
+                None => {
+                    resident = false;
+                    break;
+                }
+            }
+        }
+        if !resident {
+            continue;
+        }
+        let actual = crc32(&bytes);
+        if actual != expected {
+            return Err(RunError::CorruptFill {
+                line_addr,
+                expected,
+                actual,
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Profiles a program natively (§3.3/§4.2: profiles come from the original
 /// uncompressed binary): runs the native image under `config` collecting
 /// per-procedure dynamic-instruction and I-miss counts.
@@ -134,7 +266,8 @@ pub fn profile_native(
     max_insns: u64,
 ) -> Result<(RunReport, ProcedureProfile), ProfileError> {
     let image = build_native(program).map_err(ProfileError::Build)?;
-    let mut m = load_image(&image, config);
+    let mut m =
+        load_image(&image, config).map_err(|e| ProfileError::Run(RunError::CorruptImage(e)))?;
     m.attach_profiler(RegionProfiler::new(
         image.proc_regions.clone(),
         image.proc_count(),

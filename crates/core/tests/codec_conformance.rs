@@ -13,7 +13,12 @@
 //!    a resolvable C0 ABI;
 //! 3. **handler differential** — a compressed image runs architecturally
 //!    identical to its native build, with the handler filling exactly one
-//!    decode unit per miss.
+//!    decode unit per miss;
+//! 4. **negative paths** — decoding mutated or truncated segment bytes
+//!    returns a typed [`DecodeError`], never panics and never reads out
+//!    of bounds; corrupted images are rejected at load, and post-load
+//!    corruption is caught at the first affected miss by the
+//!    `--verify-lines` runner.
 
 use rtdc::prelude::*;
 use rtdc::registry::C0Binding;
@@ -47,12 +52,10 @@ fn roundtrip_through_serialized_bytes() {
             let n = n_units * codec.unit_words();
             let w = words(n, 0x5eed_0000 + n as u64);
             let layout = codec.compress(&w).unwrap();
-            assert_eq!(
-                codec.decode(&layout, n).as_deref(),
-                Some(&w[..]),
-                "{}: {n}-word roundtrip failed",
-                codec.name()
-            );
+            let decoded = codec
+                .decode(&layout, n)
+                .unwrap_or_else(|e| panic!("{}: {n}-word decode failed: {e}", codec.name()));
+            assert_eq!(decoded, w, "{}: {n}-word roundtrip failed", codec.name());
         }
         // Non-unit-aligned input must roundtrip too (codecs pad internally
         // and trim on decode).
@@ -239,6 +242,183 @@ fn handler_differential_run_vs_native_for_every_scheme() {
                 "{scheme:?} rf={rf}: one decode unit per miss"
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Negative paths: corruption must surface as typed errors, never panics.
+// ---------------------------------------------------------------------
+
+/// Decoding a randomly mutated layout must return `Ok` or a typed
+/// `DecodeError` — never panic, for every registered codec. This is the
+/// no-panic property the fuzz harness in `rtdc-compress` checks at the
+/// byte level; here it runs over real compressed layouts.
+#[test]
+fn mutated_layouts_never_panic_any_codec() {
+    let iters: u64 = std::env::var("RTDC_FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    for scheme in Scheme::all() {
+        let codec = scheme.codec();
+        let n = 8 * codec.unit_words();
+        let w = words(n, 0xF00D);
+        let clean = codec.compress(&w).unwrap();
+        let mut rng = Rng64::seed_from_u64(0xDEC0DE ^ n as u64);
+        for _ in 0..iters {
+            let mut layout = clean.clone();
+            // One to four mutations: byte flips and truncations.
+            for _ in 0..rng.gen_range(1..5usize) {
+                let si = rng.gen_range(0..layout.segments.len());
+                let seg = &mut layout.segments[si].bytes;
+                if seg.is_empty() || rng.gen_range(0..4usize) == 0 {
+                    let keep = if seg.is_empty() {
+                        0
+                    } else {
+                        rng.gen_range(0..seg.len())
+                    };
+                    seg.truncate(keep);
+                } else {
+                    let off = rng.gen_range(0..seg.len());
+                    seg[off] ^= 1 << rng.gen_range(0..8u32);
+                }
+            }
+            let result =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| codec.decode(&layout, n)));
+            let decoded = result
+                .unwrap_or_else(|_| panic!("{}: decode panicked on mutated layout", codec.name()));
+            // Defined-state differential: whatever the outcome, it must be
+            // deterministic — same mutated bytes, same result.
+            assert_eq!(
+                decoded,
+                codec.decode(&layout, n),
+                "{}: decode of mutated layout is not deterministic",
+                codec.name()
+            );
+        }
+    }
+}
+
+/// A decode request for more words than the payload carries is a typed
+/// error, not a short read.
+#[test]
+fn decode_rejects_overlong_requests() {
+    for scheme in Scheme::all() {
+        let codec = scheme.codec();
+        let n = 2 * codec.unit_words();
+        let layout = codec.compress(&words(n, 0x0DD5)).unwrap();
+        assert!(
+            codec.decode(&layout, n + codec.unit_words()).is_err(),
+            "{}: overlong decode must fail",
+            codec.name()
+        );
+    }
+}
+
+/// Any single stored-image bit flip in any code-carrying segment is
+/// caught by load-time CRC verification, for every scheme.
+#[test]
+fn load_rejects_stored_bit_flips_for_every_scheme() {
+    let p = conformance_program();
+    let cfg = SimConfig::hpca2000_baseline();
+    for scheme in Scheme::all() {
+        let clean = build_compressed(&p, scheme, false, &Selection::all_compressed(3)).unwrap();
+        let plan = rtdc::fault::FaultPlan::random(0xC0FFEE, 4, &clean);
+        for fault in &plan.faults {
+            if matches!(fault.kind, rtdc::fault::FaultKind::Truncate) {
+                continue; // covered by truncation_is_a_length_mismatch
+            }
+            let mut img = clean.clone();
+            rtdc::fault::FaultPlan {
+                faults: vec![fault.clone()],
+            }
+            .apply(&mut img)
+            .unwrap();
+            match load_image(&img, cfg) {
+                Err(ImageError::ChecksumMismatch { segment, .. }) => {
+                    assert_eq!(segment, fault.segment, "{scheme:?}: wrong segment blamed")
+                }
+                other => panic!("{scheme:?}: fault {fault} not caught at load: {other:?}"),
+            }
+        }
+    }
+}
+
+/// Truncating a segment is a `LengthMismatch` (rejected outright, never
+/// silently zero-padded back to size).
+#[test]
+fn truncation_is_a_length_mismatch() {
+    let p = conformance_program();
+    let cfg = SimConfig::hpca2000_baseline();
+    for scheme in Scheme::all() {
+        let mut img = build_compressed(&p, scheme, false, &Selection::all_compressed(3)).unwrap();
+        let seg = img.segments[0].name.clone();
+        rtdc::fault::FaultPlan::parse(&format!("trunc:{seg}:1"), &img)
+            .unwrap()
+            .apply(&mut img)
+            .unwrap();
+        assert!(
+            matches!(
+                load_image(&img, cfg),
+                Err(ImageError::LengthMismatch { segment, .. }) if segment == seg
+            ),
+            "{scheme:?}: truncated {seg} must be a LengthMismatch"
+        );
+    }
+}
+
+/// Post-load corruption (stale digests re-measured, so load passes) is
+/// caught by the `--verify-lines` runner at a miss — or, at worst, turns
+/// into a typed simulator error; it must never complete with the native
+/// architectural result while executing wrong code undetected by the
+/// runner. At least one seed per scheme must produce a `CorruptFill`.
+#[test]
+fn verify_lines_catches_post_load_corruption() {
+    let p = conformance_program();
+    let cfg = SimConfig::hpca2000_baseline();
+    for scheme in Scheme::all() {
+        let clean = build_compressed(&p, scheme, false, &Selection::all_compressed(3)).unwrap();
+        // Clean image sanity: the verified runner matches the plain one.
+        let plain = run_image(&clean, cfg, 50_000_000).unwrap();
+        let verified = run_image_verified(&clean, cfg, 50_000_000).unwrap();
+        assert_eq!(verified.exit_code, plain.exit_code, "{scheme:?}");
+        assert_eq!(verified.stats, plain.stats, "{scheme:?}");
+
+        let mut caught_at_miss = false;
+        for seed in 0..32u64 {
+            let mut img = clean.clone();
+            let plan = rtdc::fault::FaultPlan::random(seed, 1, &img);
+            // Skip faults outside the codec payload (handler/native faults
+            // are interesting for faultsweep, but here we want fills).
+            if plan
+                .faults
+                .iter()
+                .any(|f| matches!(f.segment.as_str(), ".decompressor" | ".native"))
+            {
+                continue;
+            }
+            plan.apply(&mut img).unwrap();
+            img.reseal_segments(); // model post-load corruption
+            match run_image_verified(&img, cfg, 50_000_000) {
+                Err(RunError::CorruptFill { .. }) => caught_at_miss = true,
+                Err(RunError::Sim(_)) => {} // corrupt code trapped on its own
+                Err(e) => panic!("{scheme:?} seed {seed}: unexpected error {e}"),
+                Ok(r) => {
+                    // A benign fault (e.g. in nop padding) may still run to
+                    // the correct result; silent *wrong* completion is the
+                    // one outcome the runner must not produce.
+                    assert_eq!(
+                        (r.exit_code, r.output.clone()),
+                        (plain.exit_code, plain.output.clone()),
+                        "{scheme:?} seed {seed}: silent corruption escaped --verify-lines"
+                    );
+                }
+            }
+        }
+        assert!(
+            caught_at_miss,
+            "{scheme:?}: no seed in 0..32 produced a CorruptFill at a miss"
+        );
     }
 }
 
