@@ -13,10 +13,14 @@
 //!
 //! The headline numbers come from a strictly serial pass — throughput
 //! measured while other workers compete for the same cores would
-//! understate the simulator. A second pass then re-runs the same work
-//! fanned out across `--jobs N` workers (default: available parallelism)
-//! and records the aggregate under `"parallel"`, so the baseline also
-//! documents how harness fan-out scales on the measurement host.
+//! understate the simulator. Each serial cell is run `--repeat N` times
+//! (default: 3) and reports the **median** wall-clock, so a single
+//! scheduling hiccup cannot skew a row; the simulated metrics are
+//! deterministic and asserted identical across repeats. A second pass
+//! then re-runs the same work fanned out across `--jobs N` workers
+//! (default: available parallelism) and records the aggregate under
+//! `"parallel"`, so the baseline also documents how harness fan-out
+//! scales on the measurement host.
 
 use std::time::{Duration, Instant};
 
@@ -72,13 +76,16 @@ impl Metrics {
     }
 }
 
-/// `native`, then every registry scheme plain, `+rf`, and `+vl` (the
+/// `native`, then `native-interp` (the same native run with block
+/// translation off — the single-step interpreter reference, so the
+/// translation engine's speedup is documented in the report itself),
+/// then every registry scheme plain, `+rf`, and `+vl` (the
 /// `--verify-lines` runner: identical simulated stats, host-side
 /// per-fill CRC checks — its sim-MIPS delta vs the plain row is the
 /// verification overhead), in registry order — the row set for both
 /// passes.
 fn scheme_labels() -> Vec<String> {
-    let mut labels = vec!["native".to_string()];
+    let mut labels = vec!["native".to_string(), "native-interp".to_string()];
     for s in Scheme::all() {
         labels.push(s.name().to_string());
         labels.push(format!("{}+rf", s.name()));
@@ -92,6 +99,9 @@ fn scheme_labels() -> Vec<String> {
 fn run_labeled(spec: &BenchmarkSpec, label: &str, cfg: SimConfig) -> rtdc::runner::RunReport {
     if label == "native" {
         return run_native(spec, cfg);
+    }
+    if label == "native-interp" {
+        return run_native(spec, cfg.with_translation(false));
     }
     let all = Selection::all_compressed(generate_cached(spec).procedures.len());
     if let Some(name) = label.strip_suffix("+vl") {
@@ -151,34 +161,73 @@ fn json_row(indent: &str, c: &Cell) -> String {
     )
 }
 
+/// `--repeat N` argument (default 3, clamped to at least 1): how many
+/// times each serial cell is run; the row reports the median wall-clock.
+fn repeat_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--repeat")
+        .and_then(|w| w[1].parse::<usize>().ok())
+        .unwrap_or(3)
+        .max(1)
+}
+
+/// Runs one serial cell `repeat` times and returns it with the median
+/// wall-clock (and the sim-MIPS recomputed from it). The simulated side
+/// is deterministic, so stats must agree exactly across repeats — any
+/// divergence is a simulator bug worth crashing on. Returns the program
+/// output alongside for cross-scheme comparison.
+fn run_cell_median(
+    spec: &BenchmarkSpec,
+    label: &str,
+    cfg: SimConfig,
+    repeat: usize,
+) -> (Cell, Vec<u8>) {
+    let first = run_labeled(spec, label, cfg);
+    let mut walls = vec![first.wall];
+    for _ in 1..repeat {
+        let r = run_labeled(spec, label, cfg);
+        assert_eq!(
+            r.stats, first.stats,
+            "{} {label}: nondeterministic stats across repeats",
+            spec.name
+        );
+        walls.push(r.wall);
+    }
+    walls.sort();
+    let wall = walls[walls.len() / 2];
+    let secs = wall.as_secs_f64();
+    let insns = first.stats.insns;
+    let cell = Cell {
+        name: spec.name,
+        scheme: label.to_string(),
+        insns,
+        wall,
+        mips: if secs > 0.0 {
+            insns as f64 / secs / 1e6
+        } else {
+            0.0
+        },
+        metrics: Metrics::from_stats(&first.stats),
+    };
+    (cell, first.output)
+}
+
 fn main() {
     let cfg = SimConfig::hpca2000_baseline();
     let labels = scheme_labels();
+    let repeat = repeat_from_args();
     let mut cells: Vec<Cell> = Vec::new();
 
-    // Serial pass: the sim-MIPS baseline proper.
+    // Serial pass: the sim-MIPS baseline proper (median of `repeat`
+    // runs per cell).
     for spec in all_benchmarks() {
-        let native = run_native(&spec, cfg);
-        let native_output = native.output.clone();
-        cells.push(Cell {
-            name: spec.name,
-            scheme: "native".to_string(),
-            insns: native.stats.insns,
-            wall: native.wall,
-            mips: native.sim_mips(),
-            metrics: Metrics::from_stats(&native.stats),
-        });
+        let (native, native_output) = run_cell_median(&spec, "native", cfg, repeat);
+        cells.push(native);
         for label in labels.iter().filter(|l| *l != "native") {
-            let r = run_labeled(&spec, label, cfg);
-            assert_eq!(r.output, native_output, "{} {label}: diverged", spec.name);
-            cells.push(Cell {
-                name: spec.name,
-                scheme: label.clone(),
-                insns: r.stats.insns,
-                wall: r.wall,
-                mips: r.sim_mips(),
-                metrics: Metrics::from_stats(&r.stats),
-            });
+            let (cell, output) = run_cell_median(&spec, label, cfg, repeat);
+            assert_eq!(output, native_output, "{} {label}: diverged", spec.name);
+            cells.push(cell);
         }
         eprintln!("{}: done", spec.name);
     }
@@ -231,7 +280,10 @@ fn main() {
 
     println!("{{");
     println!("  \"note\": \"sim-MIPS baseline; wall-clock numbers are host-dependent\",");
-    println!("  \"config\": \"hpca2000_baseline (16KB I-cache, decode cache on)\",");
+    println!(
+        "  \"config\": \"hpca2000_baseline (16KB I-cache, decode cache on, block translation on)\","
+    );
+    println!("  \"repeat\": {repeat},");
     println!("  \"schemes\": [");
     let rows: Vec<String> = totals.iter().map(|c| json_row("    ", c)).collect();
     println!("{}", rows.join(",\n"));

@@ -13,6 +13,7 @@
 //! rtdc-run --bench go --scheme d --trace out.jsonl --trace-filter exc,swic
 //! rtdc-run --bench crc32 --disasm 20       # disassemble the first N instructions
 //! rtdc-run --bench cc1,go,perl --jobs 4    # several benchmarks, fanned out
+//! rtdc-run --bench go --no-translate       # single-step reference run loop
 //! rtdc-run --bench sort --scheme d --verify-lines      # re-check every fill
 //! rtdc-run --bench sort --scheme d --inject rand:7     # corrupt the image
 //! rtdc-run --bench sort --scheme d --inject flip:.dictionary:0:3 --inject-fixup
@@ -316,6 +317,11 @@ fn run() -> Result<(), String> {
     if let Some(kb) = args.opt("icache") {
         let kb: u32 = kb.parse().map_err(|_| format!("bad --icache `{kb}`"))?;
         cfg = cfg.with_icache_size(kb * 1024);
+    }
+    if args.has("no-translate") {
+        // Reference path: single-step interpretation, bit-identical
+        // stats to the (default) block-translated run loop.
+        cfg = cfg.with_translation(false);
     }
     let jobs: usize = match args.opt("jobs") {
         Some(j) => j

@@ -112,6 +112,18 @@ pub struct SimConfig {
     /// evictions, refills, and native↔compressed transitions can never
     /// serve a stale decode).
     pub decode_cache: bool,
+    /// Host-side basic-block translation: `run()` executes straight-line
+    /// superblocks of pre-decoded instructions with one dispatch instead
+    /// of per-instruction fetch/decode/dispatch. Purely a simulator-
+    /// throughput optimization — architectural results and every `Stats`
+    /// counter are identical with it on or off (blocks are invalidated
+    /// whenever the bytes they were built from change observably —
+    /// `swic` writes, stores into handler RAM, refills of stored-to
+    /// granules — and a block whose backing line was evicted falls back
+    /// to the interpreter step that re-fills it; see
+    /// `crate::translate`). Traced and profiled runs always fall back
+    /// to single-stepping, so the event stream stays exact.
+    pub translate: bool,
 }
 
 impl SimConfig {
@@ -133,6 +145,7 @@ impl SimConfig {
             div_latency: 20,
             second_regfile: false,
             decode_cache: true,
+            translate: true,
         }
     }
 
@@ -153,6 +166,15 @@ impl SimConfig {
     /// (differential tests run both ways and must agree exactly).
     pub fn with_decode_cache(mut self, enabled: bool) -> SimConfig {
         self.decode_cache = enabled;
+        self
+    }
+
+    /// Baseline with basic-block translation enabled or disabled
+    /// (`--no-translate` preserves the single-step interpreter as the
+    /// reference path; differential tests run both ways and must agree
+    /// exactly).
+    pub fn with_translation(mut self, enabled: bool) -> SimConfig {
+        self.translate = enabled;
         self
     }
 

@@ -36,6 +36,7 @@ use crate::mem::MainMemory;
 use crate::profile::RegionProfiler;
 use crate::stats::Stats;
 use crate::trace::{MissKind, NoTrace, StallCause, TraceEvent, TraceSink};
+use crate::translate::{build_ops, granule_end, Block, BlockCache, BLOCK_OPS, FILLER};
 
 /// Processor privilege/context mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +98,11 @@ pub struct Machine<S: TraceSink = NoTrace> {
     c0: [u32; 16],
     pc: u32,
     mode: Mode,
+    /// Active register bank, cached from `mode` + `cfg.second_regfile`
+    /// on every mode change: `reg`/`set_reg` run a few times per
+    /// simulated instruction, so they index directly instead of
+    /// re-deriving the bank each time.
+    bank: usize,
     mem: MainMemory,
     icache: Cache,
     dcache: Cache,
@@ -113,6 +119,10 @@ pub struct Machine<S: TraceSink = NoTrace> {
     /// Entries are validated against the fetched word, so they can never go
     /// stale; `None` when the feature is disabled.
     decode: Option<Box<[DecodeEntry]>>,
+    /// Basic-block translation cache ([`SimConfig::translate`]); `None`
+    /// when the feature is disabled or a trace sink is attached (traced
+    /// runs must see every per-instruction event, so they single-step).
+    blocks: Option<Box<BlockCache>>,
     sink: S,
     /// `(handler_insns, handler_cycles)` at the last exception entry, so
     /// `iret` can emit per-exception deltas. Only written when tracing.
@@ -139,6 +149,7 @@ impl<S: TraceSink> Machine<S> {
             c0: [0; 16],
             pc: 0,
             mode: Mode::Normal,
+            bank: 0,
             mem: MainMemory::new(),
             icache: Cache::new(cfg.icache),
             dcache: Cache::new(cfg.dcache),
@@ -161,6 +172,7 @@ impl<S: TraceSink> Machine<S> {
                 ]
                 .into_boxed_slice()
             }),
+            blocks: (cfg.translate && !S::ENABLED).then(|| Box::new(BlockCache::new())),
             sink,
             exc_snapshot: (0, 0),
         }
@@ -263,23 +275,28 @@ impl<S: TraceSink> Machine<S> {
         &self.dcache
     }
 
-    fn bank(&self) -> usize {
-        match self.mode {
+    /// Switches privilege mode, keeping the cached register-bank index
+    /// in step (the single place `bank` is derived).
+    fn set_mode(&mut self, mode: Mode) {
+        self.mode = mode;
+        self.bank = match mode {
             Mode::Exception if self.cfg.second_regfile => 1,
             _ => 0,
-        }
+        };
     }
 
     /// Reads a general-purpose register in the active bank.
+    #[inline]
     pub fn reg(&self, r: Reg) -> u32 {
-        self.regs[self.bank()][r.number() as usize]
+        self.regs[self.bank][r.number() as usize]
     }
 
     /// Writes a general-purpose register in the active bank
     /// (writes to `$0` are discarded).
+    #[inline]
     pub fn set_reg(&mut self, r: Reg, value: u32) {
         if r != Reg::ZERO {
-            self.regs[self.bank()][r.number() as usize] = value;
+            self.regs[self.bank][r.number() as usize] = value;
         }
     }
 
@@ -359,7 +376,7 @@ impl<S: TraceSink> Machine<S> {
         }
     }
 
-    fn fetch(&mut self, pc: u32) -> Result<Fetch, SimError> {
+    fn fetch<const PROFILED: bool>(&mut self, pc: u32) -> Result<Fetch, SimError> {
         if Self::in_range(self.handler_range, pc) {
             // Dedicated on-chip RAM: single-cycle, never misses.
             return Ok(Fetch::Word(self.mem.read_u32(pc)));
@@ -377,8 +394,10 @@ impl<S: TraceSink> Machine<S> {
             return Ok(Fetch::Word(word));
         }
         self.stats.imisses += 1;
-        if let Some(p) = self.profiler.as_mut() {
-            p.record_miss(pc);
+        if PROFILED {
+            if let Some(p) = self.profiler.as_mut() {
+                p.record_miss(pc);
+            }
         }
         if Self::in_range(self.compressed_range, pc) {
             // Software-managed miss: raise the decompression exception.
@@ -399,7 +418,7 @@ impl<S: TraceSink> Machine<S> {
             }
             self.c0[C0Reg::BADVA.number() as usize] = pc;
             self.c0[C0Reg::EPC.number() as usize] = pc;
-            self.mode = Mode::Exception;
+            self.set_mode(Mode::Exception);
             self.pc = handler_base;
             self.last_load_dest = None;
             let penalty = self.cfg.exception_entry_penalty;
@@ -412,6 +431,14 @@ impl<S: TraceSink> Machine<S> {
         let base = self.cfg.icache.line_base(pc);
         let data = self.mem.read_bytes(base, line_bytes as usize);
         let ev = self.icache.fill(base, &data);
+        if let Some(bc) = self.blocks.as_deref_mut() {
+            // The refill makes any store since the last fill observable
+            // to fetch; untouched granules keep their blocks (the
+            // refill restored identical bytes). The evicted line needs
+            // nothing: its blocks stay byte-valid, and dispatch probes
+            // residency separately.
+            bc.note_fill(base, line_bytes);
+        }
         if S::ENABLED {
             self.sink.event(&TraceEvent::FetchMiss {
                 pc,
@@ -448,6 +475,24 @@ impl<S: TraceSink> Machine<S> {
         let insn = decode(word).map_err(|_| SimError::InvalidInstruction { pc, word })?;
         *slot = DecodeEntry { key, insn };
         Ok(insn)
+    }
+
+    /// A store landed at `addr`. Handler-RAM bytes are fetched straight
+    /// from main memory, so a store there rewrites code under any
+    /// handler block built from it — invalidate immediately. A store
+    /// anywhere else changes memory but not the resident I-cache line
+    /// the interpreter keeps fetching from, so it only becomes
+    /// observable at the next refill: record the granule in the
+    /// stored-to bitmap and let the fill path invalidate then.
+    #[inline]
+    fn note_store(&mut self, addr: u32) {
+        if let Some(bc) = self.blocks.as_deref_mut() {
+            if Self::in_range(self.handler_range, addr) {
+                bc.bump(addr);
+            } else {
+                bc.note_written(addr);
+            }
+        }
     }
 
     /// Models one D-cache access for timing (functional data lives in main
@@ -499,6 +544,17 @@ impl<S: TraceSink> Machine<S> {
     /// Any [`SimError`]: invalid encodings, unaligned accesses, handler
     /// protocol violations, or unknown syscalls.
     pub fn step(&mut self) -> Result<Step, SimError> {
+        if self.profiler.is_some() {
+            self.step_inner::<true>()
+        } else {
+            self.step_inner::<false>()
+        }
+    }
+
+    /// [`Machine::step`] specialized on profiler presence: the run loops
+    /// pick the variant once, so the `NoTrace`+no-profiler hot path
+    /// carries no per-instruction `profiler` checks at all.
+    fn step_inner<const PROFILED: bool>(&mut self) -> Result<Step, SimError> {
         if let Some(code) = self.exited {
             return Ok(Step::Exited(code));
         }
@@ -506,7 +562,7 @@ impl<S: TraceSink> Machine<S> {
         if !pc.is_multiple_of(4) {
             return Err(SimError::UnalignedFetch { pc });
         }
-        let word = match self.fetch(pc)? {
+        let word = match self.fetch::<PROFILED>(pc)? {
             Fetch::Word(w) => w,
             Fetch::TookException => return Ok(Step::Continue),
         };
@@ -524,15 +580,17 @@ impl<S: TraceSink> Machine<S> {
             self.stats.handler_insns += 1;
         } else {
             self.stats.program_insns += 1;
-            if let Some(p) = self.profiler.as_mut() {
-                let entered = p.record_exec(pc);
-                if S::ENABLED {
-                    if let Some(region) = entered {
-                        self.sink.event(&TraceEvent::RegionEntry {
-                            region,
-                            pc,
-                            cycle: self.stats.cycles,
-                        });
+            if PROFILED {
+                if let Some(p) = self.profiler.as_mut() {
+                    let entered = p.record_exec(pc);
+                    if S::ENABLED {
+                        if let Some(region) = entered {
+                            self.sink.event(&TraceEvent::RegionEntry {
+                                region,
+                                pc,
+                                cycle: self.stats.cycles,
+                            });
+                        }
                     }
                 }
             }
@@ -545,7 +603,7 @@ impl<S: TraceSink> Machine<S> {
             }
         }
 
-        self.execute(pc, insn)?;
+        self.pc = self.execute(pc, insn)?;
         Ok(match self.exited {
             Some(code) => Step::Exited(code),
             None => Step::Continue,
@@ -611,7 +669,17 @@ impl<S: TraceSink> Machine<S> {
         Ok(())
     }
 
-    fn execute(&mut self, pc: u32, insn: Instruction) -> Result<(), SimError> {
+    /// Executes one decoded instruction at `pc` and returns the next
+    /// PC. The caller commits it (the interpreter after every step; the
+    /// block loop only for the final op — every earlier op in a block
+    /// is straight-line by construction, so its next PC is statically
+    /// known and the per-op `pc` store would be pure overhead).
+    ///
+    /// Inlined into both run loops: the call frame (argument marshaling
+    /// and `Result` plumbing) is measurable at the per-instruction
+    /// scale this path runs at.
+    #[inline(always)]
+    fn execute(&mut self, pc: u32, insn: Instruction) -> Result<u32, SimError> {
         use Instruction::*;
         let mut next = pc.wrapping_add(4);
         match insn {
@@ -844,6 +912,7 @@ impl<S: TraceSink> Machine<S> {
                 self.daccess(addr, true);
                 let v = self.reg(rt) as u8;
                 self.mem.write_u8(addr, v);
+                self.note_store(addr);
             }
             Sh { rt, base, offset } => {
                 let addr = self.reg(base).wrapping_add(offset as i32 as u32);
@@ -851,6 +920,7 @@ impl<S: TraceSink> Machine<S> {
                 self.daccess(addr, true);
                 let v = self.reg(rt) as u16;
                 self.mem.write_u16(addr, v);
+                self.note_store(addr);
             }
             Sw { rt, base, offset } => {
                 let addr = self.reg(base).wrapping_add(offset as i32 as u32);
@@ -858,12 +928,35 @@ impl<S: TraceSink> Machine<S> {
                 self.daccess(addr, true);
                 let v = self.reg(rt);
                 self.mem.write_u32(addr, v);
+                self.note_store(addr);
             }
             Swic { rt, base, offset } => {
                 let addr = self.reg(base).wrapping_add(offset as i32 as u32);
                 self.check_align(pc, addr, 4)?;
                 let word = self.reg(rt);
                 let ev = self.icache.write_word_alloc(addr, word);
+                if let Some(bc) = self.blocks.as_deref_mut() {
+                    match ev {
+                        // Allocation zero-fills the whole line: every
+                        // granule of it changed. (The victim line needs
+                        // no bump — its blocks stay byte-valid and
+                        // dispatch probes residency separately.)
+                        Some(_) => {
+                            let line_bytes = self.cfg.icache.line_bytes;
+                            let base = self.cfg.icache.line_base(addr);
+                            bc.bump_range(base, line_bytes);
+                            // The line's cache-only bytes now diverge
+                            // from memory: a future native refill will
+                            // not restore them.
+                            bc.note_written_range(base, line_bytes);
+                        }
+                        // In-place write: only the written granule.
+                        None => {
+                            bc.bump(addr);
+                            bc.note_written(addr);
+                        }
+                    }
+                }
                 self.stats.swics += 1;
                 if S::ENABLED {
                     self.sink.event(&TraceEvent::Swic {
@@ -920,7 +1013,7 @@ impl<S: TraceSink> Machine<S> {
                 }
                 // Count the refill against the handler before leaving it.
                 self.stall(StallCause::Exception, self.cfg.exception_return_penalty);
-                self.mode = Mode::Normal;
+                self.set_mode(Mode::Normal);
                 self.last_load_dest = None;
                 next = self.c0(C0Reg::EPC);
                 if S::ENABLED {
@@ -934,19 +1027,37 @@ impl<S: TraceSink> Machine<S> {
                 }
             }
         }
-        self.pc = next;
-        Ok(())
+        Ok(next)
     }
 
     /// Runs until exit or until `max_insns` instructions have committed.
+    ///
+    /// With [`SimConfig::translate`] set (and no trace sink or profiler
+    /// attached), execution goes through the basic-block translation
+    /// engine (see [`crate::translate`]); results and statistics are
+    /// identical to the single-step interpreter either way.
     ///
     /// # Errors
     ///
     /// Propagates any [`SimError`] from [`Machine::step`], or
     /// [`SimError::InsnLimitExceeded`] if the program does not exit in time.
     pub fn run(&mut self, max_insns: u64) -> Result<RunOutcome, SimError> {
+        if self.blocks.is_some() && self.profiler.is_none() {
+            return self.run_translated(max_insns);
+        }
+        if self.profiler.is_some() {
+            self.run_stepped::<true>(max_insns)
+        } else {
+            self.run_stepped::<false>(max_insns)
+        }
+    }
+
+    fn run_stepped<const PROFILED: bool>(
+        &mut self,
+        max_insns: u64,
+    ) -> Result<RunOutcome, SimError> {
         loop {
-            match self.step()? {
+            match self.step_inner::<PROFILED>()? {
                 Step::Exited(code) => return Ok(RunOutcome { exit_code: code }),
                 Step::Continue => {
                     if self.stats.insns >= max_insns {
@@ -955,6 +1066,317 @@ impl<S: TraceSink> Machine<S> {
                 }
             }
         }
+    }
+
+    /// The translated run loop: execute a whole superblock per dispatch
+    /// where one is valid (or can be built), single-step otherwise.
+    fn run_translated(&mut self, max_insns: u64) -> Result<RunOutcome, SimError> {
+        // New run: callers may have edited memory since the last run
+        // (fault injection, reloaded images) without the simulator
+        // observing it, so no earlier block can be trusted.
+        self.blocks
+            .as_deref_mut()
+            .expect("translated loop has blocks")
+            .reset();
+        loop {
+            match self.block_step(max_insns) {
+                Ok(Step::Exited(code)) => break Ok(RunOutcome { exit_code: code }),
+                Ok(Step::Continue) => {
+                    if self.stats.insns >= max_insns {
+                        break Err(SimError::InsnLimitExceeded { limit: max_insns });
+                    }
+                }
+                Err(e) => break Err(e),
+            }
+        }
+    }
+
+    /// One translated dispatch: probe the block cache at the current PC,
+    /// rebuild on miss or staleness, execute the block — or fall back to
+    /// exactly one interpreter step when no block applies (miss paths,
+    /// undecodable words, unaligned PCs, mode mismatches, or a block
+    /// that would overshoot the instruction budget).
+    fn block_step(&mut self, max_insns: u64) -> Result<Step, SimError> {
+        if let Some(code) = self.exited {
+            return Ok(Step::Exited(code));
+        }
+        let pc = self.pc;
+        if !pc.is_multiple_of(4) {
+            return Err(SimError::UnalignedFetch { pc });
+        }
+        let handler = self.mode == Mode::Exception;
+        let slot = if handler {
+            BlockCache::hslot_index(pc)
+        } else {
+            BlockCache::slot_index(pc)
+        };
+        let line = BlockCache::gen_index(pc);
+        {
+            let bc = self
+                .blocks
+                .as_deref_mut()
+                .expect("translated loop has blocks");
+            let gen = bc.gens[line];
+            let table = if handler { &bc.hblocks } else { &bc.blocks };
+            let blk = &table[slot];
+            if blk.pc != pc || gen != blk.gen {
+                // Program blocks build on the *second* sighting: a
+                // first-time PC is noted in the `seen` side table and
+                // single-stepped. Cold code (most of a large text) then
+                // never pays decode-and-install for a block that would
+                // execute once — which made translation a net loss on
+                // I-miss-dominated benchmarks. The note lives beside
+                // the block slot, not in it, so a cold PC aliasing a
+                // hot block's slot cannot destroy the built block.
+                // (Handler PCs skip the filter: handler RAM is small
+                // enough that its table never aliases, and its code —
+                // the decompression loop — is hot by definition.)
+                if !handler && bc.seen[slot] != pc {
+                    bc.seen[slot] = pc;
+                    return self.step_inner::<false>();
+                }
+                if !self.build_block(pc, handler, slot) {
+                    return self.step_inner::<false>();
+                }
+            }
+        }
+        let bc = self.blocks.as_deref().expect("translated loop has blocks");
+        let blk = if handler {
+            &bc.hblocks[slot]
+        } else {
+            &bc.blocks[slot]
+        };
+        let len = blk.len as usize;
+        if self.stats.insns + len as u64 > max_insns {
+            // Executing the whole block could overshoot the budget;
+            // single-step so `InsnLimitExceeded` fires at the exact
+            // instruction the interpreter would stop at.
+            return self.step_inner::<false>();
+        }
+        let blk = *blk;
+        self.exec_block(pc, handler, &blk, line)
+    }
+
+    /// Builds and installs a block starting at `pc` into `slot`.
+    /// Returns `false` when no block can be built (first word missing,
+    /// undecodable, or outside the flavor's fetchable region) — the
+    /// caller single-steps instead.
+    fn build_block(&mut self, pc: u32, handler: bool, slot: usize) -> bool {
+        let mut insns = [FILLER; BLOCK_OPS];
+        let built = if handler {
+            // Handler blocks: words straight from handler RAM, clamped
+            // to the RAM's end (the interpreter errors past it — let
+            // single-stepping raise that).
+            let Some((hs, he)) = self.handler_range else {
+                return false;
+            };
+            if pc < hs || pc >= he {
+                return false;
+            }
+            let end = granule_end(pc).min(he);
+            let mem = &self.mem;
+            build_ops(pc, end, |a| Some(mem.read_u32(a)), &mut insns)
+        } else {
+            // Program blocks: only resident I-cache words (residency is
+            // what a matching generation re-proves at dispatch), never
+            // crossing into handler RAM (those fetches take the
+            // RAM path) or out of the backing line.
+            let line_end = self
+                .cfg
+                .icache
+                .line_base(pc)
+                .saturating_add(self.cfg.icache.line_bytes);
+            let end = granule_end(pc).min(line_end);
+            let handler_range = self.handler_range;
+            let icache = &self.icache;
+            build_ops(
+                pc,
+                end,
+                |a| {
+                    if Self::in_range(handler_range, a) {
+                        return None;
+                    }
+                    icache.read_word(a)
+                },
+                &mut insns,
+            )
+        };
+        if built.len == 0 {
+            return false;
+        }
+        let bc = self
+            .blocks
+            .as_deref_mut()
+            .expect("translated loop has blocks");
+        let gen = bc.gens[BlockCache::gen_index(pc)];
+        let table = if handler {
+            &mut bc.hblocks
+        } else {
+            &mut bc.blocks
+        };
+        table[slot] = Block {
+            pc,
+            gen,
+            len: built.len as u8,
+            hilo: built.hilo,
+            ends_load: built.ends_load,
+            interlocks: built.interlocks,
+            stores: built.stores,
+            insns,
+        };
+        true
+    }
+
+    /// Executes one valid block. Per-op work mirrors `step_inner`
+    /// exactly — same statistics in the same order, the same interlock
+    /// rule, the same `execute` — minus the per-op fetch resolution,
+    /// set scan, and decode the block already paid for at build time.
+    fn exec_block(
+        &mut self,
+        pc: u32,
+        handler: bool,
+        blk: &Block,
+        line: usize,
+    ) -> Result<Step, SimError> {
+        if !handler {
+            // One LRU touch stands in for the block's N same-line
+            // touches: no other I-line is referenced in between, so
+            // relative recency — all LRU ever compares — is identical.
+            // A byte-valid block's line may still have been evicted:
+            // the touch misses (disturbing nothing), and one
+            // interpreter step performs the fill — or raises the
+            // decompression exception — exactly as always.
+            if !self.icache.touch(pc) {
+                return self.step_inner::<false>();
+            }
+        }
+        if blk.hilo {
+            self.exec_ops::<false>(pc, handler, blk, line)
+        } else {
+            self.exec_ops::<true>(pc, handler, blk, line)
+        }
+    }
+
+    /// Charges the base per-instruction counters for `n` instructions
+    /// in one go (the `BATCHED` fast path of [`Machine::exec_ops`]).
+    #[inline]
+    fn charge_insns(&mut self, handler: bool, n: u64) {
+        self.stats.insns += n;
+        self.stats.cycles += n;
+        if handler {
+            self.stats.handler_cycles += n;
+            self.stats.handler_insns += n;
+        } else {
+            self.stats.ifetches += n;
+            self.stats.program_insns += n;
+        }
+    }
+
+    /// Reverses [`Machine::charge_insns`] for `n` instructions that a
+    /// batched block charged up front but never executed (an error or a
+    /// mid-block handler invalidation cut the block short).
+    fn uncharge_insns(&mut self, handler: bool, n: u64) {
+        self.stats.insns -= n;
+        self.stats.cycles -= n;
+        if handler {
+            self.stats.handler_cycles -= n;
+            self.stats.handler_insns -= n;
+        } else {
+            self.stats.ifetches -= n;
+            self.stats.program_insns -= n;
+        }
+    }
+
+    /// The block op loop. `BATCHED` (every block without hi/lo-latency
+    /// ops) charges the base per-instruction counters for the whole
+    /// block up front — exact because every other stats update only
+    /// adds, and the rare early exit uncharges the unexecuted tail.
+    /// Non-batched blocks charge op by op so `mult`/`mfhi` observe the
+    /// same intermediate `Stats::cycles` the interpreter produces.
+    fn exec_ops<const BATCHED: bool>(
+        &mut self,
+        pc: u32,
+        handler: bool,
+        blk: &Block,
+        line: usize,
+    ) -> Result<Step, SimError> {
+        let len = blk.len as usize;
+        if BATCHED {
+            self.charge_insns(handler, len as u64);
+        }
+        // Entry op: the previous block's trailing load is in
+        // `last_load_dest`, same as the interpreter. `take` clears it;
+        // mid-block ops then rely on the build-time interlock mask
+        // instead of re-deriving it per op, and only the exit paths
+        // restore the "cleared unless the op was a load" invariant the
+        // interpreter maintains (execute's load arms set it; everything
+        // else leaves it alone here).
+        if let Some(dest) = self.last_load_dest.take() {
+            let (a, b) = blk.insns[0].src_regs();
+            if a == Some(dest) || b == Some(dest) {
+                self.stall(StallCause::LoadUse, 1);
+            }
+        }
+        for i in 0..len {
+            let insn = blk.insns[i];
+            if !BATCHED {
+                self.charge_insns(handler, 1);
+            }
+            if i != 0 && blk.interlocks & (1 << i) != 0 {
+                self.stall(StallCause::LoadUse, 1);
+            }
+            match self.execute(pc + 4 * i as u32, insn) {
+                // Ops before the last are straight-line by construction
+                // (the block ends at the first terminator), so their
+                // next PC is statically `pc + 4(i+1)`: skip the per-op
+                // `pc` store and commit only the final op's target.
+                Ok(next) => {
+                    if i == len - 1 {
+                        self.pc = next;
+                    }
+                }
+                Err(e) => {
+                    // The interpreter leaves `pc` at the faulting
+                    // instruction (it commits the next PC only on
+                    // success) and has cleared `last_load_dest` at that
+                    // step's entry — restore both exactly.
+                    self.pc = pc + 4 * i as u32;
+                    self.last_load_dest = None;
+                    if BATCHED {
+                        self.uncharge_insns(handler, (len - 1 - i) as u64);
+                    }
+                    return Err(e);
+                }
+            }
+            if handler && blk.stores & (1 << i) != 0 {
+                // A handler store may have rewritten (or alias-bumped)
+                // our own backing granule — handler fetches read main
+                // memory, so the change is observable immediately: stop
+                // before running stale ops. (Program blocks need no
+                // check: a program store never changes the resident
+                // I-cache bytes the remaining ops came from.)
+                let bc = self.blocks.as_deref().expect("translated loop has blocks");
+                if bc.gens[line] != blk.gen && i != len - 1 {
+                    self.pc = pc + 4 * (i + 1) as u32;
+                    self.last_load_dest = None;
+                    if BATCHED {
+                        self.uncharge_insns(handler, (len - 1 - i) as u64);
+                    }
+                    return Ok(Step::Continue);
+                }
+            }
+        }
+        // Block boundary: restore the interpreter's "clear unless the
+        // previous step was a load" invariant in one shot (execute's
+        // load arms are the only setters on this path, so a non-load
+        // final op may have left an earlier load's stale destination).
+        if !blk.ends_load {
+            self.last_load_dest = None;
+        }
+        Ok(match self.exited {
+            Some(code) => Step::Exited(code),
+            None => Step::Continue,
+        })
     }
 }
 
@@ -1174,10 +1596,10 @@ mod tests {
         m.set_reg(Reg::T0, 1111); // bank 0
         assert_eq!(m.reg(Reg::T0), 1111);
         // Flip into exception mode manually and check banking.
-        m.mode = Mode::Exception;
+        m.set_mode(Mode::Exception);
         assert_eq!(m.reg(Reg::T0), 0);
         m.set_reg(Reg::T0, 2222);
-        m.mode = Mode::Normal;
+        m.set_mode(Mode::Normal);
         assert_eq!(m.reg(Reg::T0), 1111);
     }
 

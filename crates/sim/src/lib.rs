@@ -49,6 +49,7 @@ mod mem;
 mod profile;
 mod stats;
 pub mod trace;
+mod translate;
 
 pub use bpred::{Bimode, ReturnStack};
 pub use cache::{Cache, Eviction};
