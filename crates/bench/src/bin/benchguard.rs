@@ -83,7 +83,9 @@ impl GuardConfig {
             let (key, value) = line
                 .split_once('=')
                 .ok_or_else(|| format!("line {}: expected key = value", lineno + 1))?;
-            let (key, value) = (key.trim(), value.trim());
+            // Keys like `d+plan` must be quoted to stay valid TOML;
+            // accept them bare or quoted alike.
+            let (key, value) = (key.trim().trim_matches('"'), value.trim());
             let ratio: f64 = value
                 .parse()
                 .map_err(|_| format!("line {}: `{value}` is not a number", lineno + 1))?;

@@ -27,6 +27,7 @@ use std::time::{Duration, Instant};
 use rtdc::prelude::*;
 use rtdc_bench::experiments::{run_native, run_scheme, run_scheme_verified};
 use rtdc_bench::jobs::{jobs_from_env, parallel_map};
+use rtdc_bench::planopt::optimized_plan_cached;
 use rtdc_sim::{SimConfig, StallBreakdown, Stats};
 use rtdc_workloads::{all_benchmarks, generate_cached, idioms, BenchmarkSpec};
 
@@ -79,10 +80,13 @@ impl Metrics {
 /// `native`, then `native-interp` (the same native run with block
 /// translation off — the single-step interpreter reference, so the
 /// translation engine's speedup is documented in the report itself),
-/// then every registry scheme plain, `+rf`, and `+vl` (the
+/// then every registry scheme plain, `+rf`, `+vl` (the
 /// `--verify-lines` runner: identical simulated stats, host-side
 /// per-fill CRC checks — its sim-MIPS delta vs the plain row is the
-/// verification overhead), in registry order — the row set for both
+/// verification overhead), and `+plan` (the closed-loop optimizer's
+/// plan at the default 10%-of-text native budget; the plan is computed
+/// once per benchmark × scheme and cached, and the measured run itself
+/// is plain and untraced), in registry order — the row set for both
 /// passes.
 fn scheme_labels() -> Vec<String> {
     let mut labels = vec!["native".to_string(), "native-interp".to_string()];
@@ -90,6 +94,7 @@ fn scheme_labels() -> Vec<String> {
         labels.push(s.name().to_string());
         labels.push(format!("{}+rf", s.name()));
         labels.push(format!("{}+vl", s.name()));
+        labels.push(format!("{}+plan", s.name()));
     }
     labels
 }
@@ -102,6 +107,13 @@ fn run_labeled(spec: &BenchmarkSpec, label: &str, cfg: SimConfig) -> rtdc::runne
     }
     if label == "native-interp" {
         return run_native(spec, cfg.with_translation(false));
+    }
+    if let Some(name) = label.strip_suffix("+plan") {
+        let (scheme, rf) = Scheme::parse(name).expect("label came from the registry");
+        let plan = optimized_plan_cached(spec, scheme, rf, cfg);
+        let program = generate_cached(spec);
+        let image = build_planned(&program, &plan).expect("planned build");
+        return run_image(&image, cfg, rtdc_bench::experiments::MAX_INSNS).expect("planned run");
     }
     let all = Selection::all_compressed(generate_cached(spec).procedures.len());
     if let Some(name) = label.strip_suffix("+vl") {

@@ -10,3 +10,4 @@
 pub mod analyze;
 pub mod experiments;
 pub mod jobs;
+pub mod planopt;

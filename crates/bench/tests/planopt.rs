@@ -1,0 +1,137 @@
+//! Closed-loop optimizer contract: a fixed point in a bounded,
+//! deterministic number of iterations on every registry scheme, a
+//! bit-for-bit reproducible result, a respected native-byte budget, and
+//! a best plan that never loses to the all-compressed starting point.
+
+use rtdc::prelude::*;
+use rtdc_bench::planopt::{
+    budget_from_pct, optimize, optimized_plan_cached, PlanOptConfig, PlanOptResult,
+};
+use rtdc_sim::SimConfig;
+use rtdc_workloads::{by_name, generate_cached, spec::tiny, BenchmarkSpec};
+
+fn run_opt(spec: &BenchmarkSpec, scheme: Scheme, rf: bool, budget_pct: f64) -> PlanOptResult {
+    let program = generate_cached(spec);
+    let opt = PlanOptConfig {
+        native_budget_bytes: budget_from_pct(&program, budget_pct),
+        ..PlanOptConfig::default()
+    };
+    optimize(&program, scheme, rf, SimConfig::hpca2000_baseline(), &opt).expect("optimizer run")
+}
+
+#[test]
+fn fixed_point_on_every_registry_scheme() {
+    let spec = tiny::walker();
+    let bound = PlanOptConfig::default();
+    for scheme in Scheme::all() {
+        for rf in [false, true] {
+            let r = run_opt(&spec, scheme, rf, 10.0);
+            assert!(r.converged, "{scheme} rf={rf}: no fixed point");
+            assert!(
+                r.iterations.len() as u32 <= bound.observe_iters + 2,
+                "{scheme} rf={rf}: took {} iterations",
+                r.iterations.len()
+            );
+            // The winner is a valid plan for the program, trace-sourced.
+            r.plan.validate().expect("winning plan validates");
+            assert_eq!(r.plan.source, PlanSource::Trace);
+            assert_eq!(r.plan.to_string(), r.iterations[r.best].plan.to_string());
+        }
+    }
+}
+
+#[test]
+fn optimizer_is_deterministic() {
+    let spec = by_name("go").expect("go exists");
+    let a = run_opt(&spec, Scheme::Dictionary, false, 10.0);
+    let b = run_opt(&spec, Scheme::Dictionary, false, 10.0);
+    assert_eq!(a.plan.to_string(), b.plan.to_string());
+    assert_eq!(a.best, b.best);
+    assert_eq!(a.converged, b.converged);
+    assert_eq!(a.iterations.len(), b.iterations.len());
+    for (x, y) in a.iterations.iter().zip(&b.iterations) {
+        assert_eq!(x.cycles, y.cycles);
+        assert_eq!(x.handler_cycles, y.handler_cycles);
+        assert_eq!(x.exceptions, y.exceptions);
+        assert_eq!(x.plan.to_string(), y.plan.to_string());
+    }
+}
+
+#[test]
+fn budget_is_respected_and_the_plan_never_loses_to_all_compressed() {
+    let spec = tiny::walker();
+    let program = generate_cached(&spec);
+    let budget = budget_from_pct(&program, 10.0);
+    for scheme in Scheme::all() {
+        let r = run_opt(&spec, scheme, false, 10.0);
+        let native_bytes: u32 = r
+            .plan
+            .selection()
+            .native_iter()
+            .map(|id| program.procedures[id].byte_size())
+            .sum();
+        assert!(
+            native_bytes <= budget,
+            "{scheme}: {native_bytes} native bytes over the {budget} budget"
+        );
+        // Iteration 0 (all compressed, link order) is always on record,
+        // so the best-of-history winner can only improve on it.
+        assert_eq!(r.iterations[0].plan.native_count(), 0);
+        assert!(r.iterations[r.best].cycles <= r.iterations[0].cycles);
+    }
+}
+
+#[test]
+fn zero_budget_only_reorders_layout() {
+    let spec = tiny::loop_kernel();
+    let program = generate_cached(&spec);
+    let opt = PlanOptConfig {
+        native_budget_bytes: 0,
+        ..PlanOptConfig::default()
+    };
+    let r = optimize(
+        &program,
+        Scheme::Dictionary,
+        false,
+        SimConfig::hpca2000_baseline(),
+        &opt,
+    )
+    .expect("optimizer run");
+    assert!(r.converged);
+    for it in &r.iterations {
+        assert_eq!(
+            it.plan.native_count(),
+            0,
+            "zero budget must stay all-compressed"
+        );
+    }
+}
+
+#[test]
+fn cached_plans_are_computed_once_and_shared() {
+    let spec = tiny::interpreter();
+    let cfg = SimConfig::hpca2000_baseline();
+    let a = optimized_plan_cached(&spec, Scheme::Dictionary, false, cfg);
+    let b = optimized_plan_cached(&spec, Scheme::Dictionary, false, cfg);
+    assert!(
+        std::sync::Arc::ptr_eq(&a, &b),
+        "second lookup must hit the cache"
+    );
+    // And the cached plan drives a build that runs to the same output
+    // as native — the planned pipeline end to end.
+    let program = generate_cached(&spec);
+    let native = run_image(
+        &build_native(&program).expect("native build"),
+        cfg,
+        u64::MAX,
+    )
+    .expect("native run");
+    let planned = run_image(
+        &build_planned(&program, &a).expect("planned build"),
+        cfg,
+        u64::MAX,
+    )
+    .expect("planned run");
+    assert_eq!(planned.output, native.output);
+    assert_eq!(planned.exit_code, native.exit_code);
+}

@@ -6,6 +6,8 @@
 //! rtdc-run --bench go --scheme d           # dictionary, fully compressed
 //! rtdc-run --bench go --scheme cp+rf       # CodePack with second register file
 //! rtdc-run --bench go --scheme d --select miss --threshold 20
+//! rtdc-run --bench go --scheme d --select miss --emit-plan go.plan
+//! rtdc-run --bench go --plan go.plan          # build exactly this plan
 //! rtdc-run --bench go --scheme d --icache 64
 //! rtdc-run --bench go --scheme d --layout  # print the Figure-3 layout
 //! rtdc-run --bench go --scheme d --metrics # derived cycle/exception metrics
@@ -24,7 +26,14 @@
 //! `--bench` accepts a comma-separated list; each benchmark's report is
 //! built in full by its worker and printed in list order, so stdout is
 //! byte-identical for any `--jobs` value (the default is 1 — serial).
-//! `--layout`, `--trace`, and `--disasm` only apply to a single benchmark.
+//! `--layout`, `--trace`, `--disasm`, `--plan`, and `--emit-plan` only
+//! apply to a single benchmark.
+//!
+//! `--plan FILE` builds from a canonical `rtdc-plan v1` file (the
+//! scheme, native/compressed split, and layout order all come from the
+//! plan); `--emit-plan FILE` writes the plan of the current build, so a
+//! heuristic selection can be captured, hand-edited or optimized (see
+//! the `planopt` tool in `rtdc-bench`), and replayed exactly.
 //!
 //! `--trace` writes a JSONL event trace (preamble: `meta` + one
 //! `region_def` per procedure; then one event per line) that `tracestat`
@@ -92,41 +101,80 @@ fn resolve(name: &str) -> Result<ObjectProgram, String> {
     }
 }
 
-/// Resolves the benchmark and builds its image per `--scheme`,
-/// `--select`, and `--threshold`, returning the scheme label used in
-/// reports (`native`, `d`, `cp+rf`, ...) alongside the image.
+/// Resolves the benchmark and builds its image per `--plan` (an explicit
+/// compression plan file) or `--scheme`/`--select`/`--threshold` (the
+/// heuristic path, internally lowered to a plan too), returning the
+/// scheme label used in reports (`native`, `d`, `cp+rf`, `d+plan`, ...)
+/// alongside the image. `--emit-plan FILE` writes whatever plan drove
+/// the build, in canonical form, ready for editing and `--plan`.
 fn build_image(name: &str, args: &Args, cfg: SimConfig) -> Result<(String, MemoryImage), String> {
     let program = resolve(name)?;
     let n = program.procedures.len();
 
-    let scheme_arg = args.opt("scheme").unwrap_or("native").to_ascii_lowercase();
-    let (scheme, rf) = parse_scheme_arg(&scheme_arg)?;
-
-    let image = match scheme {
-        None => build_native(&program).map_err(|e| e.to_string())?,
-        Some(s) => {
-            let selection = match (args.opt("select"), args.opt("threshold")) {
-                (None, None) => Selection::all_compressed(n),
-                (Some(strategy), threshold) => {
-                    let strategy = match strategy {
-                        "exec" => SelectBy::Execution,
-                        "miss" => SelectBy::Miss,
-                        other => return Err(format!("unknown --select `{other}` (exec|miss)")),
-                    };
-                    let pct: f64 = threshold
-                        .unwrap_or("20")
-                        .parse()
-                        .map_err(|_| "bad --threshold".to_string())?;
-                    eprintln!("profiling (native run) for {strategy}-based selection...");
-                    let (_, profile) =
-                        profile_native(&program, cfg, MAX_INSNS).map_err(|e| e.to_string())?;
-                    Selection::by_profile(&profile, strategy, pct / 100.0)
-                }
-                (None, Some(_)) => return Err("--threshold requires --select".into()),
-            };
-            build_compressed(&program, s, rf, &selection).map_err(|e| e.to_string())?
+    let (label, image, plan) = if let Some(path) = args.opt("plan") {
+        if args.opt("scheme").is_some()
+            || args.opt("select").is_some()
+            || args.opt("threshold").is_some()
+        {
+            return Err(
+                "--plan carries the scheme and selection; drop --scheme/--select/--threshold"
+                    .into(),
+            );
+        }
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let plan: CompressionPlan = text.parse().map_err(|e| format!("{path}: {e}"))?;
+        let image = build_planned(&program, &plan).map_err(|e| e.to_string())?;
+        let label = format!(
+            "{}{}+plan",
+            plan.scheme.name(),
+            if plan.second_rf { "+rf" } else { "" }
+        );
+        (label, image, Some(plan))
+    } else {
+        let scheme_arg = args.opt("scheme").unwrap_or("native").to_ascii_lowercase();
+        let (scheme, rf) = parse_scheme_arg(&scheme_arg)?;
+        match scheme {
+            None => (
+                "native".to_string(),
+                build_native(&program).map_err(|e| e.to_string())?,
+                None,
+            ),
+            Some(s) => {
+                let selection = match (args.opt("select"), args.opt("threshold")) {
+                    (None, None) => Selection::all_compressed(n),
+                    (Some(strategy), threshold) => {
+                        let strategy = match strategy {
+                            "exec" => SelectBy::Execution,
+                            "miss" => SelectBy::Miss,
+                            other => return Err(format!("unknown --select `{other}` (exec|miss)")),
+                        };
+                        let pct: f64 = threshold
+                            .unwrap_or("20")
+                            .parse()
+                            .map_err(|_| "bad --threshold".to_string())?;
+                        eprintln!("profiling (native run) for {strategy}-based selection...");
+                        let (_, profile) =
+                            profile_native(&program, cfg, MAX_INSNS).map_err(|e| e.to_string())?;
+                        Selection::by_profile(&profile, strategy, pct / 100.0)
+                    }
+                    (None, Some(_)) => return Err("--threshold requires --select".into()),
+                };
+                let plan = CompressionPlan::uniform(s, rf, PlanSource::Heuristic, &selection);
+                let image = build_planned(&program, &plan).map_err(|e| e.to_string())?;
+                let label = format!("{}{}", s.name(), if rf { "+rf" } else { "" });
+                (label, image, Some(plan))
+            }
         }
     };
+
+    if let Some(path) = args.opt("emit-plan") {
+        let plan = plan
+            .as_ref()
+            .ok_or("--emit-plan needs a compressed build (--scheme or --plan)")?;
+        std::fs::write(path, plan.to_string()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("{name}: plan written to {path}");
+    }
+
     let mut image = image;
     if let Some(spec) = args.opt("inject") {
         let plan = FaultPlan::parse(spec, &image).map_err(|e| e.to_string())?;
@@ -140,10 +188,6 @@ fn build_image(name: &str, args: &Args, cfg: SimConfig) -> Result<(String, Memor
     } else if args.has("inject-fixup") {
         return Err("--inject-fixup requires --inject SPEC".into());
     }
-    let label = match scheme {
-        None => "native".to_string(),
-        Some(s) => format!("{}{}", s.name(), if rf { "+rf" } else { "" }),
-    };
     Ok((label, image))
 }
 
@@ -350,6 +394,9 @@ fn run() -> Result<(), String> {
     let with_layout = args.has("layout");
     if with_layout && names.len() > 1 {
         return Err("--layout only applies to a single --bench".into());
+    }
+    if (args.opt("plan").is_some() || args.opt("emit-plan").is_some()) && names.len() > 1 {
+        return Err("--plan/--emit-plan only apply to a single --bench".into());
     }
 
     let reports = parallel_map(&names, jobs, |name| run_one(name, &args, cfg, with_layout));

@@ -25,6 +25,7 @@ use rtdc_sim::map;
 use crate::error::BuildError;
 use crate::image::{MemoryImage, Scheme, Segment, SizeReport};
 use crate::integrity;
+use crate::plan::{CompressionPlan, PlanError, PlanSource};
 use crate::select::Selection;
 
 fn align_up(x: u32, a: u32) -> u32 {
@@ -116,58 +117,41 @@ pub fn build_compressed(
     build_compressed_ordered(program, scheme, second_rf, selection, &order)
 }
 
-/// [`build_compressed`] with an explicit within-region procedure order.
-///
-/// `order` is a permutation of all procedure ids; each region (compressed,
-/// then native) lays its procedures out in the order they appear in it.
-/// Passing the identity permutation reproduces the paper's layout; a
-/// profile-driven order (see
-/// [`placement_hot_first`](crate::select::placement_hot_first)) implements
-/// the simple profile-guided placement the paper suggests as future work
-/// (§5.3, citing Pettis-Hansen).
+/// Builds a compressed image from a [`CompressionPlan`] — **the** layout
+/// path every compressed build goes through. The plan carries everything
+/// the legacy `(scheme, second_rf, Selection, order)` argument tuple
+/// did: the image-wide scheme and handler variant, the native/compressed
+/// split, and the within-region layout order (ascending rank).
 ///
 /// # Errors
 ///
-/// As [`build_compressed`], plus [`BuildError::SelectionMismatch`] if
-/// `order` is not a permutation of `0..n`.
-pub fn build_compressed_ordered(
+/// * [`BuildError::Plan`] if the plan is internally inconsistent
+///   ([`CompressionPlan::validate`]) or covers a different number of
+///   procedures than the program;
+/// * [`BuildError::Compress`] / [`BuildError::Link`] as
+///   [`build_compressed`].
+pub fn build_planned(
     program: &ObjectProgram,
-    scheme: Scheme,
-    second_rf: bool,
-    selection: &Selection,
-    order: &[usize],
+    plan: &CompressionPlan,
 ) -> Result<MemoryImage, BuildError> {
+    plan.validate()?;
     let n = program.procedures.len();
-    if selection.proc_count() != n {
-        return Err(BuildError::SelectionMismatch {
+    if plan.proc_count() != n {
+        return Err(BuildError::Plan(PlanError::ProcCountMismatch {
+            plan: plan.proc_count(),
             program: n,
-            selection: selection.proc_count(),
-        });
+        }));
     }
-    {
-        let mut seen = vec![false; n];
-        let valid = order.len() == n
-            && order.iter().all(|&id| {
-                if id >= n || seen[id] {
-                    false
-                } else {
-                    seen[id] = true;
-                    true
-                }
-            });
-        if !valid {
-            return Err(BuildError::SelectionMismatch {
-                program: n,
-                selection: order.len(),
-            });
-        }
-    }
+    let scheme = plan.scheme;
+    let second_rf = plan.second_rf;
+    let selection = plan.selection();
+    let order = plan.order();
 
     // --- placement: compressed procs first, native procs after, the
-    // given order preserved within each region ---
+    // plan's rank order preserved within each region ---
     let mut addrs = vec![0u32; n];
     let mut cursor = map::TEXT_BASE;
-    for &id in order {
+    for &id in &order {
         if !selection.is_native(id) {
             addrs[id] = cursor;
             cursor += program.procedures[id].byte_size();
@@ -179,7 +163,7 @@ pub fn build_compressed_ordered(
     // into the native region.
     let native_base = align_up(comp_end, scheme.codec().region_align());
     let mut cursor = native_base;
-    for &id in order {
+    for &id in &order {
         if selection.is_native(id) {
             addrs[id] = cursor;
             cursor += program.procedures[id].byte_size();
@@ -192,7 +176,7 @@ pub fn build_compressed_ordered(
     let mut comp_words: Vec<u32> = Vec::new();
     let mut native_words: Vec<u32> = Vec::new();
     let mut proc_regions = Vec::with_capacity(n);
-    for &id in order {
+    for &id in &order {
         if !selection.is_native(id) {
             let insns = program.link_proc(ProcId(id), &placement)?;
             let start = placement.addr(ProcId(id))?;
@@ -205,7 +189,7 @@ pub fn build_compressed_ordered(
     while (map::TEXT_BASE + 4 * comp_words.len() as u32) < native_base {
         comp_words.push(encode(Instruction::NOP));
     }
-    for &id in order {
+    for &id in &order {
         if selection.is_native(id) {
             let insns = program.link_proc(ProcId(id), &placement)?;
             let start = placement.addr(ProcId(id))?;
@@ -303,4 +287,50 @@ pub fn build_compressed_ordered(
     };
     image.seal();
     Ok(image)
+}
+
+/// [`build_compressed`] with an explicit within-region procedure order.
+///
+/// `order` is a permutation of all procedure ids; each region (compressed,
+/// then native) lays its procedures out in the order they appear in it.
+/// Passing the identity permutation reproduces the paper's layout; a
+/// profile-driven order (see
+/// [`placement_hot_first`](crate::select::placement_hot_first)) implements
+/// the simple profile-guided placement the paper suggests as future work
+/// (§5.3, citing Pettis-Hansen).
+///
+/// # Errors
+///
+/// As [`build_compressed`], plus [`BuildError::SelectionMismatch`] if
+/// `order` is not a permutation of `0..n`.
+pub fn build_compressed_ordered(
+    program: &ObjectProgram,
+    scheme: Scheme,
+    second_rf: bool,
+    selection: &Selection,
+    order: &[usize],
+) -> Result<MemoryImage, BuildError> {
+    let n = program.procedures.len();
+    if selection.proc_count() != n {
+        return Err(BuildError::SelectionMismatch {
+            program: n,
+            selection: selection.proc_count(),
+        });
+    }
+    // A wrong-length or non-permutation order keeps its historical error
+    // shape; a valid one becomes a heuristic-source plan with rank =
+    // position in `order`.
+    let plan = CompressionPlan::from_order(
+        scheme,
+        second_rf,
+        PlanSource::Heuristic,
+        0,
+        selection,
+        order,
+    )
+    .map_err(|_| BuildError::SelectionMismatch {
+        program: n,
+        selection: order.len(),
+    })?;
+    build_planned(program, &plan)
 }

@@ -8,6 +8,8 @@ use rtdc_compress::dictionary::DictionaryOverflow;
 use rtdc_isa::program::LinkError;
 use rtdc_sim::SimError;
 
+use crate::plan::PlanError;
+
 /// Errors verifying a [`MemoryImage`](crate::image::MemoryImage)'s
 /// integrity at load time, against the digests recorded when it was
 /// built (see [`crate::integrity`]).
@@ -105,6 +107,9 @@ pub enum BuildError {
         /// Procedures the selection was built for.
         selection: usize,
     },
+    /// The compression plan is internally inconsistent or does not match
+    /// the program (see [`PlanError`]).
+    Plan(PlanError),
 }
 
 impl fmt::Display for BuildError {
@@ -116,6 +121,7 @@ impl fmt::Display for BuildError {
                 f,
                 "selection built for {selection} procedures but program has {program}"
             ),
+            BuildError::Plan(e) => write!(f, "invalid compression plan: {e}"),
         }
     }
 }
@@ -126,7 +132,14 @@ impl Error for BuildError {
             BuildError::Compress(e) => Some(e),
             BuildError::Link(e) => Some(e),
             BuildError::SelectionMismatch { .. } => None,
+            BuildError::Plan(e) => Some(e),
         }
+    }
+}
+
+impl From<PlanError> for BuildError {
+    fn from(e: PlanError) -> BuildError {
+        BuildError::Plan(e)
     }
 }
 

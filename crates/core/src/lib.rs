@@ -19,6 +19,9 @@
 //!   Figure 3 memory layout, for any registered scheme.
 //! * [`select`] — selective compression (§3.3): execution-based and
 //!   miss-based native-procedure selection.
+//! * [`plan`] — the [`CompressionPlan`](plan::CompressionPlan) IR: every
+//!   compressed build is a plan (native/compressed split, layout ranks,
+//!   provenance), and [`builder::build_planned`] is the one layout path.
 //! * [`runner`] — loading, running, and native profiling.
 //!
 //! # Example: compress, run, compare
@@ -63,6 +66,7 @@ pub mod fault;
 pub mod handlers;
 pub mod image;
 pub mod integrity;
+pub mod plan;
 pub mod proccache;
 pub mod registry;
 pub mod runner;
@@ -70,10 +74,13 @@ pub mod select;
 
 /// One-stop imports for experiments and examples.
 pub mod prelude {
-    pub use crate::builder::{build_compressed, build_compressed_ordered, build_native};
+    pub use crate::builder::{
+        build_compressed, build_compressed_ordered, build_native, build_planned,
+    };
     pub use crate::error::{BuildError, ImageError, RunError};
     pub use crate::fault::{Fault, FaultKind, FaultPlan};
     pub use crate::image::{MemoryImage, Scheme, SizeReport};
+    pub use crate::plan::{CompressionPlan, PlanError, PlanSource, ProcDecision};
     pub use crate::runner::{
         load_image, load_image_with_sink, profile_native, run_image, run_image_verified,
         run_image_with_sink, RunReport,

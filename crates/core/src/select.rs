@@ -279,4 +279,91 @@ mod tests {
         let order = placement_hot_first(&p, SelectBy::Miss);
         assert_eq!(order, vec![2, 0, 3, 4, 1]); // miss: 80,10,5,5,0
     }
+
+    #[test]
+    fn empty_profile_selects_and_orders_nothing() {
+        let p = ProcedureProfile {
+            names: Vec::new(),
+            exec: Vec::new(),
+            miss: Vec::new(),
+            entry_trace: Vec::new(),
+            entry_trace_truncated: false,
+        };
+        for by in [SelectBy::Execution, SelectBy::Miss] {
+            let s = Selection::by_profile(&p, by, 0.5);
+            assert_eq!(s.native_count(), 0);
+            assert_eq!(s.proc_count(), 0);
+            assert_eq!(placement_hot_first(&p, by), Vec::<usize>::new());
+        }
+    }
+
+    #[test]
+    fn fraction_endpoints_on_every_metric() {
+        let p = profile();
+        for by in [SelectBy::Execution, SelectBy::Miss] {
+            // 0.0: the target is met before anything is selected.
+            assert_eq!(Selection::by_profile(&p, by, 0.0).native_count(), 0);
+            // 1.0: everything with a nonzero count, nothing with zero.
+            let full = Selection::by_profile(&p, by, 1.0);
+            let counts = match by {
+                SelectBy::Execution => &p.exec,
+                SelectBy::Miss => &p.miss,
+            };
+            for (id, &c) in counts.iter().enumerate() {
+                assert_eq!(full.is_native(id), c > 0, "{by} id {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn tied_weights_break_deterministically_by_id() {
+        // p3 and p4 tie on misses (5 each): lower id always sorts first,
+        // for both selection and placement — the tie-break the optimizer's
+        // reproducibility contract relies on.
+        let p = profile();
+        let order = placement_hot_first(&p, SelectBy::Miss);
+        let pos3 = order.iter().position(|&i| i == 3).unwrap();
+        let pos4 = order.iter().position(|&i| i == 4).unwrap();
+        assert!(pos3 < pos4, "tied procs must order by ascending id");
+
+        // All-tied profile: placement degenerates to the identity order
+        // and selection takes a prefix of it.
+        let tied = ProcedureProfile {
+            names: (0..4).map(|i| format!("t{i}")).collect(),
+            exec: vec![10, 10, 10, 10],
+            miss: vec![10, 10, 10, 10],
+            entry_trace: Vec::new(),
+            entry_trace_truncated: false,
+        };
+        assert_eq!(
+            placement_hot_first(&tied, SelectBy::Execution),
+            vec![0, 1, 2, 3]
+        );
+        let half = Selection::by_profile(&tied, SelectBy::Execution, 0.5);
+        assert!(half.is_native(0) && half.is_native(1));
+        assert!(!half.is_native(2) && !half.is_native(3));
+    }
+
+    #[test]
+    fn single_procedure_program() {
+        let p = ProcedureProfile {
+            names: vec!["only".into()],
+            exec: vec![42],
+            miss: vec![7],
+            entry_trace: Vec::new(),
+            entry_trace_truncated: false,
+        };
+        for by in [SelectBy::Execution, SelectBy::Miss] {
+            assert_eq!(Selection::by_profile(&p, by, 0.0).native_count(), 0);
+            let s = Selection::by_profile(&p, by, 1.0);
+            assert_eq!(s.native_count(), 1);
+            assert!(s.is_native(0));
+            assert_eq!(placement_hot_first(&p, by), vec![0]);
+        }
+        // Any nonzero fraction selects the only (nonzero-count) procedure.
+        assert_eq!(
+            Selection::by_profile(&p, SelectBy::Miss, 0.01).native_count(),
+            1
+        );
+    }
 }

@@ -1,0 +1,81 @@
+//! Guard: exactly one code path lays out compressed-image segments.
+//!
+//! The plan refactor collapsed `build_compressed` /
+//! `build_compressed_ordered` into thin wrappers over `build_planned`;
+//! this test (in the spirit of `no_scheme_match.rs`) keeps it that way.
+//! If a second layout loop reappears — another `codec.compress(...)`
+//! call site, another cursor seeded at the compressed base, another
+//! placement construction — the marker counts change and this fails.
+
+use std::fs;
+use std::path::Path;
+
+/// Counts non-overlapping occurrences of `needle` in `text`.
+fn count(text: &str, needle: &str) -> usize {
+    text.match_indices(needle).count()
+}
+
+#[test]
+fn segment_layout_lives_only_in_build_planned() {
+    let src_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut sources = Vec::new();
+    for entry in fs::read_dir(&src_dir).expect("readable src dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            sources.push((
+                path.file_name().unwrap().to_string_lossy().into_owned(),
+                fs::read_to_string(&path).expect("readable source"),
+            ));
+        }
+    }
+    assert!(
+        sources.len() > 8,
+        "src walk looks broken: only {} files",
+        sources.len()
+    );
+
+    // Each marker is one thing only the layout path does. They must each
+    // appear exactly once across the whole crate — in builder.rs.
+    let markers = [
+        "codec.compress(&comp_words)",  // region compression call site
+        "map::COMPRESSED_BASE",         // segment cursor seed
+        "Placement::new(",              // two-region placement
+        "scheme.handler().resolve_c0(", // C0 ABI resolution
+    ];
+    for marker in markers {
+        let mut hits: Vec<&str> = Vec::new();
+        for (name, text) in &sources {
+            for _ in 0..count(text, marker) {
+                hits.push(name);
+            }
+        }
+        assert_eq!(
+            hits,
+            vec!["builder.rs"],
+            "layout marker `{marker}` must appear exactly once, in builder.rs; found {hits:?}"
+        );
+    }
+
+    // And within builder.rs, the legacy entrypoints must stay thin: the
+    // only function allowed to touch the markers is build_planned.
+    let builder = &sources
+        .iter()
+        .find(|(name, _)| name == "builder.rs")
+        .expect("builder.rs exists")
+        .1;
+    for legacy in ["fn build_compressed(", "fn build_compressed_ordered("] {
+        let start = builder.find(legacy).expect("legacy entrypoint exists");
+        let next_fn = builder[start + legacy.len()..]
+            .find("\npub fn ")
+            .map(|o| start + legacy.len() + o)
+            .unwrap_or(builder.len());
+        let body = &builder[start..next_fn];
+        for marker in markers {
+            assert_eq!(
+                count(body, marker),
+                0,
+                "`{legacy}` grew its own layout logic (marker `{marker}`)"
+            );
+        }
+    }
+}
