@@ -1,27 +1,42 @@
-//! `benchguard` — sim-MIPS regression guard over `BENCH_sim.json`.
+//! `benchguard` — benchmark regression guard over `BENCH_*.json`.
 //!
 //! ```sh
 //! benchguard <baseline.json> <current.json> [--config benchguard.toml]
 //! ```
 //!
-//! Compares the **serial** per-scheme aggregate rows (the `"schemes"`
-//! array) of two simperf reports and fails if any scheme present in both
-//! has dropped to below `floor_ratio` of the baseline's sim-MIPS (default
-//! 0.7, a >30% regression). Parallel-pass numbers and per-benchmark rows
-//! are informational only — they are too host-noise-sensitive to gate on.
+//! The guard understands two report shapes and picks per pair:
+//!
+//! * **simperf** reports (`BENCH_sim.json`): compares the **serial**
+//!   per-scheme aggregate rows (the `"schemes"` array) and fails if any
+//!   scheme present in both has dropped below `floor_ratio` of the
+//!   baseline's sim-MIPS (default 0.7, a >30% regression).
+//!   Parallel-pass numbers and per-benchmark rows are informational
+//!   only — they are too host-noise-sensitive to gate on.
+//! * **servebench** reports (`BENCH_serve.json`): a flat `"serve"`
+//!   array of `{"metric": ..., "value": ...}` rows. Metrics named in
+//!   `[serve_floors]` gate as a fraction of the baseline value
+//!   (higher-is-better, same contract as `floor_ratio`); metrics named
+//!   in `[serve_min]` gate against an **absolute** minimum regardless
+//!   of the baseline (e.g. the ≥5x warm-cache speedup the serving
+//!   design promises). Unlisted metrics — notably the p50/p99
+//!   latencies, where lower is better — are informational only.
 //!
 //! `--config` points at a checked-in TOML-subset file setting the
-//! threshold, so tightening or loosening the gate is a reviewed one-line
+//! thresholds, so tightening or loosening a gate is a reviewed one-line
 //! diff instead of a CI-workflow edit:
 //!
 //! ```toml
 //! floor_ratio = 0.7        # global floor as a fraction of baseline
 //! [scheme_floors]
 //! lz = 0.6                 # optional per-scheme overrides
+//! [serve_floors]
+//! run_rps = 0.5            # serve metric vs baseline, higher is better
+//! [serve_min]
+//! build_speedup = 5.0      # absolute floor, baseline-independent
 //! ```
 //!
 //! (Parsed with a hand-rolled scanner — key = value lines, `#` comments,
-//! one optional `[scheme_floors]` section — no TOML dependency.)
+//! bracketed sections — no TOML dependency.)
 //!
 //! When both reports carry the per-phase metrics simperf records since
 //! the tracing PR (`cycles`, `handler_share`, `exc_per_kinsn`,
@@ -44,6 +59,12 @@ struct GuardConfig {
     floor_ratio: f64,
     /// Per-scheme overrides of `floor_ratio`.
     scheme_floors: Vec<(String, f64)>,
+    /// Serve metrics gated as a fraction of their baseline value
+    /// (higher-is-better metrics only).
+    serve_floors: Vec<(String, f64)>,
+    /// Serve metrics gated against an absolute minimum, independent of
+    /// the baseline.
+    serve_min: Vec<(String, f64)>,
 }
 
 impl Default for GuardConfig {
@@ -51,6 +72,8 @@ impl Default for GuardConfig {
         GuardConfig {
             floor_ratio: 0.7,
             scheme_floors: Vec::new(),
+            serve_floors: Vec::new(),
+            serve_min: Vec::new(),
         }
     }
 }
@@ -66,16 +89,25 @@ impl GuardConfig {
 
     /// Parses the TOML subset described in the module docs.
     fn parse(text: &str) -> Result<GuardConfig, String> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Section {
+            Top,
+            SchemeFloors,
+            ServeFloors,
+            ServeMin,
+        }
         let mut cfg = GuardConfig::default();
-        let mut in_scheme_floors = false;
+        let mut section = Section::Top;
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
                 continue;
             }
-            if let Some(section) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
-                in_scheme_floors = match section.trim() {
-                    "scheme_floors" => true,
+            if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = match header.trim() {
+                    "scheme_floors" => Section::SchemeFloors,
+                    "serve_floors" => Section::ServeFloors,
+                    "serve_min" => Section::ServeMin,
                     other => return Err(format!("line {}: unknown section [{other}]", lineno + 1)),
                 };
                 continue;
@@ -86,18 +118,29 @@ impl GuardConfig {
             // Keys like `d+plan` must be quoted to stay valid TOML;
             // accept them bare or quoted alike.
             let (key, value) = (key.trim().trim_matches('"'), value.trim());
-            let ratio: f64 = value
+            let num: f64 = value
                 .parse()
                 .map_err(|_| format!("line {}: `{value}` is not a number", lineno + 1))?;
-            if !(0.0..=1.0).contains(&ratio) {
-                return Err(format!("line {}: ratio {ratio} outside 0..=1", lineno + 1));
+            // Ratios vs a baseline must stay in 0..=1; absolute minimums
+            // (`[serve_min]`) just need to be finite and non-negative.
+            let is_ratio = section != Section::ServeMin;
+            if is_ratio && !(0.0..=1.0).contains(&num) {
+                return Err(format!("line {}: ratio {num} outside 0..=1", lineno + 1));
             }
-            if in_scheme_floors {
-                cfg.scheme_floors.push((key.to_string(), ratio));
-            } else if key == "floor_ratio" {
-                cfg.floor_ratio = ratio;
-            } else {
-                return Err(format!("line {}: unknown key `{key}`", lineno + 1));
+            if !num.is_finite() || num < 0.0 {
+                return Err(format!(
+                    "line {}: `{num}` is not a usable floor",
+                    lineno + 1
+                ));
+            }
+            match section {
+                Section::SchemeFloors => cfg.scheme_floors.push((key.to_string(), num)),
+                Section::ServeFloors => cfg.serve_floors.push((key.to_string(), num)),
+                Section::ServeMin => cfg.serve_min.push((key.to_string(), num)),
+                Section::Top if key == "floor_ratio" => cfg.floor_ratio = num,
+                Section::Top => {
+                    return Err(format!("line {}: unknown key `{key}`", lineno + 1));
+                }
             }
         }
         Ok(cfg)
@@ -187,6 +230,63 @@ fn scheme_rows(report: &str) -> Result<Vec<SchemeRow>, String> {
     Ok(rows)
 }
 
+/// One servebench metric row: `{"metric": "warm_build_rps", "value": ...}`.
+#[derive(Debug, Clone)]
+struct ServeRow {
+    metric: String,
+    value: f64,
+}
+
+/// Extracts the metric rows from the `"serve"` array of a servebench
+/// report — same one-row-per-line scanner as [`scheme_rows`].
+fn serve_rows(report: &str) -> Result<Vec<ServeRow>, String> {
+    let start = report.find("\"serve\": [").ok_or("no \"serve\" array")?;
+    let body = &report[start..];
+    let end = body.find(']').ok_or("unterminated \"serve\" array")?;
+    let mut rows = Vec::new();
+    for line in body[..end].lines().filter(|l| l.contains("\"metric\":")) {
+        let field = |key: &str| -> Option<&str> {
+            let pat = format!("\"{key}\": ");
+            let at = line.find(&pat)? + pat.len();
+            let rest = &line[at..];
+            Some(rest[..rest.find([',', '}'])?].trim())
+        };
+        let metric = field("metric")
+            .ok_or("row missing metric")?
+            .trim_matches('"')
+            .to_string();
+        let value: f64 = field("value")
+            .ok_or("row missing value")?
+            .parse()
+            .map_err(|e| format!("bad value for {metric}: {e}"))?;
+        rows.push(ServeRow { metric, value });
+    }
+    if rows.is_empty() {
+        return Err("\"serve\" array has no rows".into());
+    }
+    Ok(rows)
+}
+
+/// A parsed report of either shape.
+enum Report {
+    /// A simperf report (`"schemes"` array).
+    Schemes(Vec<SchemeRow>),
+    /// A servebench report (`"serve"` array).
+    Serve(Vec<ServeRow>),
+}
+
+/// Parses a report by shape: simperf's `"schemes"` array wins, then
+/// servebench's `"serve"` array.
+fn parse_report(text: &str) -> Result<Report, String> {
+    if text.contains("\"schemes\": [") {
+        return scheme_rows(text).map(Report::Schemes);
+    }
+    if text.contains("\"serve\": [") {
+        return serve_rows(text).map(Report::Serve);
+    }
+    Err("neither a \"schemes\" nor a \"serve\" array — not a benchmark report".into())
+}
+
 /// Prints the non-blocking per-phase diff for one scheme present in both
 /// reports with metrics on both sides.
 fn print_metrics_diff(scheme: &str, base: &RowMetrics, cur: &RowMetrics) {
@@ -246,11 +346,26 @@ fn run() -> Result<bool, String> {
         std::fs::read_to_string(&baseline_path).map_err(|e| format!("{baseline_path}: {e}"))?;
     let current =
         std::fs::read_to_string(&current_path).map_err(|e| format!("{current_path}: {e}"))?;
-    let baseline = scheme_rows(&baseline).map_err(|e| format!("{baseline_path}: {e}"))?;
-    let current = scheme_rows(&current).map_err(|e| format!("{current_path}: {e}"))?;
+    let baseline = parse_report(&baseline).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let current = parse_report(&current).map_err(|e| format!("{current_path}: {e}"))?;
+    match (baseline, current) {
+        (Report::Schemes(b), Report::Schemes(c)) => guard_schemes(&config, &b, &c),
+        (Report::Serve(b), Report::Serve(c)) => guard_serve(&config, &b, &c),
+        _ => Err(format!(
+            "{baseline_path} and {current_path} are different report shapes"
+        )),
+    }
+}
 
+/// The sim-MIPS gate over two simperf reports. Returns `Ok(false)` on a
+/// regression below the configured floor.
+fn guard_schemes(
+    config: &GuardConfig,
+    baseline: &[SchemeRow],
+    current: &[SchemeRow],
+) -> Result<bool, String> {
     let mut ok = true;
-    for row in &baseline {
+    for row in baseline {
         let (scheme, base) = (&row.scheme, row.mips);
         match current.iter().find(|r| &r.scheme == scheme) {
             None => {
@@ -272,7 +387,7 @@ fn run() -> Result<bool, String> {
             }
         }
     }
-    for row in &current {
+    for row in current {
         if !baseline.iter().any(|r| r.scheme == row.scheme) {
             println!(
                 "{:<10} current {:>8.2} sim-MIPS, not in baseline (new scheme)",
@@ -283,7 +398,7 @@ fn run() -> Result<bool, String> {
 
     // Per-phase metrics diff: informational only, never fails the guard.
     let mut any_metrics = false;
-    for row in &baseline {
+    for row in baseline {
         let Some(base_m) = &row.metrics else { continue };
         let Some(cur_row) = current.iter().find(|r| r.scheme == row.scheme) else {
             continue;
@@ -300,19 +415,171 @@ fn run() -> Result<bool, String> {
     Ok(ok)
 }
 
+/// The serving-throughput gate over two servebench reports. A metric
+/// fails if it is named in `[serve_min]` and below its absolute floor,
+/// or named in `[serve_floors]` and below that fraction of its baseline
+/// value. Everything else is informational.
+fn guard_serve(
+    config: &GuardConfig,
+    baseline: &[ServeRow],
+    current: &[ServeRow],
+) -> Result<bool, String> {
+    let lookup = |table: &[(String, f64)], metric: &str| -> Option<f64> {
+        table.iter().find(|(m, _)| m == metric).map(|&(_, v)| v)
+    };
+    let mut ok = true;
+    for row in current {
+        let metric = &row.metric;
+        let cur = row.value;
+        let base = baseline
+            .iter()
+            .find(|r| &r.metric == metric)
+            .map(|r| r.value);
+        // The effective floor: the tighter of the absolute minimum and
+        // the baseline-relative one (when both apply, both must hold).
+        let abs_floor = lookup(&config.serve_min, metric);
+        let rel_floor = match (lookup(&config.serve_floors, metric), base) {
+            (Some(ratio), Some(b)) => Some(b * ratio),
+            _ => None,
+        };
+        let floor = match (abs_floor, rel_floor) {
+            (Some(a), Some(r)) => Some(a.max(r)),
+            (a, r) => a.or(r),
+        };
+        let base_str = base.map_or_else(|| "       (new)".into(), |b| format!("{b:>12.2}"));
+        match floor {
+            None => println!("{metric:<16} baseline {base_str} current {cur:>12.2}  (info)"),
+            Some(f) => {
+                let verdict = if cur < f {
+                    ok = false;
+                    "REGRESSION"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{metric:<16} baseline {base_str} current {cur:>12.2} (floor {f:>9.2})  {verdict}"
+                );
+            }
+        }
+    }
+    for row in baseline {
+        if !current.iter().any(|r| r.metric == row.metric) {
+            println!(
+                "{:<16} baseline {:>12.2}, not in current (skipped)",
+                row.metric, row.value
+            );
+        }
+    }
+    // A `[serve_min]` floor with no row to check is a silent hole in the
+    // gate — fail loudly instead.
+    for (metric, min) in &config.serve_min {
+        if !current.iter().any(|r| &r.metric == metric) {
+            ok = false;
+            println!("{metric:<16} required >= {min:.2} but missing from current  REGRESSION");
+        }
+    }
+    Ok(ok)
+}
+
 fn main() -> ExitCode {
     match run() {
         Ok(true) => {
-            println!("benchguard: serial sim-MIPS above the configured floor");
+            println!("benchguard: all gated metrics above their configured floors");
             ExitCode::SUCCESS
         }
         Ok(false) => {
-            eprintln!("benchguard: serial sim-MIPS regression detected");
+            eprintln!("benchguard: benchmark regression detected");
             ExitCode::FAILURE
         }
         Err(e) => {
             eprintln!("benchguard: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_parses_all_sections() {
+        let cfg = GuardConfig::parse(
+            r#"
+            floor_ratio = 0.8      # tightened
+            [scheme_floors]
+            "d+plan" = 0.6
+            [serve_floors]
+            run_rps = 0.5
+            [serve_min]
+            build_speedup = 5.0
+            hit_rate = 0.9
+            "#,
+        )
+        .expect("parses");
+        assert_eq!(cfg.floor_ratio, 0.8);
+        assert_eq!(cfg.scheme_floors, vec![("d+plan".to_string(), 0.6)]);
+        assert_eq!(cfg.serve_floors, vec![("run_rps".to_string(), 0.5)]);
+        assert_eq!(
+            cfg.serve_min,
+            vec![
+                ("build_speedup".to_string(), 5.0),
+                ("hit_rate".to_string(), 0.9)
+            ]
+        );
+    }
+
+    #[test]
+    fn ratios_stay_bounded_but_minimums_do_not() {
+        assert!(GuardConfig::parse("floor_ratio = 1.5").is_err());
+        assert!(GuardConfig::parse("[serve_floors]\nx = 1.5").is_err());
+        assert!(GuardConfig::parse("[serve_min]\nx = 1.5").is_ok());
+        assert!(GuardConfig::parse("[serve_min]\nx = -1").is_err());
+    }
+
+    const SERVE_REPORT: &str = r#"{
+  "serve": [
+    {"metric": "cold_build_rps", "value": 10.0},
+    {"metric": "warm_build_rps", "value": 80.0},
+    {"metric": "build_speedup", "value": 8.0},
+    {"metric": "run_p99_ms", "value": 3.5}
+  ]
+}"#;
+
+    #[test]
+    fn serve_reports_parse_and_dispatch() {
+        let rows = match parse_report(SERVE_REPORT).expect("parses") {
+            Report::Serve(rows) => rows,
+            Report::Schemes(_) => panic!("mis-detected shape"),
+        };
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[2].metric, "build_speedup");
+        assert_eq!(rows[2].value, 8.0);
+    }
+
+    #[test]
+    fn serve_gate_applies_both_floor_kinds() {
+        let cfg = GuardConfig::parse(
+            "[serve_floors]\nwarm_build_rps = 0.5\n[serve_min]\nbuild_speedup = 5.0",
+        )
+        .unwrap();
+        let base = match parse_report(SERVE_REPORT).unwrap() {
+            Report::Serve(r) => r,
+            Report::Schemes(_) => unreachable!(),
+        };
+        // Identical current: passes.
+        assert!(guard_serve(&cfg, &base, &base).unwrap());
+        // Halve-minus-epsilon the relative-gated metric: fails.
+        let mut slow = base.clone();
+        slow[1].value = 39.0;
+        assert!(!guard_serve(&cfg, &base, &slow).unwrap());
+        // Below the absolute minimum: fails even when the baseline was
+        // just as bad (absolute floors do not ratchet down).
+        let mut weak = base.clone();
+        weak[2].value = 4.0;
+        assert!(!guard_serve(&cfg, &weak, &weak).unwrap());
+        // A `[serve_min]`-gated metric missing entirely: fails.
+        let gone: Vec<ServeRow> = base[..2].to_vec();
+        assert!(!guard_serve(&cfg, &base, &gone).unwrap());
     }
 }

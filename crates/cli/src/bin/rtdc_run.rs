@@ -40,6 +40,14 @@
 //! and `rtdc_bench::analyze` consume; `--trace-filter` limits which
 //! event kinds are recorded (`exc,swic,stall,...` or `all`).
 //!
+//! `--serve SOCKET` routes `--bench`/`--scheme` runs through a running
+//! `rtdc-serve` daemon instead of building locally — repeated runs of
+//! the same image are served from the daemon's content-addressed cache.
+//! The printed stats block is identical to a local run's (the daemon's
+//! responses are pure functions of the request); options that change
+//! the local build or simulator (`--plan`, `--icache`, `--inject`,
+//! `--trace`, ...) are rejected in this mode.
+//!
 //! `--inject SPEC` applies a deterministic fault plan to the image after
 //! building it (`rand:SEED[:N]`, or a comma list of
 //! `flip:SEG:OFF:BIT` / `stuck:SEG:OFF:0xVV` / `trunc:SEG:OFF`) —
@@ -375,6 +383,10 @@ fn run() -> Result<(), String> {
         None => 1,
     };
 
+    if let Some(socket) = args.opt("serve") {
+        return serve_run(socket, &names, &args);
+    }
+
     if let Some(path) = args.opt("trace") {
         if names.len() > 1 {
             return Err("--trace only applies to a single --bench".into());
@@ -408,6 +420,90 @@ fn run() -> Result<(), String> {
                 failed = true;
                 eprintln!("rtdc-run: {name}: {e}");
             }
+        }
+    }
+    if failed {
+        return Err("one or more benchmarks failed".into());
+    }
+    Ok(())
+}
+
+/// `--serve SOCKET`: route runs through an `rtdc-serve` daemon. The
+/// daemon simulates under the paper baseline config, so every local
+/// option that would change the build or the machine is rejected here
+/// rather than silently ignored.
+fn serve_run(socket: &str, names: &[&str], args: &Args) -> Result<(), String> {
+    for opt in [
+        "plan",
+        "emit-plan",
+        "select",
+        "threshold",
+        "icache",
+        "trace",
+        "trace-filter",
+        "disasm",
+        "inject",
+        "jobs",
+    ] {
+        if args.opt(opt).is_some() {
+            return Err(format!("--{opt} does not apply with --serve"));
+        }
+    }
+    for flag in ["layout", "verify-lines", "inject-fixup", "no-translate"] {
+        if args.has(flag) {
+            return Err(format!("--{flag} does not apply with --serve"));
+        }
+    }
+    let scheme_arg = args.opt("scheme").unwrap_or("native").to_ascii_lowercase();
+    // Validate locally for a friendly error before bothering the daemon.
+    parse_scheme_arg(&scheme_arg)?;
+    let path = std::path::Path::new(socket);
+    let mut client = rtdc_serve::client::Client::connect(path)
+        .map_err(|e| format!("{socket}: {e} (is rtdc-serve running?)"))?;
+    let mut failed = false;
+    for name in names {
+        let line = rtdc_serve::client::request_line("run", name, &scheme_arg, None);
+        let resp = client
+            .request(&line)
+            .map_err(|e| format!("{socket}: {e}"))?;
+        let ok = resp
+            .get("ok")
+            .and_then(rtdc_serve::json::Json::as_bool)
+            .unwrap_or(false);
+        if !ok {
+            failed = true;
+            let kind = resp
+                .get("error")
+                .and_then(rtdc_serve::json::Json::as_str)
+                .unwrap_or("unknown");
+            let detail = resp
+                .get("detail")
+                .and_then(rtdc_serve::json::Json::as_str)
+                .unwrap_or("");
+            eprintln!("rtdc-run: {name}: {kind}: {detail}");
+            continue;
+        }
+        let field = |k: &str| {
+            resp.get(k)
+                .and_then(rtdc_serve::json::Json::as_u64)
+                .ok_or_else(|| format!("{socket}: response missing `{k}`"))
+        };
+        let stats = resp
+            .get("stats")
+            .and_then(rtdc_serve::protocol::parse_stats)
+            .ok_or_else(|| format!("{socket}: response missing `stats`"))?;
+        let label = resp
+            .get("label")
+            .and_then(rtdc_serve::json::Json::as_str)
+            .unwrap_or(&scheme_arg);
+        println!(
+            "{name} [{label}] via {socket}: exit code {}, {} output bytes",
+            field("exit_code")?,
+            field("output_len")?,
+        );
+        print!("{}", format_stats(&stats));
+        if args.has("metrics") {
+            print!("{}", format_metrics(&stats));
         }
     }
     if failed {

@@ -296,6 +296,19 @@ impl MemoryImage {
         self.proc_names.len()
     }
 
+    /// Approximate bytes this image occupies when held resident in a
+    /// host-side cache: segment payloads plus the build-time reference
+    /// measurements (per-line CRCs and segment digests) that travel with
+    /// it. Small fixed-size metadata (ranges, entry state) is ignored —
+    /// the accounting exists so an LRU byte budget tracks the dominant
+    /// cost, not to audit the allocator.
+    pub fn resident_bytes(&self) -> u64 {
+        let segs: u64 = self.segments.iter().map(|s| s.bytes.len() as u64).sum();
+        let crcs = 4 * self.line_crcs.len() as u64;
+        let digests: u64 = self.integrity.iter().map(|d| 8 + d.name.len() as u64).sum();
+        segs + crcs + digests
+    }
+
     /// A human-readable rendering of the memory layout — the paper's
     /// Figure 3, for this image.
     pub fn describe(&self) -> String {

@@ -339,6 +339,34 @@ impl CompressionPlan {
         ids
     }
 
+    /// Content digest of the plan: a CRC32 over the scheme, handler
+    /// variant, and every per-procedure decision — exactly the fields
+    /// that determine the bytes of the built image. Provenance
+    /// (`source`, `iteration`) is deliberately excluded: two plans with
+    /// identical decisions build identical images and therefore share a
+    /// digest. This is the plan component of the content-addressed cache
+    /// key used by `rtdc-serve` (`(benchmark, scheme label, plan
+    /// digest)`).
+    pub fn digest(&self) -> u32 {
+        use std::fmt::Write as _;
+        let mut canon = format!(
+            "scheme={}{}\n",
+            self.scheme.name(),
+            if self.second_rf { "+rf" } else { "" }
+        );
+        for (id, d) in self.procs.iter().enumerate() {
+            match d.scheme {
+                None => {
+                    let _ = writeln!(canon, "{id} native {}", d.rank);
+                }
+                Some(s) => {
+                    let _ = writeln!(canon, "{id} {} {}", s.name(), d.rank);
+                }
+            }
+        }
+        crate::integrity::crc32(canon.as_bytes())
+    }
+
     /// Checks internal consistency: ranks form a permutation of
     /// `0..procs` and every compressed procedure uses the header scheme.
     ///
@@ -593,6 +621,45 @@ mod tests {
         assert_eq!(
             text.parse::<CompressionPlan>(),
             Err(PlanError::MixedSchemes { id: 1 })
+        );
+    }
+
+    #[test]
+    fn digest_ignores_provenance_but_not_decisions() {
+        let plan = sample();
+        let mut relabeled = plan.clone();
+        relabeled.source = PlanSource::Manual;
+        relabeled.iteration = 0;
+        assert_eq!(
+            plan.digest(),
+            relabeled.digest(),
+            "provenance must not change the content digest"
+        );
+
+        let mut reordered = plan.clone();
+        reordered.procs.swap(0, 2); // swap two compressed decisions' ranks
+        let (a, b) = (reordered.procs[0].rank, reordered.procs[2].rank);
+        assert_ne!(a, b);
+        assert_ne!(
+            plan.digest(),
+            reordered.digest(),
+            "layout changes the digest"
+        );
+
+        let mut flipped = plan.clone();
+        flipped.second_rf = false;
+        assert_ne!(
+            plan.digest(),
+            flipped.digest(),
+            "handler variant changes the digest"
+        );
+
+        let mut renatived = plan.clone();
+        renatived.procs[0].scheme = None;
+        assert_ne!(
+            plan.digest(),
+            renatived.digest(),
+            "selection changes the digest"
         );
     }
 }

@@ -1,0 +1,78 @@
+//! `rtdc-serve` — the build-and-run daemon.
+//!
+//! ```sh
+//! rtdc-serve <socket-path> [--threads N] [--cache-mb N] [--max-insns N]
+//! ```
+//!
+//! Binds a Unix domain socket and serves newline-delimited JSON requests
+//! until a client sends `{"op":"shutdown"}` (or the process is killed;
+//! the socket file is unlinked on orderly teardown). Protocol and cache
+//! semantics live in the `rtdc_serve` library — this bin is argument
+//! parsing and a join.
+//!
+//! Examples:
+//!
+//! ```sh
+//! rtdc-serve /tmp/rtdc.sock --threads 8 --cache-mb 128 &
+//! printf '%s\n' '{"op":"run","bench":"sort","scheme":"d+rf"}' | nc -U /tmp/rtdc.sock
+//! printf '%s\n' '{"op":"stats"}' '{"op":"shutdown"}' | nc -U /tmp/rtdc.sock
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rtdc_serve::server::{ServeConfig, Server};
+
+const USAGE: &str = "usage: rtdc-serve <socket-path> [--threads N] [--cache-mb N] [--max-insns N]";
+
+fn run() -> Result<(), String> {
+    let mut path: Option<PathBuf> = None;
+    let mut config = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))?
+                .parse()
+                .map_err(|_| format!("{name} needs a number\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--threads" => config.threads = num("--threads")?.max(1) as usize,
+            "--cache-mb" => config.cache_bytes = num("--cache-mb")? << 20,
+            "--max-insns" => config.max_insns = num("--max-insns")?,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unexpected option `{other}`\n{USAGE}"));
+            }
+            other => {
+                if path.replace(PathBuf::from(other)).is_some() {
+                    return Err(format!("more than one socket path\n{USAGE}"));
+                }
+            }
+        }
+    }
+    let path = path.ok_or_else(|| USAGE.to_string())?;
+    let server = Server::start(&path, config).map_err(|e| format!("{}: {e}", path.display()))?;
+    eprintln!(
+        "rtdc-serve: listening on {} ({} workers, {} MiB cache)",
+        path.display(),
+        config.threads,
+        config.cache_bytes >> 20,
+    );
+    server.join();
+    eprintln!("rtdc-serve: shut down");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rtdc-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

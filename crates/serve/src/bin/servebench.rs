@@ -1,0 +1,317 @@
+//! `servebench` — throughput and latency benchmark for `rtdc-serve`.
+//!
+//! ```sh
+//! servebench [--clients N] [--reps N] [--out BENCH_serve.json] [--quick]
+//! ```
+//!
+//! Starts an in-process daemon on a private socket and drives it with
+//! `--clients` concurrent client threads through three phases:
+//!
+//! 1. **cold builds** — a zero-budget cache, so every `build` request
+//!    lays the image out from scratch: the per-request-build baseline.
+//! 2. **warm builds** — a real cache, pre-warmed, then the *same*
+//!    request stream: every request is a verified cache hit. The
+//!    headline metric is `build_speedup = warm_rps / cold_rps` — the
+//!    build-once/serve-many economics the daemon exists for.
+//! 3. **mixed runs** — `run` requests (cached builds + fresh
+//!    simulations), recording requests/sec and p50/p99 latency.
+//!
+//! Results land in `BENCH_serve.json` (schema: a flat `"serve"` array of
+//! `{"metric": ..., "value": ...}` rows), which `benchguard` gates via
+//! the `[serve_floors]` / `[serve_min]` sections of `benchguard.toml`.
+//! Wall-clock metrics are host-dependent; the gate compares ratios
+//! against a checked-in baseline plus absolute minimums (the ≥5x build
+//! speedup), not raw numbers.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use rtdc_serve::client::{request_line, Client};
+use rtdc_serve::json::Json;
+use rtdc_serve::server::{ServeConfig, Server};
+
+/// The request workset: every tiny benchmark x every image family. Tiny
+/// benchmarks are generated once per process (`generate_cached`), so the
+/// cold phase measures image *layout* cost, not program generation.
+const BENCHES: [&str; 3] = ["tiny-walker", "tiny-loop", "tiny-interp"];
+const LABELS: [&str; 9] = [
+    "native", "d", "d+rf", "cp", "cp+rf", "d2", "d2+rf", "lz", "lz+rf",
+];
+
+struct Args {
+    clients: usize,
+    reps: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    const USAGE: &str = "usage: servebench [--clients N] [--reps N] [--out FILE] [--quick]";
+    let mut parsed = Args {
+        clients: 8,
+        reps: 6,
+        out: PathBuf::from("BENCH_serve.json"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--clients" => {
+                parsed.clients = val("--clients")?
+                    .parse()
+                    .map_err(|_| format!("--clients needs a number\n{USAGE}"))?;
+                parsed.clients = parsed.clients.max(1);
+            }
+            "--reps" => {
+                parsed.reps = val("--reps")?
+                    .parse()
+                    .map_err(|_| format!("--reps needs a number\n{USAGE}"))?;
+                parsed.reps = parsed.reps.max(1);
+            }
+            "--out" => parsed.out = PathBuf::from(val("--out")?),
+            "--quick" => parsed.reps = 2,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(parsed)
+}
+
+/// Each client's request stream: `reps` passes over the full workset,
+/// rotated per client so concurrent clients hit different keys at any
+/// instant (maximum cache churn, no lockstep).
+fn build_stream(client_id: usize, reps: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    for rep in 0..reps {
+        for i in 0..BENCHES.len() {
+            for j in 0..LABELS.len() {
+                let rot = (i * LABELS.len() + j + client_id * 7 + rep * 3)
+                    % (BENCHES.len() * LABELS.len());
+                let b = BENCHES[rot / LABELS.len()];
+                let l = LABELS[rot % LABELS.len()];
+                lines.push(request_line("build", b, l, None));
+            }
+        }
+    }
+    lines
+}
+
+/// Drives `clients` threads, each sending its stream and collecting
+/// per-request latencies. Returns (total requests, wall, latencies).
+fn drive(
+    socket: &std::path::Path,
+    clients: usize,
+    streams: &[Vec<String>],
+) -> Result<(u64, Duration, Vec<Duration>), String> {
+    let started = Instant::now();
+    let results: Vec<Result<Vec<Duration>, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|id| {
+                let stream = &streams[id];
+                scope.spawn(move || {
+                    let mut c = Client::connect(socket).map_err(|e| e.to_string())?;
+                    let mut lats = Vec::with_capacity(stream.len());
+                    for line in stream {
+                        let t = Instant::now();
+                        let resp = c.request_raw(line).map_err(|e| e.to_string())?;
+                        lats.push(t.elapsed());
+                        if !resp.starts_with(r#"{"ok":true"#) {
+                            return Err(format!("request `{line}` failed: {resp}"));
+                        }
+                    }
+                    Ok(lats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err("client panicked".into())))
+            .collect()
+    });
+    let wall = started.elapsed();
+    let mut all = Vec::new();
+    for r in results {
+        all.extend(r?);
+    }
+    Ok((all.len() as u64, wall, all))
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn cache_stats(socket: &std::path::Path) -> Result<(u64, u64, u64), String> {
+    let mut c = Client::connect(socket).map_err(|e| e.to_string())?;
+    let v = c.request(r#"{"op":"stats"}"#).map_err(|e| e.to_string())?;
+    let cache = v.get("cache").ok_or("stats response missing `cache`")?;
+    let f = |k: &str| {
+        cache
+            .get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("stats cache missing `{k}`"))
+    };
+    Ok((f("lookups")?, f("hits")?, f("misses")?))
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let socket_dir = std::env::temp_dir();
+    let threads = rtdc_bench::jobs::jobs_from_env();
+    let streams: Vec<Vec<String>> = (0..args.clients)
+        .map(|id| build_stream(id, args.reps))
+        .collect();
+
+    // Generation is memoized per process; do it before timing anything
+    // so the cold phase measures layout, not program generation.
+    eprintln!("servebench: generating worksets...");
+    for bench in BENCHES {
+        let spec = [
+            rtdc_workloads::spec::tiny::walker(),
+            rtdc_workloads::spec::tiny::loop_kernel(),
+            rtdc_workloads::spec::tiny::interpreter(),
+        ]
+        .into_iter()
+        .find(|s| s.name == bench)
+        .expect("tiny spec");
+        rtdc_workloads::generate_cached(&spec);
+    }
+
+    // Phase 1: cold — zero cache budget, every build is from scratch.
+    eprintln!(
+        "servebench: cold build phase ({} clients x {} requests)...",
+        args.clients,
+        streams[0].len()
+    );
+    let cold_socket = socket_dir.join(format!("rtdc-servebench-cold-{}.sock", std::process::id()));
+    let cold_server = Server::start(
+        &cold_socket,
+        ServeConfig {
+            threads,
+            cache_bytes: 0,
+            max_insns: 2_000_000_000,
+        },
+    )
+    .map_err(|e| format!("{}: {e}", cold_socket.display()))?;
+    let (cold_reqs, cold_wall, _) = drive(&cold_socket, args.clients, &streams)?;
+    drop(cold_server);
+    let cold_rps = cold_reqs as f64 / cold_wall.as_secs_f64();
+
+    // Phase 2: warm — real cache, pre-warmed, same stream.
+    eprintln!("servebench: warm build phase...");
+    let warm_socket = socket_dir.join(format!("rtdc-servebench-warm-{}.sock", std::process::id()));
+    let warm_server = Server::start(
+        &warm_socket,
+        ServeConfig {
+            threads,
+            cache_bytes: 256 << 20,
+            max_insns: 2_000_000_000,
+        },
+    )
+    .map_err(|e| format!("{}: {e}", warm_socket.display()))?;
+    {
+        let mut c = Client::connect(&warm_socket).map_err(|e| e.to_string())?;
+        for bench in BENCHES {
+            for label in LABELS {
+                let resp = c
+                    .request_raw(&request_line("build", bench, label, None))
+                    .map_err(|e| e.to_string())?;
+                if !resp.starts_with(r#"{"ok":true"#) {
+                    return Err(format!("warmup build failed: {resp}"));
+                }
+            }
+        }
+    }
+    let (warm_reqs, warm_wall, _) = drive(&warm_socket, args.clients, &streams)?;
+    let (lookups, hits, _misses) = cache_stats(&warm_socket)?;
+    let warm_rps = warm_reqs as f64 / warm_wall.as_secs_f64();
+    let hit_rate = hits as f64 / lookups.max(1) as f64;
+    let build_speedup = warm_rps / cold_rps.max(1e-9);
+
+    // Phase 3: mixed runs on the warm server (cached builds + fresh
+    // simulations) for latency percentiles.
+    eprintln!("servebench: run phase...");
+    let run_streams: Vec<Vec<String>> = (0..args.clients)
+        .map(|id| {
+            let mut lines = Vec::new();
+            for rep in 0..args.reps.min(3) {
+                for (j, label) in LABELS.iter().enumerate() {
+                    let b = BENCHES[(id + rep + j) % BENCHES.len()];
+                    lines.push(request_line("run", b, label, None));
+                }
+            }
+            lines
+        })
+        .collect();
+    let (run_reqs, run_wall, mut run_lats) = drive(&warm_socket, args.clients, &run_streams)?;
+    drop(warm_server);
+    run_lats.sort_unstable();
+    let run_rps = run_reqs as f64 / run_wall.as_secs_f64();
+    let p50 = percentile(&run_lats, 0.50);
+    let p99 = percentile(&run_lats, 0.99);
+
+    let rows = [
+        ("cold_build_rps", cold_rps),
+        ("warm_build_rps", warm_rps),
+        ("build_speedup", build_speedup),
+        ("hit_rate", hit_rate),
+        ("run_rps", run_rps),
+        ("run_p50_ms", p50.as_secs_f64() * 1e3),
+        ("run_p99_ms", p99.as_secs_f64() * 1e3),
+    ];
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"note\": \"rtdc-serve throughput; wall-clock dependent, gate on ratios + serve_min\",\n",
+    );
+    out.push_str(&format!("  \"clients\": {},\n", args.clients));
+    out.push_str(&format!("  \"server_threads\": {threads},\n"));
+    out.push_str(&format!(
+        "  \"build_requests\": {},\n  \"run_requests\": {},\n",
+        cold_reqs + warm_reqs,
+        run_reqs
+    ));
+    out.push_str("  \"serve\": [\n");
+    for (i, (metric, value)) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"metric\": \"{metric}\", \"value\": {value:.4}}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&args.out, &out).map_err(|e| format!("{}: {e}", args.out.display()))?;
+
+    println!(
+        "servebench: {} clients, {threads} server threads",
+        args.clients
+    );
+    for (metric, value) in rows {
+        println!("  {metric:<16} {value:>12.2}");
+    }
+    println!("wrote {}", args.out.display());
+    if build_speedup < 5.0 {
+        eprintln!(
+            "servebench: WARNING: build_speedup {build_speedup:.2} below the 5x acceptance floor"
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("servebench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! A minimal blocking client for the `rtdc-serve` socket protocol.
+//!
+//! One request out, one response line back — the transport mirror of
+//! [`crate::server::handle_line`]. Used by the test batteries, by
+//! `servebench`, and by `rtdc-run --serve`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::json::{self, Json, ObjWriter};
+
+/// A connected client.
+pub struct Client {
+    writer: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+impl Client {
+    /// Connects to the daemon at `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors connecting.
+    pub fn connect(path: &Path) -> std::io::Result<Client> {
+        let stream = UnixStream::connect(path)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one raw request line (newline appended) and reads one
+    /// response line (newline stripped).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or an unexpected EOF before the response line.
+    pub fn request_raw(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut resp = String::new();
+        let n = self.reader.read_line(&mut resp)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            ));
+        }
+        while resp.ends_with('\n') || resp.ends_with('\r') {
+            resp.pop();
+        }
+        Ok(resp)
+    }
+
+    /// Sends one request and parses the response as JSON.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; a malformed response line (which the server never
+    /// produces) is reported as [`std::io::ErrorKind::InvalidData`].
+    pub fn request(&mut self, line: &str) -> std::io::Result<Json> {
+        let resp = self.request_raw(line)?;
+        json::parse(&resp).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed response `{resp}`: {e}"),
+            )
+        })
+    }
+
+    /// Requests an orderly server shutdown.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors.
+    pub fn shutdown(&mut self) -> std::io::Result<()> {
+        let _ = self.request_raw(r#"{"op":"shutdown"}"#)?;
+        Ok(())
+    }
+}
+
+/// Renders a `build`/`run`/`trace` request line. `scheme` is a CLI-style
+/// argument (`"native"`, `"d"`, `"cp+rf"`, ...); `max_insns` only
+/// applies to `run`/`trace`.
+pub fn request_line(op: &str, bench: &str, scheme: &str, max_insns: Option<u64>) -> String {
+    let mut w = ObjWriter::new();
+    w.str("op", op).str("bench", bench);
+    if scheme != "native" {
+        w.str("scheme", scheme);
+    }
+    if let Some(n) = max_insns {
+        w.u64("max_insns", n);
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_are_canonical() {
+        assert_eq!(
+            request_line("run", "sort", "d+rf", None),
+            r#"{"op":"run","bench":"sort","scheme":"d+rf"}"#
+        );
+        assert_eq!(
+            request_line("build", "go", "native", Some(5)),
+            r#"{"op":"build","bench":"go","max_insns":5}"#
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! A fixed-size worker pool executing boxed jobs.
+//!
+//! The server dispatches each parsed request onto this pool, so CPU-bound
+//! work (builds, simulation runs) is bounded by the pool width no matter
+//! how many client connections exist; the per-connection reader threads
+//! only parse lines and wait for their job's reply.
+//!
+//! Jobs never dispatch nested jobs, so the pool cannot deadlock on
+//! itself; a job that panics is caught ([`std::panic::catch_unwind`])
+//! and counted rather than killing the worker, so one bad request
+//! cannot wedge the pool — the protocol-fuzz battery leans on this.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads consuming a shared job queue.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    panics: Arc<AtomicU64>,
+    executed: Arc<AtomicU64>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers (at least 1).
+    pub fn new(threads: usize) -> WorkerPool {
+        let threads = threads.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let panics = Arc::new(AtomicU64::new(0));
+        let executed = Arc::new(AtomicU64::new(0));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let panics = Arc::clone(&panics);
+                let executed = Arc::clone(&executed);
+                std::thread::Builder::new()
+                    .name(format!("rtdc-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &panics, &executed))
+                    .expect("spawn worker")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+            panics,
+            executed,
+        }
+    }
+
+    /// Enqueues `job`. Returns `false` if the pool is shut down.
+    pub fn execute(&self, job: Job) -> bool {
+        match &self.tx {
+            Some(tx) => tx.send(job).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs whose closure panicked (caught; the worker survived).
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Jobs executed to completion (including caught panics).
+    pub fn executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>, panics: &AtomicU64, executed: &AtomicU64) {
+    loop {
+        let job = {
+            let guard = rx.lock().expect("pool queue lock");
+            guard.recv()
+        };
+        let Ok(job) = job else { return };
+        if std::panic::catch_unwind(AssertUnwindSafe(job)).is_err() {
+            panics.fetch_add(1, Ordering::Relaxed);
+        }
+        executed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Drains queued jobs and joins every worker.
+    fn drop(&mut self) {
+        self.tx.take();
+        // The pool is shared via `Arc`, and job closures themselves hold
+        // a clone (for the `stats` op) — so the *last* owner can be a
+        // worker dropping a finished job. A thread must never join
+        // itself (EDEADLK): skip our own handle and let that worker
+        // wind down on its own once the closed queue drains.
+        let me = std::thread::current().id();
+        for worker in self.workers.drain(..) {
+            if worker.thread().id() == me {
+                continue;
+            }
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn executes_jobs_on_many_threads() {
+        let pool = WorkerPool::new(4);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..100u32 {
+            let tx = tx.clone();
+            assert!(pool.execute(Box::new(move || tx.send(i * i).unwrap())));
+        }
+        drop(tx);
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        let want: Vec<u32> = (0..100).map(|i| i * i).collect();
+        assert_eq!(got, want);
+        assert_eq!(pool.executed(), 100);
+    }
+
+    #[test]
+    fn panicking_jobs_do_not_kill_workers() {
+        let pool = WorkerPool::new(2);
+        for _ in 0..10 {
+            pool.execute(Box::new(|| panic!("job panic")));
+        }
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..4 {
+            let tx = tx.clone();
+            pool.execute(Box::new(move || tx.send(1u8).unwrap()));
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 4, "workers must survive panics");
+        // The last worker may still be between its catch and the counter
+        // bump; wait for all 14 jobs to be fully accounted.
+        while pool.executed() < 14 {
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.panics(), 10);
+    }
+
+    #[test]
+    fn drop_drains_the_queue() {
+        let (tx, rx) = mpsc::channel();
+        {
+            let pool = WorkerPool::new(1);
+            for i in 0..20u8 {
+                let tx = tx.clone();
+                pool.execute(Box::new(move || tx.send(i).unwrap()));
+            }
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 20, "drop must drain pending jobs");
+    }
+}

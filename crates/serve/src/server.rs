@@ -1,0 +1,888 @@
+//! The daemon: request dispatch, the socket accept loop, and the
+//! thread-pool plumbing between them.
+//!
+//! [`handle_request`] is the entire semantic surface — a *pure
+//! dispatcher* from parsed [`Request`] to response line against shared
+//! [`ServeState`]. The socket layer ([`Server`]) adds nothing but
+//! transport: per-connection reader threads parse length-bounded lines
+//! and park each request on the [`WorkerPool`], so CPU-bound work is
+//! bounded by the pool width no matter how many clients connect, and a
+//! slow client never wedges a worker. Tests drive [`handle_request`]
+//! directly when the property under test is semantic, and through the
+//! socket when it is concurrency.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use rtdc::prelude::*;
+use rtdc_bench::planopt::optimized_plan_cached;
+use rtdc_isa::program::ObjectProgram;
+use rtdc_sim::trace::{TraceEvent, EVENT_KINDS};
+use rtdc_sim::TraceSink;
+use rtdc_workloads::{by_name, generate_cached, programs, spec, BenchmarkSpec};
+
+use crate::cache::{CacheKey, ImageCache};
+use crate::json::ObjWriter;
+use crate::pool::WorkerPool;
+use crate::protocol::{parse_request, stats_json, BuildSpec, Request, ServeError, MAX_LINE_BYTES};
+
+/// Server tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads executing requests.
+    pub threads: usize,
+    /// Image-cache byte budget (0 disables caching).
+    pub cache_bytes: u64,
+    /// Default per-run instruction limit (requests may override).
+    pub max_insns: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            threads: rtdc_bench::jobs::default_jobs(),
+            cache_bytes: 64 << 20,
+            max_insns: 2_000_000_000,
+        }
+    }
+}
+
+/// Per-op request counters (the `stats` op's `requests` object).
+#[derive(Debug, Default)]
+pub struct OpCounters {
+    /// `build` requests handled.
+    pub build: AtomicU64,
+    /// `run` requests handled.
+    pub run: AtomicU64,
+    /// `trace` requests handled.
+    pub trace: AtomicU64,
+    /// `plan` requests handled.
+    pub plan: AtomicU64,
+    /// `stats` requests handled.
+    pub stats: AtomicU64,
+    /// Requests answered with a typed error (any kind, including
+    /// parse-level rejections the dispatcher never saw).
+    pub errors: AtomicU64,
+}
+
+/// Everything a request handler needs, shared across workers.
+pub struct ServeState {
+    /// The content-addressed image cache.
+    pub cache: ImageCache,
+    /// Simulator configuration (the paper baseline; `second_regfile` is
+    /// forced per-image at load time).
+    pub sim: rtdc_sim::SimConfig,
+    /// Default instruction limit.
+    pub max_insns: u64,
+    /// Per-op counters.
+    pub ops: OpCounters,
+    shutdown: AtomicBool,
+}
+
+impl ServeState {
+    /// Fresh state for `config`.
+    pub fn new(config: &ServeConfig) -> ServeState {
+        ServeState {
+            cache: ImageCache::new(config.cache_bytes),
+            sim: rtdc_sim::SimConfig::hpca2000_baseline(),
+            max_insns: config.max_insns,
+            ops: OpCounters::default(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether a `shutdown` request has been handled.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Resolves `bench` to a generator spec, if it names one (the eight
+/// paper analogs plus the three tiny specs).
+fn resolve_spec(bench: &str) -> Option<BenchmarkSpec> {
+    if let Some(s) = by_name(bench) {
+        return Some(s);
+    }
+    [
+        spec::tiny::walker(),
+        spec::tiny::loop_kernel(),
+        spec::tiny::interpreter(),
+    ]
+    .into_iter()
+    .find(|s| s.name == bench)
+}
+
+/// Resolves `bench` to a program: a generated benchmark analog or a
+/// known-answer program.
+fn resolve_program(bench: &str) -> Result<Arc<ObjectProgram>, ServeError> {
+    if let Some(s) = resolve_spec(bench) {
+        return Ok(generate_cached(&s));
+    }
+    programs::all_programs()
+        .into_iter()
+        .find(|p| p.name == bench)
+        .map(Arc::new)
+        .ok_or_else(|| ServeError::UnknownBench {
+            bench: bench.to_string(),
+        })
+}
+
+/// Resolves a [`BuildSpec`] to `(cache label, plan)`. `None` plan means
+/// a native build; the label names the image family in the cache key and
+/// in responses (`native`, `d`, `cp+rf`, `d+plan`, ...).
+fn resolve_build(
+    program: &ObjectProgram,
+    spec: &BuildSpec,
+) -> Result<(String, Option<CompressionPlan>), ServeError> {
+    match spec {
+        BuildSpec::Native => Ok(("native".to_string(), None)),
+        BuildSpec::Uniform { scheme, rf } => {
+            let s = Scheme::by_name(scheme).ok_or_else(|| ServeError::UnknownScheme {
+                scheme: scheme.clone(),
+            })?;
+            let n = program.procedures.len();
+            let plan = CompressionPlan::uniform(
+                s,
+                *rf,
+                PlanSource::Heuristic,
+                &Selection::all_compressed(n),
+            );
+            let label = format!("{}{}", s.name(), if *rf { "+rf" } else { "" });
+            Ok((label, Some(plan)))
+        }
+        BuildSpec::Plan { text } => {
+            let plan: CompressionPlan =
+                text.parse().map_err(|e: PlanError| ServeError::BadPlan {
+                    detail: e.to_string(),
+                })?;
+            let label = format!(
+                "{}{}+plan",
+                plan.scheme.name(),
+                if plan.second_rf { "+rf" } else { "" }
+            );
+            Ok((label, Some(plan)))
+        }
+    }
+}
+
+/// Builds or fetches the image for `(bench, spec)` through the cache.
+fn obtain_image(
+    state: &ServeState,
+    bench: &str,
+    spec: &BuildSpec,
+) -> Result<(Arc<MemoryImage>, String, u32), ServeError> {
+    let program = resolve_program(bench)?;
+    let (label, plan) = resolve_build(&program, spec)?;
+    let plan_digest = plan.as_ref().map_or(0, CompressionPlan::digest);
+    let key = CacheKey {
+        bench: bench.to_string(),
+        label: label.clone(),
+        plan_digest,
+    };
+    let (image, _outcome) = state.cache.get_or_build(&key, || {
+        let built = match &plan {
+            None => build_native(&program),
+            Some(p) => build_planned(&program, p),
+        };
+        built.map_err(|e| ServeError::BuildFailed {
+            detail: e.to_string(),
+        })
+    })?;
+    Ok((image, label, plan_digest))
+}
+
+fn identity_fields<'a>(
+    w: &'a mut ObjWriter,
+    op: &str,
+    bench: &str,
+    label: &str,
+    plan_digest: u32,
+) -> &'a mut ObjWriter {
+    w.bool("ok", true)
+        .str("op", op)
+        .str("bench", bench)
+        .str("label", label)
+        .u64("plan_digest", u64::from(plan_digest))
+}
+
+fn handle_build(state: &ServeState, bench: &str, spec: &BuildSpec) -> Result<String, ServeError> {
+    let (image, label, digest) = obtain_image(state, bench, spec)?;
+    let sz = &image.sizes;
+    let mut sizes = ObjWriter::new();
+    sizes
+        .u64("original_text_bytes", u64::from(sz.original_text_bytes))
+        .u64("native_text_bytes", u64::from(sz.native_text_bytes))
+        .u64(
+            "compressed_payload_bytes",
+            u64::from(sz.compressed_payload_bytes),
+        )
+        .u64("handler_bytes", u64::from(sz.handler_bytes));
+    let mut w = ObjWriter::new();
+    identity_fields(&mut w, "build", bench, &label, digest)
+        .raw("sizes", &sizes.finish())
+        .u64("resident_bytes", image.resident_bytes());
+    Ok(w.finish())
+}
+
+fn handle_run(
+    state: &ServeState,
+    bench: &str,
+    spec: &BuildSpec,
+    max_insns: Option<u64>,
+) -> Result<String, ServeError> {
+    let (image, label, digest) = obtain_image(state, bench, spec)?;
+    let limit = max_insns.unwrap_or(state.max_insns);
+    let report = run_image(&image, state.sim, limit).map_err(|e| ServeError::RunFailed {
+        detail: e.to_string(),
+    })?;
+    let mut w = ObjWriter::new();
+    identity_fields(&mut w, "run", bench, &label, digest)
+        .u64("exit_code", u64::from(report.exit_code))
+        .u64("output_len", report.output.len() as u64)
+        .u64(
+            "output_crc32",
+            u64::from(rtdc::integrity::crc32(&report.output)),
+        )
+        .raw("stats", &stats_json(&report.stats));
+    Ok(w.finish())
+}
+
+/// A sink counting events by kind — the `trace` op's payload. Counting
+/// (rather than streaming JSONL back) keeps the response a small pure
+/// function of the request, which the determinism battery compares
+/// byte-for-byte.
+#[derive(Default)]
+struct CountSink {
+    counts: [u64; EVENT_KINDS.len()],
+}
+
+impl TraceSink for CountSink {
+    fn event(&mut self, ev: &TraceEvent) {
+        let kind = ev.kind();
+        let idx = EVENT_KINDS
+            .iter()
+            .position(|(k, _)| *k == kind)
+            .expect("every event kind is in EVENT_KINDS");
+        self.counts[idx] += 1;
+    }
+}
+
+fn handle_trace(
+    state: &ServeState,
+    bench: &str,
+    spec: &BuildSpec,
+    max_insns: Option<u64>,
+) -> Result<String, ServeError> {
+    let (image, label, digest) = obtain_image(state, bench, spec)?;
+    let limit = max_insns.unwrap_or(state.max_insns);
+    let (report, sink) = run_image_with_sink(&image, state.sim, limit, CountSink::default())
+        .map_err(|e| ServeError::RunFailed {
+            detail: e.to_string(),
+        })?;
+    let mut events = ObjWriter::new();
+    let mut total = 0u64;
+    for (i, (_, name)) in EVENT_KINDS.iter().enumerate() {
+        events.u64(name, sink.counts[i]);
+        total += sink.counts[i];
+    }
+    let mut w = ObjWriter::new();
+    identity_fields(&mut w, "trace", bench, &label, digest)
+        .u64("exit_code", u64::from(report.exit_code))
+        .u64("events_total", total)
+        .raw("events", &events.finish());
+    Ok(w.finish())
+}
+
+fn handle_plan(
+    state: &ServeState,
+    bench: &str,
+    scheme: &str,
+    rf: bool,
+) -> Result<String, ServeError> {
+    let spec = resolve_spec(bench).ok_or_else(|| {
+        if resolve_program(bench).is_ok() {
+            ServeError::Unsupported {
+                detail: format!(
+                    "`{bench}` is a known-answer program; `plan` needs a generated benchmark"
+                ),
+            }
+        } else {
+            ServeError::UnknownBench {
+                bench: bench.to_string(),
+            }
+        }
+    })?;
+    let s = Scheme::by_name(scheme).ok_or_else(|| ServeError::UnknownScheme {
+        scheme: scheme.to_string(),
+    })?;
+    let plan = optimized_plan_cached(&spec, s, rf, state.sim);
+    let mut w = ObjWriter::new();
+    w.bool("ok", true)
+        .str("op", "plan")
+        .str("bench", bench)
+        .str(
+            "scheme",
+            &format!("{}{}", s.name(), if rf { "+rf" } else { "" }),
+        )
+        .u64("plan_digest", u64::from(plan.digest()))
+        .str("plan", &plan.to_string());
+    Ok(w.finish())
+}
+
+fn handle_stats(state: &ServeState, pool: Option<&WorkerPool>) -> String {
+    let o = &state.ops;
+    let mut requests = ObjWriter::new();
+    requests
+        .u64("build", o.build.load(Ordering::Relaxed))
+        .u64("run", o.run.load(Ordering::Relaxed))
+        .u64("trace", o.trace.load(Ordering::Relaxed))
+        .u64("plan", o.plan.load(Ordering::Relaxed))
+        .u64("stats", o.stats.load(Ordering::Relaxed))
+        .u64("errors", o.errors.load(Ordering::Relaxed));
+    let c = state.cache.stats();
+    let mut cache = ObjWriter::new();
+    cache
+        .u64("lookups", c.lookups)
+        .u64("hits", c.hits)
+        .u64("misses", c.misses)
+        .u64("poisoned", c.poisoned)
+        .u64("inserts", c.inserts)
+        .u64("evictions", c.evictions)
+        .u64("uncached", c.uncached)
+        .u64("build_failures", c.build_failures)
+        .u64("entries", c.entries)
+        .u64("resident_bytes", c.resident_bytes)
+        .u64("budget_bytes", c.budget_bytes);
+    let mut w = ObjWriter::new();
+    w.bool("ok", true)
+        .str("op", "stats")
+        .raw("requests", &requests.finish())
+        .raw("cache", &cache.finish());
+    if let Some(p) = pool {
+        let mut pw = ObjWriter::new();
+        pw.u64("threads", p.threads() as u64)
+            .u64("executed", p.executed())
+            .u64("panics", p.panics());
+        w.raw("pool", &pw.finish());
+    }
+    w.finish()
+}
+
+/// Handles one parsed request, returning the response line (without the
+/// trailing newline). Pure dispatch: every failure becomes a typed error
+/// response; nothing here panics on any input.
+pub fn handle_request(state: &ServeState, req: &Request, pool: Option<&WorkerPool>) -> String {
+    let result = match req {
+        Request::Build { bench, spec } => {
+            state.ops.build.fetch_add(1, Ordering::Relaxed);
+            handle_build(state, bench, spec)
+        }
+        Request::Run {
+            bench,
+            spec,
+            max_insns,
+        } => {
+            state.ops.run.fetch_add(1, Ordering::Relaxed);
+            handle_run(state, bench, spec, *max_insns)
+        }
+        Request::Trace {
+            bench,
+            spec,
+            max_insns,
+        } => {
+            state.ops.trace.fetch_add(1, Ordering::Relaxed);
+            handle_trace(state, bench, spec, *max_insns)
+        }
+        Request::Plan { bench, scheme, rf } => {
+            state.ops.plan.fetch_add(1, Ordering::Relaxed);
+            handle_plan(state, bench, scheme, *rf)
+        }
+        Request::Stats => {
+            state.ops.stats.fetch_add(1, Ordering::Relaxed);
+            Ok(handle_stats(state, pool))
+        }
+        Request::Shutdown => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            let mut w = ObjWriter::new();
+            w.bool("ok", true).str("op", "shutdown");
+            Ok(w.finish())
+        }
+    };
+    match result {
+        Ok(line) => line,
+        Err(e) => {
+            state.ops.errors.fetch_add(1, Ordering::Relaxed);
+            e.render()
+        }
+    }
+}
+
+/// Handles one raw request line end to end (parse + dispatch).
+pub fn handle_line(state: &ServeState, line: &str, pool: Option<&WorkerPool>) -> String {
+    match parse_request(line) {
+        Ok(req) => handle_request(state, &req, pool),
+        Err(e) => {
+            state.ops.errors.fetch_add(1, Ordering::Relaxed);
+            e.render()
+        }
+    }
+}
+
+/// One bounded line read.
+enum LineRead {
+    /// A complete line (newline stripped), within the cap.
+    Line(Vec<u8>),
+    /// The line exceeded the cap; the overflow was discarded up to (and
+    /// including) the next newline.
+    Oversized,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line of at most `max` bytes. An oversized
+/// line is *discarded as it streams in* — the server never buffers more
+/// than `max` bytes per connection, so an abusive client cannot balloon
+/// memory. `stop` is polled on every read timeout (the connection's
+/// read timeout is the shutdown latency bound): when it reports true,
+/// the read ends as a clean EOF.
+fn read_line_bounded<R: BufRead>(
+    r: &mut R,
+    max: usize,
+    stop: &dyn Fn() -> bool,
+) -> std::io::Result<LineRead> {
+    let mut line = Vec::new();
+    let fill = |r: &mut R| -> std::io::Result<Option<()>> {
+        loop {
+            match r.fill_buf() {
+                Ok(_) => return Ok(Some(())),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if stop() {
+                        return Ok(None);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    };
+    loop {
+        if fill(r)?.is_none() {
+            return Ok(LineRead::Eof);
+        }
+        let chunk = r.fill_buf()?;
+        if chunk.is_empty() {
+            return if line.is_empty() {
+                Ok(LineRead::Eof)
+            } else {
+                // Trailing unterminated line: serve it (clients that
+                // close after the last request without a final newline).
+                Ok(LineRead::Line(std::mem::take(&mut line)))
+            };
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                let fits = line.len() + pos <= max;
+                if fits {
+                    line.extend_from_slice(&chunk[..pos]);
+                }
+                r.consume(pos + 1);
+                return if fits {
+                    Ok(LineRead::Line(line))
+                } else {
+                    Ok(LineRead::Oversized)
+                };
+            }
+            None => {
+                let n = chunk.len();
+                if line.len() + n <= max {
+                    line.extend_from_slice(chunk);
+                    r.consume(n);
+                } else {
+                    // Over the cap mid-line: drop what we have and
+                    // stream-discard until the newline.
+                    line.clear();
+                    r.consume(n);
+                    loop {
+                        if fill(r)?.is_none() {
+                            return Ok(LineRead::Eof);
+                        }
+                        let chunk = r.fill_buf()?;
+                        if chunk.is_empty() {
+                            return Ok(LineRead::Eof);
+                        }
+                        match chunk.iter().position(|&b| b == b'\n') {
+                            Some(pos) => {
+                                r.consume(pos + 1);
+                                return Ok(LineRead::Oversized);
+                            }
+                            None => {
+                                let n = chunk.len();
+                                r.consume(n);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Serves one connection: parse lines, park each request on the pool,
+/// write each reply. Returns when the client disconnects or the server
+/// shuts down; `path` is the server's own socket, dialed once to wake
+/// the accept loop when this connection carried the `shutdown` op.
+fn serve_connection(
+    state: &Arc<ServeState>,
+    pool: &Arc<WorkerPool>,
+    stream: UnixStream,
+    path: &Path,
+) {
+    // The read timeout bounds shutdown latency: an idle reader wakes at
+    // this cadence, polls the flag, and exits instead of blocking a
+    // teardown join forever.
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(50)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let stop = || state.shutdown_requested();
+    loop {
+        if state.shutdown_requested() {
+            return;
+        }
+        let line = match read_line_bounded(&mut reader, MAX_LINE_BYTES, &stop) {
+            Err(_) | Ok(LineRead::Eof) => return,
+            Ok(LineRead::Oversized) => {
+                state.ops.errors.fetch_add(1, Ordering::Relaxed);
+                let resp = ServeError::OversizedLine {
+                    limit: MAX_LINE_BYTES,
+                }
+                .render();
+                if write_line(&mut writer, &resp).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Ok(LineRead::Line(bytes)) => bytes,
+        };
+        // Every line — even an empty one — gets exactly one response;
+        // clients pipeline on that 1:1 invariant, so silently skipping
+        // a blank line would desynchronize (and wedge) them.
+        let line = String::from_utf8_lossy(&line).into_owned();
+        // Dispatch to the pool and wait for this request's reply; the
+        // job never dispatches nested jobs, so the pool cannot deadlock.
+        let (tx, rx) = mpsc::channel::<String>();
+        let st = Arc::clone(state);
+        let pl = Arc::clone(pool);
+        let accepted = pool.execute(Box::new(move || {
+            let resp = handle_line(&st, &line, Some(&pl));
+            let _ = tx.send(resp);
+        }));
+        let resp = if accepted {
+            match rx.recv() {
+                Ok(r) => r,
+                // The job panicked past the renderer (it shouldn't): the
+                // channel closes; answer with a typed error, not silence.
+                Err(_) => ServeError::BuildFailed {
+                    detail: "internal: request handler died".into(),
+                }
+                .render(),
+            }
+        } else {
+            ServeError::Unsupported {
+                detail: "server is shutting down".into(),
+            }
+            .render()
+        };
+        if write_line(&mut writer, &resp).is_err() {
+            return;
+        }
+        if state.shutdown_requested() {
+            // This connection delivered (or raced with) the `shutdown`
+            // op; the accept loop is still parked in `incoming()`, so
+            // dial it awake before leaving.
+            let _ = UnixStream::connect(path);
+            return;
+        }
+    }
+}
+
+fn write_line(w: &mut UnixStream, line: &str) -> std::io::Result<()> {
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// A running daemon bound to a Unix socket.
+pub struct Server {
+    path: PathBuf,
+    state: Arc<ServeState>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `path` (removing any stale socket file) and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors binding the socket.
+    pub fn start(path: &Path, config: ServeConfig) -> std::io::Result<Server> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        let state = Arc::new(ServeState::new(&config));
+        let pool = Arc::new(WorkerPool::new(config.threads));
+        let accept_state = Arc::clone(&state);
+        let accept_path = path.to_path_buf();
+        let accept = std::thread::Builder::new()
+            .name("rtdc-serve-accept".into())
+            .spawn(move || {
+                // `pool` lives (and on drop, drains) inside the accept
+                // thread: joining the server joins all in-flight work.
+                let pool = pool;
+                let mut readers: Vec<JoinHandle<()>> = Vec::new();
+                for stream in listener.incoming() {
+                    if accept_state.shutdown_requested() {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let st = Arc::clone(&accept_state);
+                    let pl = Arc::clone(&pool);
+                    let wake = accept_path.clone();
+                    let h = std::thread::Builder::new()
+                        .name("rtdc-serve-conn".into())
+                        .spawn(move || serve_connection(&st, &pl, stream, &wake))
+                        .expect("spawn connection reader");
+                    readers.push(h);
+                    readers.retain(|h| !h.is_finished());
+                }
+                for h in readers {
+                    let _ = h.join();
+                }
+            })
+            .expect("spawn accept loop");
+        Ok(Server {
+            path: path.to_path_buf(),
+            state,
+            accept: Some(accept),
+        })
+    }
+
+    /// The shared state (tests poke counters and the cache through this).
+    pub fn state(&self) -> &Arc<ServeState> {
+        &self.state
+    }
+
+    /// The socket path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Requests shutdown and wakes the accept loop.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection.
+        let _ = UnixStream::connect(&self.path);
+    }
+
+    /// Waits for the accept loop (and with it, all in-flight work) to
+    /// finish. Call [`Server::shutdown`] first, or send a `shutdown`
+    /// request; otherwise this blocks until a client does.
+    pub fn join(mut self) {
+        // A `shutdown` op flips the flag from a worker; the accept loop
+        // still needs a wake-up connection to notice.
+        if self.state.shutdown_requested() {
+            let _ = UnixStream::connect(&self.path);
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        let _ = UnixStream::connect(&self.path);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+// Teardown converges from either direction. A client `shutdown` op:
+// the handling connection writes its reply, sees the flag, dials the
+// wake-up connection, and the accept loop breaks. A host-side
+// `shutdown()`/`Drop`: the flag plus wake-up dial stop the accept loop,
+// and every idle reader notices the flag at its next read timeout (the
+// 50ms cadence set on each connection), so joining never waits on a
+// blocked read.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> ServeState {
+        ServeState::new(&ServeConfig {
+            threads: 2,
+            cache_bytes: 16 << 20,
+            max_insns: 50_000_000,
+        })
+    }
+
+    #[test]
+    fn build_and_run_known_answer_program() {
+        let st = state();
+        let b = handle_line(&st, r#"{"op":"build","bench":"sort","scheme":"d"}"#, None);
+        assert!(b.contains(r#""ok":true"#), "{b}");
+        assert!(b.contains(r#""label":"d""#), "{b}");
+        let r = handle_line(&st, r#"{"op":"run","bench":"sort","scheme":"d"}"#, None);
+        assert!(r.contains(r#""ok":true"#), "{r}");
+        assert!(r.contains(r#""exit_code":"#), "{r}");
+        assert!(r.contains(r#""stats":{"insns":"#), "{r}");
+        // The second run hits the cache; the response bytes must not care.
+        let r2 = handle_line(&st, r#"{"op":"run","bench":"sort","scheme":"d"}"#, None);
+        assert_eq!(r, r2, "responses must be pure functions of the request");
+        let s = st.cache.stats();
+        assert_eq!((s.misses, s.hits), (1, 2));
+    }
+
+    #[test]
+    fn run_matches_direct_runner() {
+        let st = state();
+        let resp = handle_line(
+            &st,
+            r#"{"op":"run","bench":"crc32","scheme":"cp+rf"}"#,
+            None,
+        );
+        let v = crate::json::parse(&resp).unwrap();
+        let got = crate::protocol::parse_stats(v.get("stats").unwrap()).unwrap();
+        let program = resolve_program("crc32").unwrap();
+        let plan = CompressionPlan::uniform(
+            Scheme::CodePack,
+            true,
+            PlanSource::Heuristic,
+            &Selection::all_compressed(program.procedures.len()),
+        );
+        let image = build_planned(&program, &plan).unwrap();
+        let want = run_image(&image, st.sim, st.max_insns).unwrap();
+        assert_eq!(got, want.stats);
+    }
+
+    #[test]
+    fn trace_counts_are_consistent() {
+        let st = state();
+        let resp = handle_line(&st, r#"{"op":"trace","bench":"sort"}"#, None);
+        let v = crate::json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(crate::json::Json::as_bool), Some(true));
+        let events = v.get("events").unwrap();
+        let fetches = events
+            .get("fetch")
+            .and_then(crate::json::Json::as_u64)
+            .unwrap();
+        let commits = events
+            .get("commit")
+            .and_then(crate::json::Json::as_u64)
+            .unwrap();
+        assert!(fetches > 0 && commits > 0);
+        // A native image never takes the decompression exception.
+        assert_eq!(
+            events.get("exc").and_then(crate::json::Json::as_u64),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn unknown_targets_are_typed_errors() {
+        let st = state();
+        for (line, kind) in [
+            (r#"{"op":"run","bench":"nope"}"#, "unknown-bench"),
+            (
+                r#"{"op":"run","bench":"sort","scheme":"zz"}"#,
+                "unknown-scheme",
+            ),
+            (
+                r#"{"op":"build","bench":"sort","plan":"not a plan"}"#,
+                "bad-plan",
+            ),
+            (
+                r#"{"op":"plan","bench":"sort","scheme":"d"}"#,
+                "unsupported",
+            ),
+            (
+                r#"{"op":"plan","bench":"nope","scheme":"d"}"#,
+                "unknown-bench",
+            ),
+        ] {
+            let resp = handle_line(&st, line, None);
+            assert!(
+                resp.contains(&format!(r#""error":"{kind}""#)),
+                "{line} -> {resp}"
+            );
+        }
+        assert_eq!(st.ops.errors.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn plan_build_shares_cache_with_equivalent_digest() {
+        let st = state();
+        // `plan` on a tiny benchmark, then `build` with the returned text:
+        // the digest in both responses must agree.
+        let p = handle_line(
+            &st,
+            r#"{"op":"plan","bench":"tiny-loop","scheme":"d"}"#,
+            None,
+        );
+        let v = crate::json::parse(&p).unwrap();
+        let digest = v
+            .get("plan_digest")
+            .and_then(crate::json::Json::as_u64)
+            .unwrap();
+        let text = v.get("plan").and_then(crate::json::Json::as_str).unwrap();
+        let mut req = ObjWriter::new();
+        req.str("op", "build")
+            .str("bench", "tiny-loop")
+            .str("plan", text);
+        let b = handle_line(&st, &req.finish(), None);
+        let bv = crate::json::parse(&b).unwrap();
+        assert_eq!(
+            bv.get("plan_digest").and_then(crate::json::Json::as_u64),
+            Some(digest)
+        );
+    }
+
+    #[test]
+    fn bounded_reader_discards_oversized_lines() {
+        let data = {
+            let mut d = vec![b'a'; 100];
+            d.push(b'\n');
+            d.extend_from_slice(b"{\"op\":\"stats\"}\n");
+            d
+        };
+        let mut r = BufReader::with_capacity(16, &data[..]);
+        let stop = || false;
+        assert!(matches!(
+            read_line_bounded(&mut r, 10, &stop).unwrap(),
+            LineRead::Oversized
+        ));
+        match read_line_bounded(&mut r, 10_000, &stop).unwrap() {
+            LineRead::Line(l) => assert_eq!(l, b"{\"op\":\"stats\"}"),
+            _ => panic!("second line must parse after an oversized first"),
+        }
+        assert!(matches!(
+            read_line_bounded(&mut r, 10, &stop).unwrap(),
+            LineRead::Eof
+        ));
+    }
+}

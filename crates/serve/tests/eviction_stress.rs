@@ -1,0 +1,199 @@
+//! Eviction and saturation property battery: random request streams
+//! against a deliberately tiny cache budget must preserve the LRU
+//! invariants, never deadlock under pool saturation, and leave counters
+//! that reconcile **exactly** against the request log — no lookup
+//! unaccounted, no phantom insert, byte budget never exceeded.
+//!
+//! Seeded randomness (`rtdc_rng`) keeps failures replayable; the
+//! interleavings still vary because the OS schedules the racing clients.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rtdc_rng::Rng64;
+use rtdc_serve::cache::{CacheKey, ImageCache, Outcome};
+use rtdc_serve::client::{request_line, Client};
+use rtdc_serve::server::{ServeConfig, Server};
+
+/// Builds a small sealed image whose resident size depends on `size`.
+fn image(size: usize) -> rtdc::image::MemoryImage {
+    let mut img = rtdc::image::MemoryImage {
+        name: "stress".into(),
+        scheme: None,
+        second_regfile: false,
+        entry: 0,
+        initial_sp: 0,
+        segments: vec![rtdc::image::Segment {
+            name: ".native".into(),
+            base: 0x1000,
+            bytes: vec![0x5A; size],
+        }],
+        c0_init: Vec::new(),
+        handler_range: None,
+        compressed_range: None,
+        proc_regions: Vec::new(),
+        proc_names: Vec::new(),
+        sizes: rtdc::image::SizeReport {
+            original_text_bytes: size as u32,
+            native_text_bytes: size as u32,
+            compressed_payload_bytes: 0,
+            handler_bytes: 0,
+        },
+        integrity: Vec::new(),
+        line_crcs: Vec::new(),
+    };
+    img.seal();
+    img
+}
+
+#[test]
+fn random_streams_against_tiny_budget_reconcile_exactly() {
+    // Budget fits ~3 of the 12 possible entries: constant LRU churn.
+    let one = image(256).resident_bytes();
+    let cache = Arc::new(ImageCache::new(3 * one + one / 2));
+    let keys: Vec<CacheKey> = (0..12)
+        .map(|i| CacheKey {
+            bench: format!("bench-{}", i % 4),
+            label: format!("label-{}", i / 4),
+            plan_digest: 0x1000 + i as u32,
+        })
+        .collect();
+
+    const THREADS: usize = 8;
+    const REQS: usize = 400;
+    let hits = AtomicU64::new(0);
+    let misses = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cache = Arc::clone(&cache);
+            let keys = &keys;
+            let (hits, misses) = (&hits, &misses);
+            scope.spawn(move || {
+                let mut rng = Rng64::seed_from_u64(0x57_2E55 + t as u64);
+                for _ in 0..REQS {
+                    // Zipf-ish skew: low keys much hotter than high ones,
+                    // so hits and evictions both actually happen.
+                    let r = rng.gen_range(0..keys.len() * (keys.len() + 1) / 2);
+                    let mut idx = 0;
+                    let mut acc = keys.len();
+                    while r >= acc {
+                        idx += 1;
+                        acc += keys.len() - idx;
+                    }
+                    let key = &keys[idx];
+                    let (img, outcome) = cache
+                        .get_or_build(key, || Ok(image(256)))
+                        .expect("build never fails here");
+                    assert!(img.verify_integrity().is_ok());
+                    match outcome {
+                        Outcome::Hit => hits.fetch_add(1, Ordering::Relaxed),
+                        Outcome::Miss => misses.fetch_add(1, Ordering::Relaxed),
+                        Outcome::Poisoned => panic!("nothing poisons in this test"),
+                    };
+                }
+            });
+        }
+    });
+
+    let s = cache.stats();
+    let total = (THREADS * REQS) as u64;
+    // Exact reconciliation against the request log.
+    assert_eq!(s.lookups, total, "{s:?}");
+    assert_eq!(s.lookups, s.hits + s.misses + s.poisoned, "{s:?}");
+    assert_eq!(s.poisoned, 0, "{s:?}");
+    // Single-flight means the cache may serve a waiter from another
+    // thread's insert: the waiter counts as a hit (it did not build).
+    // Either way the caller-observed outcomes must match the counters.
+    assert_eq!(s.hits, hits.load(Ordering::Relaxed), "{s:?}");
+    assert_eq!(s.misses, misses.load(Ordering::Relaxed), "{s:?}");
+    // Inserts = misses that fit (every image fits here); entries =
+    // inserts - evictions.
+    assert_eq!(s.uncached, 0, "{s:?}");
+    assert_eq!(s.inserts, s.misses, "{s:?}");
+    assert_eq!(s.entries, s.inserts - s.evictions, "{s:?}");
+    assert!(s.evictions > 0, "a tiny budget must evict: {s:?}");
+    // The byte budget is an invariant, not a hint.
+    assert!(s.resident_bytes <= s.budget_bytes, "budget exceeded: {s:?}");
+    assert_eq!(s.entries, cache.resident_keys().len() as u64);
+}
+
+#[test]
+fn lru_order_is_respected_under_serial_churn() {
+    let one = image(128).resident_bytes();
+    let cache = ImageCache::new(2 * one);
+    let key = |n: &str| CacheKey {
+        bench: n.into(),
+        label: "l".into(),
+        plan_digest: 1,
+    };
+    // Fill: [a, b]; touch a; insert c -> b (the LRU) must go.
+    for n in ["a", "b"] {
+        cache.get_or_build(&key(n), || Ok(image(128))).unwrap();
+    }
+    cache.get_or_build(&key("a"), || unreachable!()).unwrap();
+    cache.get_or_build(&key("c"), || Ok(image(128))).unwrap();
+    let resident = cache.resident_keys();
+    assert_eq!(
+        resident,
+        vec![key("a"), key("c")],
+        "LRU order violated (b must be evicted, a older than c)"
+    );
+    // And the evicted key rebuilds on demand.
+    let (_, outcome) = cache.get_or_build(&key("b"), || Ok(image(128))).unwrap();
+    assert_eq!(outcome, Outcome::Miss);
+}
+
+#[test]
+fn pool_saturation_with_more_clients_than_workers_never_deadlocks() {
+    // 2 workers, 6 clients, a cache budget small enough to thrash on
+    // real images: every request must still complete and the counters
+    // must reconcile against the number of requests sent.
+    let path = std::env::temp_dir().join(format!("rtdc-serve-stress-{}.sock", std::process::id()));
+    let server = Server::start(
+        &path,
+        ServeConfig {
+            threads: 2,
+            cache_bytes: 6 << 10, // a few KB: real images churn constantly
+            max_insns: 2_000_000_000,
+        },
+    )
+    .expect("start server");
+
+    const CLIENTS: usize = 6;
+    const PER_CLIENT: usize = 25;
+    let sent = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for id in 0..CLIENTS {
+            let path = &path;
+            let sent = &sent;
+            scope.spawn(move || {
+                let mut rng = Rng64::seed_from_u64(0x5A7_0000 + id as u64);
+                let mut c = Client::connect(path).expect("connect");
+                let benches = ["sort", "crc32", "matmul", "strsearch"];
+                let labels = ["native", "d", "d+rf", "cp", "d2", "lz"];
+                for _ in 0..PER_CLIENT {
+                    let bench = rng.choose(&benches);
+                    let label = rng.choose(&labels);
+                    // Builds only: this battery stresses the cache and
+                    // pool, not the simulator.
+                    let resp = c
+                        .request_raw(&request_line("build", bench, label, None))
+                        .expect("request");
+                    assert!(resp.starts_with(r#"{"ok":true"#), "{resp}");
+                    sent.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    let s = server.state().cache.stats();
+    let total = sent.load(Ordering::Relaxed);
+    assert_eq!(total, (CLIENTS * PER_CLIENT) as u64);
+    // Every build request makes exactly one cache lookup; the log and
+    // the counters must agree exactly.
+    assert_eq!(s.lookups, total, "{s:?}");
+    assert_eq!(s.lookups, s.hits + s.misses + s.poisoned, "{s:?}");
+    assert_eq!(s.entries, s.inserts - s.evictions - s.poisoned, "{s:?}");
+    assert!(s.resident_bytes <= s.budget_bytes, "{s:?}");
+    drop(server);
+}

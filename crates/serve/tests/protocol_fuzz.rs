@@ -1,0 +1,210 @@
+//! Protocol fuzz battery: arbitrary malformed, truncated, mutated, and
+//! oversized request lines must each produce exactly one *typed* error
+//! response — never a panic, never a wedged worker pool, never a stuck
+//! connection.
+//!
+//! Mirrors the `decode_no_panic` convention from `rtdc-compress`: CI
+//! runs a fixed smoke iteration count; set `RTDC_FUZZ_ITERS` to fuzz
+//! longer (e.g. `RTDC_FUZZ_ITERS=20000 cargo test -p rtdc-serve
+//! --test protocol_fuzz --release`).
+
+use rtdc_rng::Rng64;
+use rtdc_serve::client::Client;
+use rtdc_serve::json::Json;
+use rtdc_serve::protocol::MAX_LINE_BYTES;
+use rtdc_serve::server::{handle_line, ServeConfig, ServeState, Server};
+
+fn fuzz_iters(default: usize) -> usize {
+    std::env::var("RTDC_FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Seed corpus of near-valid requests the mutator chews on.
+const CORPUS: [&str; 8] = [
+    r#"{"op":"build","bench":"sort","scheme":"d"}"#,
+    r#"{"op":"run","bench":"crc32","scheme":"cp+rf","max_insns":100000}"#,
+    r#"{"op":"trace","bench":"sort"}"#,
+    r#"{"op":"plan","bench":"tiny-loop","scheme":"d2"}"#,
+    r#"{"op":"stats"}"#,
+    r#"{"op":"run","bench":"sort","plan":"rtdc-plan v1 scheme=d source=manual iter=0 procs=1\n0 d 0\n"}"#,
+    r#"{"op":"build","bench":"matmul","scheme":"lz+rf"}"#,
+    r#"{"op":"run","bench":"strsearch","scheme":"native"}"#,
+];
+
+/// One mutated line: a corpus entry with random edits, or pure garbage.
+fn mutate(rng: &mut Rng64) -> String {
+    let mut line = if rng.gen_bool_p(0.15) {
+        // Pure garbage bytes (newline-free so it stays one line).
+        let len = rng.gen_range(0..200usize);
+        let mut s = String::new();
+        for _ in 0..len {
+            let b = (rng.gen_u32() % 94 + 33) as u8; // printable, no \n
+            s.push(b as char);
+        }
+        return s;
+    } else {
+        (*rng.choose(&CORPUS)).to_string()
+    };
+    for _ in 0..rng.gen_range(1..4usize) {
+        match rng.gen_range(0..5u32) {
+            // Truncate.
+            0 => {
+                if !line.is_empty() {
+                    let cut = rng.gen_range(0..line.len());
+                    while !line.is_char_boundary(cut) {
+                        line.pop();
+                    }
+                    line.truncate(cut);
+                }
+            }
+            // Flip one byte to another printable.
+            1 => {
+                if !line.is_empty() {
+                    let at = rng.gen_range(0..line.len());
+                    if line.is_char_boundary(at) && line.is_char_boundary(at + 1) {
+                        let c = (rng.gen_u32() % 94 + 33) as u8 as char;
+                        line.replace_range(at..at + 1, &c.to_string());
+                    }
+                }
+            }
+            // Duplicate a slice (unbalances braces/quotes).
+            2 => {
+                let at = rng.gen_range(0..line.len().max(1));
+                if line.is_char_boundary(at) {
+                    let dup: String = line[at..].chars().take(8).collect();
+                    line.push_str(&dup);
+                }
+            }
+            // Swap field values wholesale.
+            3 => {
+                line = line
+                    .replace("\"sort\"", "\"\\u0000\"")
+                    .replace("\"d\"", "\"-1e999\"");
+            }
+            // Inject deep nesting.
+            _ => {
+                line.push_str(&"[".repeat(rng.gen_range(1..40usize)));
+            }
+        }
+    }
+    line
+}
+
+#[test]
+fn dispatcher_never_panics_on_mutated_lines() {
+    // Direct `handle_line` fuzz: a panic here fails the test on the
+    // spot; every response must itself be valid JSON with an `ok` bool.
+    let state = ServeState::new(&ServeConfig {
+        threads: 1,
+        cache_bytes: 1 << 20,
+        max_insns: 100_000, // cap simulation: fuzz may form valid runs
+    });
+    let mut rng = Rng64::seed_from_u64(0xF022_0001);
+    for i in 0..fuzz_iters(300) {
+        let line = mutate(&mut rng);
+        let resp = handle_line(&state, &line, None);
+        let parsed = rtdc_serve::json::parse(&resp)
+            .unwrap_or_else(|e| panic!("iter {i}: response not JSON ({e}): {resp}\nline: {line}"));
+        assert!(
+            parsed.get("ok").and_then(Json::as_bool).is_some(),
+            "iter {i}: response missing ok: {resp}"
+        );
+        if parsed.get("ok").and_then(Json::as_bool) == Some(false) {
+            let kind = parsed.get("error").and_then(Json::as_str);
+            assert!(kind.is_some(), "iter {i}: error response untyped: {resp}");
+        }
+    }
+}
+
+#[test]
+fn socket_survives_fuzz_and_stays_responsive() {
+    let path = std::env::temp_dir().join(format!("rtdc-serve-fuzz-{}.sock", std::process::id()));
+    let server = Server::start(
+        &path,
+        ServeConfig {
+            threads: 2,
+            cache_bytes: 1 << 20,
+            max_insns: 100_000,
+        },
+    )
+    .expect("start server");
+
+    let mut rng = Rng64::seed_from_u64(0xF022_0002);
+    let mut c = Client::connect(&path).expect("connect");
+    for i in 0..fuzz_iters(200) {
+        let line = mutate(&mut rng);
+        let resp = c
+            .request_raw(&line)
+            .unwrap_or_else(|e| panic!("iter {i}: connection wedged: {e}\nline: {line}"));
+        assert!(
+            rtdc_serve::json::parse(&resp).is_ok(),
+            "iter {i}: non-JSON response: {resp}"
+        );
+        // Interleave a known-good request: the pool must stay live the
+        // whole time, not just at the end.
+        if i % 25 == 0 {
+            let ok = c.request(r#"{"op":"stats"}"#).expect("stats mid-fuzz");
+            assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true));
+        }
+    }
+
+    // After the storm: real work still flows end to end.
+    let resp = c
+        .request(r#"{"op":"run","bench":"sort","scheme":"d","max_insns":100000}"#)
+        .expect("post-fuzz run");
+    assert_eq!(
+        resp.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "pool wedged after fuzzing"
+    );
+    drop(server);
+}
+
+#[test]
+fn oversized_lines_are_rejected_without_buffering_or_wedging() {
+    let path =
+        std::env::temp_dir().join(format!("rtdc-serve-oversize-{}.sock", std::process::id()));
+    let server = Server::start(
+        &path,
+        ServeConfig {
+            threads: 2,
+            cache_bytes: 1 << 20,
+            max_insns: 100_000,
+        },
+    )
+    .expect("start server");
+    let mut c = Client::connect(&path).expect("connect");
+
+    // A line just over the cap: typed rejection.
+    let big = format!(
+        r#"{{"op":"build","bench":"sort","scheme":"{}"}}"#,
+        "x".repeat(MAX_LINE_BYTES)
+    );
+    let resp = c.request_raw(&big).expect("oversized request");
+    assert!(
+        resp.contains(r#""error":"oversized-line""#),
+        "expected oversized-line rejection: {}",
+        &resp[..resp.len().min(200)]
+    );
+
+    // A line just under the cap: parses (and is rejected for its
+    // content, not its size).
+    let padding = "y".repeat(MAX_LINE_BYTES - 64);
+    let near = format!(r#"{{"op":"build","bench":"sort","scheme":"{padding}"}}"#);
+    assert!(near.len() <= MAX_LINE_BYTES, "test arithmetic off");
+    let resp = c.request_raw(&near).expect("near-cap request");
+    assert!(
+        resp.contains(r#""error":"unknown-scheme""#),
+        "near-cap line must be parsed on its merits: {}",
+        &resp[..resp.len().min(200)]
+    );
+
+    // Same connection, still healthy.
+    let resp = c
+        .request(r#"{"op":"stats"}"#)
+        .expect("stats after oversize");
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    drop(server);
+}
