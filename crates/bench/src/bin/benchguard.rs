@@ -18,8 +18,10 @@
 //!   (higher-is-better, same contract as `floor_ratio`); metrics named
 //!   in `[serve_min]` gate against an **absolute** minimum regardless
 //!   of the baseline (e.g. the ≥5x warm-cache speedup the serving
-//!   design promises). Unlisted metrics — notably the p50/p99
-//!   latencies, where lower is better — are informational only.
+//!   design promises); metrics named in `[serve_max]` gate against an
+//!   **absolute ceiling** — the lower-is-better daemon-side latency
+//!   quantiles servebench records from the telemetry histograms (e.g.
+//!   `build_p99_ms`). Unlisted metrics are informational only.
 //!
 //! `--config` points at a checked-in TOML-subset file setting the
 //! thresholds, so tightening or loosening a gate is a reviewed one-line
@@ -33,6 +35,8 @@
 //! run_rps = 0.5            # serve metric vs baseline, higher is better
 //! [serve_min]
 //! build_speedup = 5.0      # absolute floor, baseline-independent
+//! [serve_max]
+//! build_p99_ms = 250.0     # absolute ceiling, lower is better
 //! ```
 //!
 //! (Parsed with a hand-rolled scanner — key = value lines, `#` comments,
@@ -65,6 +69,9 @@ struct GuardConfig {
     /// Serve metrics gated against an absolute minimum, independent of
     /// the baseline.
     serve_min: Vec<(String, f64)>,
+    /// Serve metrics gated against an absolute ceiling (lower is
+    /// better — the daemon-side latency quantiles).
+    serve_max: Vec<(String, f64)>,
 }
 
 impl Default for GuardConfig {
@@ -74,6 +81,7 @@ impl Default for GuardConfig {
             scheme_floors: Vec::new(),
             serve_floors: Vec::new(),
             serve_min: Vec::new(),
+            serve_max: Vec::new(),
         }
     }
 }
@@ -95,6 +103,7 @@ impl GuardConfig {
             SchemeFloors,
             ServeFloors,
             ServeMin,
+            ServeMax,
         }
         let mut cfg = GuardConfig::default();
         let mut section = Section::Top;
@@ -108,6 +117,7 @@ impl GuardConfig {
                     "scheme_floors" => Section::SchemeFloors,
                     "serve_floors" => Section::ServeFloors,
                     "serve_min" => Section::ServeMin,
+                    "serve_max" => Section::ServeMax,
                     other => return Err(format!("line {}: unknown section [{other}]", lineno + 1)),
                 };
                 continue;
@@ -121,9 +131,10 @@ impl GuardConfig {
             let num: f64 = value
                 .parse()
                 .map_err(|_| format!("line {}: `{value}` is not a number", lineno + 1))?;
-            // Ratios vs a baseline must stay in 0..=1; absolute minimums
-            // (`[serve_min]`) just need to be finite and non-negative.
-            let is_ratio = section != Section::ServeMin;
+            // Ratios vs a baseline must stay in 0..=1; absolute bounds
+            // (`[serve_min]`/`[serve_max]`) just need to be finite and
+            // non-negative.
+            let is_ratio = !matches!(section, Section::ServeMin | Section::ServeMax);
             if is_ratio && !(0.0..=1.0).contains(&num) {
                 return Err(format!("line {}: ratio {num} outside 0..=1", lineno + 1));
             }
@@ -137,6 +148,7 @@ impl GuardConfig {
                 Section::SchemeFloors => cfg.scheme_floors.push((key.to_string(), num)),
                 Section::ServeFloors => cfg.serve_floors.push((key.to_string(), num)),
                 Section::ServeMin => cfg.serve_min.push((key.to_string(), num)),
+                Section::ServeMax => cfg.serve_max.push((key.to_string(), num)),
                 Section::Top if key == "floor_ratio" => cfg.floor_ratio = num,
                 Section::Top => {
                     return Err(format!("line {}: unknown key `{key}`", lineno + 1));
@@ -417,8 +429,9 @@ fn guard_schemes(
 
 /// The serving-throughput gate over two servebench reports. A metric
 /// fails if it is named in `[serve_min]` and below its absolute floor,
-/// or named in `[serve_floors]` and below that fraction of its baseline
-/// value. Everything else is informational.
+/// named in `[serve_floors]` and below that fraction of its baseline
+/// value, or named in `[serve_max]` and above its absolute ceiling.
+/// Everything else is informational.
 fn guard_serve(
     config: &GuardConfig,
     baseline: &[ServeRow],
@@ -446,36 +459,47 @@ fn guard_serve(
             (Some(a), Some(r)) => Some(a.max(r)),
             (a, r) => a.or(r),
         };
+        let ceiling = lookup(&config.serve_max, metric);
         let base_str = base.map_or_else(|| "       (new)".into(), |b| format!("{b:>12.2}"));
-        match floor {
-            None => println!("{metric:<16} baseline {base_str} current {cur:>12.2}  (info)"),
-            Some(f) => {
-                let verdict = if cur < f {
-                    ok = false;
-                    "REGRESSION"
-                } else {
-                    "ok"
-                };
-                println!(
-                    "{metric:<16} baseline {base_str} current {cur:>12.2} (floor {f:>9.2})  {verdict}"
-                );
-            }
+        if floor.is_none() && ceiling.is_none() {
+            println!("{metric:<18} baseline {base_str} current {cur:>12.2}  (info)");
+            continue;
         }
+        let breached = floor.is_some_and(|f| cur < f) || ceiling.is_some_and(|c| cur > c);
+        let verdict = if breached {
+            ok = false;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        let bounds = match (floor, ceiling) {
+            (Some(f), Some(c)) => format!("floor {f:.2}, ceiling {c:.2}"),
+            (Some(f), None) => format!("floor {f:>9.2}"),
+            (None, Some(c)) => format!("ceiling {c:>7.2}"),
+            (None, None) => unreachable!("handled above"),
+        };
+        println!("{metric:<18} baseline {base_str} current {cur:>12.2} ({bounds})  {verdict}");
     }
     for row in baseline {
         if !current.iter().any(|r| r.metric == row.metric) {
             println!(
-                "{:<16} baseline {:>12.2}, not in current (skipped)",
+                "{:<18} baseline {:>12.2}, not in current (skipped)",
                 row.metric, row.value
             );
         }
     }
-    // A `[serve_min]` floor with no row to check is a silent hole in the
-    // gate — fail loudly instead.
+    // A `[serve_min]`/`[serve_max]` bound with no row to check is a
+    // silent hole in the gate — fail loudly instead.
     for (metric, min) in &config.serve_min {
         if !current.iter().any(|r| &r.metric == metric) {
             ok = false;
-            println!("{metric:<16} required >= {min:.2} but missing from current  REGRESSION");
+            println!("{metric:<18} required >= {min:.2} but missing from current  REGRESSION");
+        }
+    }
+    for (metric, max) in &config.serve_max {
+        if !current.iter().any(|r| &r.metric == metric) {
+            ok = false;
+            println!("{metric:<18} required <= {max:.2} but missing from current  REGRESSION");
         }
     }
     Ok(ok)
@@ -484,7 +508,7 @@ fn guard_serve(
 fn main() -> ExitCode {
     match run() {
         Ok(true) => {
-            println!("benchguard: all gated metrics above their configured floors");
+            println!("benchguard: all gated metrics within their configured bounds");
             ExitCode::SUCCESS
         }
         Ok(false) => {
@@ -514,6 +538,8 @@ mod tests {
             [serve_min]
             build_speedup = 5.0
             hit_rate = 0.9
+            [serve_max]
+            build_p99_ms = 250.0
             "#,
         )
         .expect("parses");
@@ -527,6 +553,7 @@ mod tests {
                 ("hit_rate".to_string(), 0.9)
             ]
         );
+        assert_eq!(cfg.serve_max, vec![("build_p99_ms".to_string(), 250.0)]);
     }
 
     #[test]
@@ -580,6 +607,26 @@ mod tests {
         assert!(!guard_serve(&cfg, &weak, &weak).unwrap());
         // A `[serve_min]`-gated metric missing entirely: fails.
         let gone: Vec<ServeRow> = base[..2].to_vec();
+        assert!(!guard_serve(&cfg, &base, &gone).unwrap());
+    }
+
+    #[test]
+    fn serve_gate_enforces_latency_ceilings() {
+        let cfg = GuardConfig::parse("[serve_max]\nrun_p99_ms = 10.0").unwrap();
+        let base = match parse_report(SERVE_REPORT).unwrap() {
+            Report::Serve(r) => r,
+            Report::Schemes(_) => unreachable!(),
+        };
+        // 3.5ms under a 10ms ceiling: passes.
+        assert!(guard_serve(&cfg, &base, &base).unwrap());
+        // Latency blowing past the ceiling: fails, even though nothing
+        // dropped below a floor.
+        let mut slow = base.clone();
+        slow[3].value = 25.0;
+        assert!(!guard_serve(&cfg, &base, &slow).unwrap());
+        // A ceiling-gated metric missing from current: fails (a silent
+        // hole would let a latency regression hide by renaming the row).
+        let gone: Vec<ServeRow> = base[..3].to_vec();
         assert!(!guard_serve(&cfg, &base, &gone).unwrap());
     }
 }

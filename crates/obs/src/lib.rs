@@ -1,0 +1,33 @@
+//! rtdc-obs: live telemetry for long-running rtdc processes.
+//!
+//! PR 4 gave the *simulator* observability (trace events folded into
+//! exact `Stats`); this crate gives the *serving stack* the same
+//! first-class treatment at run time. Two std-only pieces:
+//!
+//! * [`metrics`] — a [`MetricsRegistry`] of named counters, gauges, and
+//!   fixed-bucket log2 latency histograms, every cell an `AtomicU64`.
+//!   Registration (name → handle) takes a lock once; the handles are
+//!   `Arc`s to plain atomics, so the hot path — a request incrementing
+//!   a counter or recording a service time — is lock-free. Snapshots
+//!   read the same atomics, so a counter hammered by N threads still
+//!   reconciles *exactly* after join, the way `ImageCache`'s
+//!   `lookups == hits + misses + poisoned` invariant already does.
+//! * [`log`] — leveled, structured nd-JSON logging to stderr (or any
+//!   sink): one JSON object per line, monotonic timestamps, an
+//!   `RTDC_LOG` environment filter, and zero cost (one relaxed atomic
+//!   load) when the level is off.
+//!
+//! The crate is dependency-free and knows nothing about serving: the
+//! `rtdc-serve` daemon wires its cache/pool/request counters through a
+//! registry and exposes the snapshot via a `metrics` protocol op and a
+//! Prometheus-style text dump; `rtdc-top` renders it live.
+//!
+//! [`MetricsRegistry`]: metrics::MetricsRegistry
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod log;
+pub mod metrics;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, Snapshot};

@@ -1,0 +1,115 @@
+//! Concurrent registry battery: writer threads hammer counters and
+//! histograms while a reader snapshots mid-flight. The contract under
+//! test is the one the serving stack leans on:
+//!
+//! * after all writers join, totals reconcile **exactly** against the
+//!   per-thread work log (nothing lost to races);
+//! * snapshots taken *during* the run are monotonic per metric
+//!   (counters and histogram cells never appear to decrease);
+//! * a histogram's `count` equals the sum of its buckets in any
+//!   post-join snapshot.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use rtdc_obs::MetricsRegistry;
+
+const WRITERS: usize = 8;
+const ITERS: u64 = 20_000;
+
+#[test]
+fn hammered_counters_reconcile_exactly_and_snapshots_stay_monotonic() {
+    let reg = Arc::new(MetricsRegistry::new());
+    // Register up front so the hot loop is pure atomics.
+    let counter = reg.counter("battery.events");
+    let bytes = reg.counter("battery.bytes");
+    let hist = reg.histogram("battery.us");
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let reader = {
+        let (reg, stop) = (Arc::clone(&reg), Arc::clone(&stop));
+        std::thread::spawn(move || {
+            let mut snaps = 0u64;
+            let mut last_events = 0u64;
+            let mut last_bytes = 0u64;
+            let mut last_hist_count = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let s = reg.snapshot();
+                let events = s.value("battery.events").unwrap();
+                let b = s.value("battery.bytes").unwrap();
+                let h = s.histogram("battery.us").unwrap();
+                assert!(
+                    events >= last_events && b >= last_bytes && h.count >= last_hist_count,
+                    "snapshot went backwards: {events} < {last_events} or {b} < {last_bytes} \
+                     or {} < {last_hist_count}",
+                    h.count
+                );
+                // Bucket cells are updated before `count`, so a mid-flight
+                // snapshot can only over-count buckets relative to `count`.
+                let bucket_sum: u64 = h.buckets.iter().map(|&(_, n)| n).sum();
+                assert!(
+                    bucket_sum >= h.count,
+                    "buckets lost an observation mid-flight: {bucket_sum} < {}",
+                    h.count
+                );
+                (last_events, last_bytes, last_hist_count) = (events, b, h.count);
+                snaps += 1;
+            }
+            snaps
+        })
+    };
+
+    std::thread::scope(|scope| {
+        for t in 0..WRITERS {
+            let (counter, bytes, hist) =
+                (Arc::clone(&counter), Arc::clone(&bytes), Arc::clone(&hist));
+            scope.spawn(move || {
+                for i in 0..ITERS {
+                    counter.inc();
+                    bytes.add(t as u64 + 1);
+                    hist.observe(i % 1000);
+                }
+            });
+        }
+    });
+    stop.store(true, Ordering::Relaxed);
+    let snaps = reader.join().expect("reader thread");
+    assert!(snaps > 0, "the reader must have observed the run");
+
+    // Exact post-join reconciliation.
+    let s = reg.snapshot();
+    let total = (WRITERS as u64) * ITERS;
+    assert_eq!(s.value("battery.events"), Some(total));
+    let want_bytes: u64 = (1..=WRITERS as u64).sum::<u64>() * ITERS;
+    assert_eq!(s.value("battery.bytes"), Some(want_bytes));
+    let h = s.histogram("battery.us").unwrap();
+    assert_eq!(h.count, total);
+    assert_eq!(
+        h.count,
+        h.buckets.iter().map(|&(_, n)| n).sum::<u64>(),
+        "histogram count must equal the sum of its buckets"
+    );
+    let want_sum: u64 = (0..ITERS).map(|i| i % 1000).sum::<u64>() * WRITERS as u64;
+    assert_eq!(h.sum, want_sum);
+}
+
+#[test]
+fn hammered_gauges_settle_to_zero_in_flight() {
+    // Gauges model levels (in-flight jobs): every thread adds then
+    // subtracts, so the settled value is exactly zero and the peak
+    // observed mid-run never exceeds the writer count.
+    let reg = MetricsRegistry::new();
+    let gauge = reg.gauge("battery.inflight");
+    std::thread::scope(|scope| {
+        for _ in 0..WRITERS {
+            let gauge = &gauge;
+            scope.spawn(move || {
+                for _ in 0..ITERS {
+                    gauge.add(1);
+                    gauge.sub(1);
+                }
+            });
+        }
+    });
+    assert_eq!(gauge.get(), 0);
+}

@@ -2,6 +2,7 @@
 //!
 //! ```sh
 //! rtdc-serve <socket-path> [--threads N] [--cache-mb N] [--max-insns N]
+//! rtdc-serve --metrics-dump <socket-path>
 //! ```
 //!
 //! Binds a Unix domain socket and serves newline-delimited JSON requests
@@ -10,23 +11,51 @@
 //! semantics live in the `rtdc_serve` library — this bin is argument
 //! parsing and a join.
 //!
+//! The daemon writes a structured nd-JSON log to stderr (one object per
+//! line); `RTDC_LOG` selects the level (`off`, `error`, `warn`, `info`,
+//! `debug`, `trace`; default `info`). `--metrics-dump` is a client
+//! mode: it connects to a *running* daemon, fetches one telemetry
+//! snapshot, and prints it to stdout in the Prometheus text exposition
+//! format — the glue for external scrapers and cron jobs.
+//!
 //! Examples:
 //!
 //! ```sh
 //! rtdc-serve /tmp/rtdc.sock --threads 8 --cache-mb 128 &
 //! printf '%s\n' '{"op":"run","bench":"sort","scheme":"d+rf"}' | nc -U /tmp/rtdc.sock
+//! rtdc-serve --metrics-dump /tmp/rtdc.sock
 //! printf '%s\n' '{"op":"stats"}' '{"op":"shutdown"}' | nc -U /tmp/rtdc.sock
 //! ```
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use rtdc_obs::log::{self, Level};
+use rtdc_serve::client::Client;
+use rtdc_serve::json::Json;
 use rtdc_serve::server::{ServeConfig, Server};
 
-const USAGE: &str = "usage: rtdc-serve <socket-path> [--threads N] [--cache-mb N] [--max-insns N]";
+const USAGE: &str = "usage: rtdc-serve <socket-path> [--threads N] [--cache-mb N] [--max-insns N]\n       rtdc-serve --metrics-dump <socket-path>";
+
+/// Client mode: fetch one Prometheus-text snapshot from a running
+/// daemon and print it.
+fn metrics_dump(path: &Path) -> Result<(), String> {
+    let mut client =
+        Client::connect(path).map_err(|e| format!("{}: connect: {e}", path.display()))?;
+    let resp = client
+        .request(r#"{"op":"metrics","format":"text"}"#)
+        .map_err(|e| format!("{}: metrics: {e}", path.display()))?;
+    let text = resp
+        .get("text")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "unexpected metrics response: missing `text`".to_string())?;
+    print!("{text}");
+    Ok(())
+}
 
 fn run() -> Result<(), String> {
     let mut path: Option<PathBuf> = None;
+    let mut dump = false;
     let mut config = ServeConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -40,6 +69,7 @@ fn run() -> Result<(), String> {
             "--threads" => config.threads = num("--threads")?.max(1) as usize,
             "--cache-mb" => config.cache_bytes = num("--cache-mb")? << 20,
             "--max-insns" => config.max_insns = num("--max-insns")?,
+            "--metrics-dump" => dump = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(());
@@ -55,6 +85,10 @@ fn run() -> Result<(), String> {
         }
     }
     let path = path.ok_or_else(|| USAGE.to_string())?;
+    if dump {
+        return metrics_dump(&path);
+    }
+    log::init(Level::Info);
     let server = Server::start(&path, config).map_err(|e| format!("{}: {e}", path.display()))?;
     eprintln!(
         "rtdc-serve: listening on {} ({} workers, {} MiB cache)",

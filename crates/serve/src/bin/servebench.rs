@@ -16,18 +16,30 @@
 //! 3. **mixed runs** — `run` requests (cached builds + fresh
 //!    simulations), recording requests/sec and p50/p99 latency.
 //!
+//! Latency is reported from **two vantage points**. The client-side
+//! columns (`run_p50_ms`/`run_p99_ms`) time the full round trip —
+//! socket, reader thread, pool queue wait, handler — as a client
+//! experiences it. The daemon-side columns (`build_p99_ms`,
+//! `run_p50_daemon_ms`/`run_p99_daemon_ms`) come from the daemon's own
+//! `serve.op.<op>.us` histograms via the `metrics` op: pure handler
+//! service time, no queue wait, quantiles as log2-bucket upper bounds
+//! (conservative within 2x). The daemon-side numbers are what
+//! `benchguard` gates with `[serve_max]` ceilings; the client-side
+//! columns are kept for one release for cross-version comparison.
+//!
 //! Results land in `BENCH_serve.json` (schema: a flat `"serve"` array of
 //! `{"metric": ..., "value": ...}` rows), which `benchguard` gates via
-//! the `[serve_floors]` / `[serve_min]` sections of `benchguard.toml`.
-//! Wall-clock metrics are host-dependent; the gate compares ratios
-//! against a checked-in baseline plus absolute minimums (the ≥5x build
-//! speedup), not raw numbers.
+//! the `[serve_floors]` / `[serve_min]` / `[serve_max]` sections of
+//! `benchguard.toml`. Wall-clock metrics are host-dependent; the gate
+//! compares ratios against a checked-in baseline plus absolute bounds
+//! (the ≥5x build speedup, loose latency ceilings), not raw numbers.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use rtdc_serve::client::{request_line, Client};
+use rtdc_obs::HistogramSnapshot;
+use rtdc_serve::client::{parse_histogram, request_line, Client};
 use rtdc_serve::json::Json;
 use rtdc_serve::server::{ServeConfig, Server};
 
@@ -253,11 +265,28 @@ fn run() -> Result<(), String> {
         })
         .collect();
     let (run_reqs, run_wall, mut run_lats) = drive(&warm_socket, args.clients, &run_streams)?;
+    // Daemon-side service-time histograms for the same workload,
+    // fetched over the same protocol everyone else uses.
+    let (build_us, run_us) = {
+        let mut c = Client::connect(&warm_socket).map_err(|e| e.to_string())?;
+        let resp = c.metrics().map_err(|e| e.to_string())?;
+        let m = resp
+            .get("metrics")
+            .ok_or("metrics response missing `metrics`")?;
+        let hist = |name: &str| -> Result<HistogramSnapshot, String> {
+            m.get("histograms")
+                .and_then(|h| h.get(name))
+                .and_then(parse_histogram)
+                .ok_or_else(|| format!("metrics missing histogram `{name}`"))
+        };
+        (hist("serve.op.build.us")?, hist("serve.op.run.us")?)
+    };
     drop(warm_server);
     run_lats.sort_unstable();
     let run_rps = run_reqs as f64 / run_wall.as_secs_f64();
     let p50 = percentile(&run_lats, 0.50);
     let p99 = percentile(&run_lats, 0.99);
+    let q_ms = |h: &HistogramSnapshot, q: f64| h.quantile(q).unwrap_or(0) as f64 / 1e3;
 
     let rows = [
         ("cold_build_rps", cold_rps),
@@ -267,11 +296,14 @@ fn run() -> Result<(), String> {
         ("run_rps", run_rps),
         ("run_p50_ms", p50.as_secs_f64() * 1e3),
         ("run_p99_ms", p99.as_secs_f64() * 1e3),
+        ("build_p99_ms", q_ms(&build_us, 0.99)),
+        ("run_p50_daemon_ms", q_ms(&run_us, 0.50)),
+        ("run_p99_daemon_ms", q_ms(&run_us, 0.99)),
     ];
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(
-        "  \"note\": \"rtdc-serve throughput; wall-clock dependent, gate on ratios + serve_min\",\n",
+        "  \"note\": \"rtdc-serve throughput; wall-clock dependent, gate on ratios + serve_min/serve_max. run_p50_ms/run_p99_ms are client-side round trips (include queue wait; kept one release for comparison); *_daemon_ms and build_p99_ms are daemon-side handler service time from log2 histograms (bucket upper bounds, within 2x)\",\n",
     );
     out.push_str(&format!("  \"clients\": {},\n", args.clients));
     out.push_str(&format!("  \"server_threads\": {threads},\n"));

@@ -91,6 +91,10 @@ pub struct CacheStats {
     pub uncached: u64,
     /// Builds that returned an error.
     pub build_failures: u64,
+    /// Times a lookup blocked on another thread's in-flight build of
+    /// the same key (each wake-up from the condvar counts once; the
+    /// served lookup still resolves as a hit/miss/poisoned outcome).
+    pub flight_waits: u64,
     /// Entries resident now.
     pub entries: u64,
     /// Bytes resident now.
@@ -119,6 +123,7 @@ struct Inner {
     evictions: u64,
     uncached: u64,
     build_failures: u64,
+    flight_waits: u64,
 }
 
 impl Inner {
@@ -210,6 +215,7 @@ impl ImageCache {
                 // Fall through to the build path below.
             }
             if guard.building.contains(key) {
+                guard.flight_waits += 1;
                 guard = self.flights.wait(guard).expect("cache lock");
                 continue;
             }
@@ -310,6 +316,7 @@ impl ImageCache {
             evictions: g.evictions,
             uncached: g.uncached,
             build_failures: g.build_failures,
+            flight_waits: g.flight_waits,
             entries: g.map.len() as u64,
             resident_bytes: g.bytes,
             budget_bytes: self.budget,
@@ -477,5 +484,8 @@ mod tests {
         assert_eq!(s.lookups, 8);
         assert_eq!(s.misses, 1);
         assert_eq!(s.hits, 7);
+        // The losing threads blocked on the winner's flight (the 20ms
+        // build window keeps the race from being theoretical).
+        assert!(s.flight_waits >= 1, "{s:?}");
     }
 }

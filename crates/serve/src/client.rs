@@ -8,6 +8,8 @@ use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
 
+use rtdc_obs::HistogramSnapshot;
+
 use crate::json::{self, Json, ObjWriter};
 
 /// A connected client.
@@ -80,6 +82,46 @@ impl Client {
         let _ = self.request_raw(r#"{"op":"shutdown"}"#)?;
         Ok(())
     }
+
+    /// Fetches the daemon's full telemetry snapshot (the `metrics` op,
+    /// JSON format) as the parsed response object. The snapshot proper
+    /// is its `"metrics"` field; histograms inside it parse with
+    /// [`parse_histogram`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors.
+    pub fn metrics(&mut self) -> std::io::Result<Json> {
+        self.request(r#"{"op":"metrics"}"#)
+    }
+}
+
+/// Reconstructs a histogram from its `metrics`-op JSON form
+/// (`{"count":..,"sum":..,"buckets":[[index,count],..]}`) — the client
+/// half of the daemon's snapshot rendering, shared by `rtdc-top` and
+/// `servebench`. `None` for any structural mismatch.
+pub fn parse_histogram(v: &Json) -> Option<HistogramSnapshot> {
+    let count = v.get("count").and_then(Json::as_u64)?;
+    let sum = v.get("sum").and_then(Json::as_u64)?;
+    let Json::Arr(items) = v.get("buckets")? else {
+        return None;
+    };
+    let buckets = items
+        .iter()
+        .map(|item| match item {
+            Json::Arr(pair) if pair.len() == 2 => {
+                let i = pair[0].as_u64()?;
+                let n = pair[1].as_u64()?;
+                u8::try_from(i).ok().map(|i| (i, n))
+            }
+            _ => None,
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(HistogramSnapshot {
+        count,
+        sum,
+        buckets,
+    })
 }
 
 /// Renders a `build`/`run`/`trace` request line. `scheme` is a CLI-style
@@ -100,6 +142,28 @@ pub fn request_line(op: &str, bench: &str, scheme: &str, max_insns: Option<u64>)
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn histogram_round_trips_from_snapshot_json() {
+        let h = rtdc_obs::Histogram::default();
+        for v in [0u64, 1, 5, 5, 900] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        let rendered = format!(
+            "{{\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+            snap.count,
+            snap.sum,
+            snap.buckets
+                .iter()
+                .map(|&(i, n)| format!("[{i},{n}]"))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let back = parse_histogram(&json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.quantile(0.5), snap.quantile(0.5));
+    }
 
     #[test]
     fn request_lines_are_canonical() {

@@ -10,6 +10,7 @@
 //! | `trace` | run with an event-counting sink; report event counts    |
 //! | `plan`  | run the closed-loop optimizer; return the plan text     |
 //! | `stats` | server/cache counters (the only cache-visible op)       |
+//! | `metrics` | full telemetry snapshot (JSON, or Prometheus text)    |
 //!
 //! plus `shutdown` for orderly teardown. Responses to `build`, `run`,
 //! `trace`, and `plan` are **pure functions of the request** — they carry
@@ -97,8 +98,25 @@ pub enum Request {
     },
     /// Server and cache counters.
     Stats,
+    /// Full telemetry snapshot from the daemon's metrics registry.
+    Metrics {
+        /// Response format.
+        format: MetricsFormat,
+    },
     /// Orderly shutdown.
     Shutdown,
+}
+
+/// How a `metrics` response renders the snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// A nested JSON object (`"metrics"` field of the response) —
+    /// what `rtdc-top` and `servebench` consume.
+    Json,
+    /// Prometheus text exposition 0.0.4, embedded as the `"text"`
+    /// string field — what external scrapers consume (via
+    /// `rtdc-serve --metrics-dump`).
+    Text,
 }
 
 /// Typed request-level failures, each with a stable wire kind.
@@ -187,7 +205,7 @@ impl ServeError {
             | ServeError::RunFailed { detail }
             | ServeError::Unsupported { detail } => detail.clone(),
             ServeError::UnknownOp { op } => {
-                format!("unknown op `{op}` (build|run|trace|plan|stats|shutdown)")
+                format!("unknown op `{op}` (build|run|trace|plan|stats|metrics|shutdown)")
             }
             ServeError::UnknownBench { bench } => {
                 format!("unknown benchmark `{bench}`")
@@ -322,6 +340,21 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
             Ok(Request::Plan { bench, scheme, rf })
         }
         "stats" => Ok(Request::Stats),
+        "metrics" => {
+            let format = match obj.get("format") {
+                None => MetricsFormat::Json,
+                Some(v) => match v.as_str() {
+                    Some("json") => MetricsFormat::Json,
+                    Some("text") => MetricsFormat::Text,
+                    _ => {
+                        return Err(ServeError::BadRequest {
+                            detail: "`format` must be \"json\" or \"text\"".into(),
+                        })
+                    }
+                },
+            };
+            Ok(Request::Metrics { format })
+        }
         "shutdown" => Ok(Request::Shutdown),
         other => Err(ServeError::UnknownOp {
             op: other.to_string(),
@@ -436,6 +469,28 @@ mod tests {
         assert_eq!(
             parse_request(r#"{"op":"shutdown"}"#).unwrap(),
             Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn metrics_op_parses_both_formats() {
+        assert_eq!(
+            parse_request(r#"{"op":"metrics"}"#).unwrap(),
+            Request::Metrics {
+                format: MetricsFormat::Json
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"metrics","format":"text"}"#).unwrap(),
+            Request::Metrics {
+                format: MetricsFormat::Text
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"metrics","format":"xml"}"#)
+                .unwrap_err()
+                .kind(),
+            "bad-request"
         );
     }
 

@@ -10,6 +10,13 @@
 //! slow client never wedges a worker. Tests drive [`handle_request`]
 //! directly when the property under test is semantic, and through the
 //! socket when it is concurrency.
+//!
+//! Telemetry is woven through every layer but leaks into none of the
+//! pure responses: [`ServeMetrics`] pre-registers the hot-path handles
+//! (per-op counters and service-time histograms, byte counters, the
+//! pool's wall histogram), [`sync_ambient`] mirrors cache and pool
+//! counters into gauges at snapshot time, and the structured log
+//! (`rtdc_obs::log`) carries connection/request events on stderr.
 
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -17,10 +24,13 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use rtdc::prelude::*;
 use rtdc_bench::planopt::optimized_plan_cached;
 use rtdc_isa::program::ObjectProgram;
+use rtdc_obs::log::{self, Level};
+use rtdc_obs::{Counter, Histogram, MetricsRegistry};
 use rtdc_sim::trace::{TraceEvent, EVENT_KINDS};
 use rtdc_sim::TraceSink;
 use rtdc_workloads::{by_name, generate_cached, programs, spec, BenchmarkSpec};
@@ -28,7 +38,9 @@ use rtdc_workloads::{by_name, generate_cached, programs, spec, BenchmarkSpec};
 use crate::cache::{CacheKey, ImageCache};
 use crate::json::ObjWriter;
 use crate::pool::WorkerPool;
-use crate::protocol::{parse_request, stats_json, BuildSpec, Request, ServeError, MAX_LINE_BYTES};
+use crate::protocol::{
+    parse_request, stats_json, BuildSpec, MetricsFormat, Request, ServeError, MAX_LINE_BYTES,
+};
 
 /// Server tunables.
 #[derive(Debug, Clone, Copy)]
@@ -51,22 +63,113 @@ impl Default for ServeConfig {
     }
 }
 
-/// Per-op request counters (the `stats` op's `requests` object).
-#[derive(Debug, Default)]
+/// Per-op request counters (the `stats` op's `requests` object). Each
+/// is a registry handle (`serve.req.<op>` / `serve.err.total`), so the
+/// `stats` and `metrics` views can never disagree.
+#[derive(Debug)]
 pub struct OpCounters {
     /// `build` requests handled.
-    pub build: AtomicU64,
+    pub build: Arc<Counter>,
     /// `run` requests handled.
-    pub run: AtomicU64,
+    pub run: Arc<Counter>,
     /// `trace` requests handled.
-    pub trace: AtomicU64,
+    pub trace: Arc<Counter>,
     /// `plan` requests handled.
-    pub plan: AtomicU64,
+    pub plan: Arc<Counter>,
     /// `stats` requests handled.
-    pub stats: AtomicU64,
+    pub stats: Arc<Counter>,
+    /// `metrics` requests handled.
+    pub metrics: Arc<Counter>,
     /// Requests answered with a typed error (any kind, including
     /// parse-level rejections the dispatcher never saw).
-    pub errors: AtomicU64,
+    pub errors: Arc<Counter>,
+}
+
+impl OpCounters {
+    fn new(reg: &MetricsRegistry) -> OpCounters {
+        OpCounters {
+            build: reg.counter("serve.req.build"),
+            run: reg.counter("serve.req.run"),
+            trace: reg.counter("serve.req.trace"),
+            plan: reg.counter("serve.req.plan"),
+            stats: reg.counter("serve.req.stats"),
+            metrics: reg.counter("serve.req.metrics"),
+            errors: reg.counter("serve.err.total"),
+        }
+    }
+}
+
+/// The ops `handle_request` dispatches (service-time histograms are
+/// pre-registered per entry, so the hot path never takes the registry
+/// lock).
+const OPS: [&str; 7] = [
+    "build", "run", "trace", "plan", "stats", "metrics", "shutdown",
+];
+
+/// The daemon's metrics registry plus the pre-registered hot-path
+/// handles. Everything observable through the `metrics` op lives here;
+/// ambient values (cache counters, pool depth, uptime) are mirrored
+/// into registry gauges by [`sync_ambient`] at snapshot time, so they
+/// are exactly the internal counters at the instant of the snapshot.
+pub struct ServeMetrics {
+    /// The registry the `metrics` op snapshots.
+    pub registry: MetricsRegistry,
+    /// Request bytes read off client sockets, newlines included.
+    pub bytes_in: Arc<Counter>,
+    /// Response bytes written to client sockets, newlines included.
+    pub bytes_out: Arc<Counter>,
+    /// Per-job pool wall time (`serve.pool.job_wall.us`), fed by the
+    /// worker loop.
+    pub pool_wall: Arc<Histogram>,
+    /// `serve.op.<op>.us` service-time histograms, one per [`OPS`] entry.
+    op_us: Vec<(&'static str, Arc<Histogram>)>,
+}
+
+impl ServeMetrics {
+    fn new() -> ServeMetrics {
+        let registry = MetricsRegistry::new();
+        let op_us = OPS
+            .iter()
+            .map(|op| (*op, registry.histogram(&format!("serve.op.{op}.us"))))
+            .collect();
+        ServeMetrics {
+            bytes_in: registry.counter("serve.bytes_in"),
+            bytes_out: registry.counter("serve.bytes_out"),
+            pool_wall: registry.histogram("serve.pool.job_wall.us"),
+            op_us,
+            registry,
+        }
+    }
+
+    /// The service-time histogram for `op`.
+    fn op_us(&self, op: &str) -> &Arc<Histogram> {
+        self.op_us
+            .iter()
+            .find(|(k, _)| *k == op)
+            .map(|(_, h)| h)
+            .expect("every dispatched op is in OPS")
+    }
+
+    /// Counts one typed error under `serve.err.<kind>` (registered
+    /// lazily — errors are not the hot path).
+    fn record_error(&self, kind: &str) {
+        self.registry.counter(&format!("serve.err.{kind}")).inc();
+    }
+
+    /// Records one simulator run for the image label: the
+    /// `serve.sim.{runs,cycles}.<label>` counters and the
+    /// `serve.sim.wall_us.<label>` histogram.
+    fn record_sim(&self, label: &str, cycles: u64, wall: Duration) {
+        self.registry
+            .counter(&format!("serve.sim.runs.{label}"))
+            .inc();
+        self.registry
+            .counter(&format!("serve.sim.cycles.{label}"))
+            .add(cycles);
+        self.registry
+            .histogram(&format!("serve.sim.wall_us.{label}"))
+            .observe_micros(wall);
+    }
 }
 
 /// Everything a request handler needs, shared across workers.
@@ -80,24 +183,85 @@ pub struct ServeState {
     pub max_insns: u64,
     /// Per-op counters.
     pub ops: OpCounters,
+    /// The telemetry registry and its hot-path handles.
+    pub metrics: ServeMetrics,
+    started: Instant,
+    started_at: u64,
     shutdown: AtomicBool,
 }
 
 impl ServeState {
     /// Fresh state for `config`.
     pub fn new(config: &ServeConfig) -> ServeState {
+        let metrics = ServeMetrics::new();
         ServeState {
             cache: ImageCache::new(config.cache_bytes),
             sim: rtdc_sim::SimConfig::hpca2000_baseline(),
             max_insns: config.max_insns,
-            ops: OpCounters::default(),
+            ops: OpCounters::new(&metrics.registry),
+            metrics,
+            started: Instant::now(),
+            started_at: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map_or(0, |d| d.as_secs()),
             shutdown: AtomicBool::new(false),
         }
+    }
+
+    /// Whole seconds since this state was constructed.
+    pub fn uptime_seconds(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// Unix seconds at construction (the `stats`/`metrics` ops'
+    /// `started_at` field; a restart is visible as this changing).
+    pub fn started_at(&self) -> u64 {
+        self.started_at
     }
 
     /// Whether a `shutdown` request has been handled.
     pub fn shutdown_requested(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Mirrors ambient values — cache counters, pool depth, uptime — into
+/// registry gauges. Called at snapshot time (the `metrics` op and the
+/// shutdown flush), so the gauges a snapshot carries are exactly the
+/// internal counters at that instant; they are *views*, not shadow
+/// state that could drift.
+fn sync_ambient(state: &ServeState, pool: Option<&WorkerPool>) {
+    let reg = &state.metrics.registry;
+    reg.gauge("serve.uptime_seconds")
+        .set(state.uptime_seconds());
+    let c = state.cache.stats();
+    for (name, v) in [
+        ("lookups", c.lookups),
+        ("hits", c.hits),
+        ("misses", c.misses),
+        ("poisoned", c.poisoned),
+        ("inserts", c.inserts),
+        ("evictions", c.evictions),
+        ("uncached", c.uncached),
+        ("build_failures", c.build_failures),
+        ("flight_waits", c.flight_waits),
+        ("entries", c.entries),
+        ("resident_bytes", c.resident_bytes),
+        ("budget_bytes", c.budget_bytes),
+    ] {
+        reg.gauge(&format!("serve.cache.{name}")).set(v);
+    }
+    if let Some(p) = pool {
+        for (name, v) in [
+            ("threads", p.threads() as u64),
+            ("queued", p.queued()),
+            ("executed", p.executed()),
+            ("panics", p.panics()),
+            ("in_flight", p.in_flight()),
+            ("queue_depth", p.queue_depth()),
+        ] {
+            reg.gauge(&format!("serve.pool.{name}")).set(v);
+        }
     }
 }
 
@@ -236,9 +400,13 @@ fn handle_run(
 ) -> Result<String, ServeError> {
     let (image, label, digest) = obtain_image(state, bench, spec)?;
     let limit = max_insns.unwrap_or(state.max_insns);
+    let sim_start = Instant::now();
     let report = run_image(&image, state.sim, limit).map_err(|e| ServeError::RunFailed {
         detail: e.to_string(),
     })?;
+    state
+        .metrics
+        .record_sim(&label, report.stats.cycles, sim_start.elapsed());
     let mut w = ObjWriter::new();
     identity_fields(&mut w, "run", bench, &label, digest)
         .u64("exit_code", u64::from(report.exit_code))
@@ -279,10 +447,14 @@ fn handle_trace(
 ) -> Result<String, ServeError> {
     let (image, label, digest) = obtain_image(state, bench, spec)?;
     let limit = max_insns.unwrap_or(state.max_insns);
+    let sim_start = Instant::now();
     let (report, sink) = run_image_with_sink(&image, state.sim, limit, CountSink::default())
         .map_err(|e| ServeError::RunFailed {
             detail: e.to_string(),
         })?;
+    state
+        .metrics
+        .record_sim(&label, report.stats.cycles, sim_start.elapsed());
     let mut events = ObjWriter::new();
     let mut total = 0u64;
     for (i, (_, name)) in EVENT_KINDS.iter().enumerate() {
@@ -337,12 +509,13 @@ fn handle_stats(state: &ServeState, pool: Option<&WorkerPool>) -> String {
     let o = &state.ops;
     let mut requests = ObjWriter::new();
     requests
-        .u64("build", o.build.load(Ordering::Relaxed))
-        .u64("run", o.run.load(Ordering::Relaxed))
-        .u64("trace", o.trace.load(Ordering::Relaxed))
-        .u64("plan", o.plan.load(Ordering::Relaxed))
-        .u64("stats", o.stats.load(Ordering::Relaxed))
-        .u64("errors", o.errors.load(Ordering::Relaxed));
+        .u64("build", o.build.get())
+        .u64("run", o.run.get())
+        .u64("trace", o.trace.get())
+        .u64("plan", o.plan.get())
+        .u64("stats", o.stats.get())
+        .u64("metrics", o.metrics.get())
+        .u64("errors", o.errors.get());
     let c = state.cache.stats();
     let mut cache = ObjWriter::new();
     cache
@@ -354,71 +527,111 @@ fn handle_stats(state: &ServeState, pool: Option<&WorkerPool>) -> String {
         .u64("evictions", c.evictions)
         .u64("uncached", c.uncached)
         .u64("build_failures", c.build_failures)
+        .u64("flight_waits", c.flight_waits)
         .u64("entries", c.entries)
         .u64("resident_bytes", c.resident_bytes)
         .u64("budget_bytes", c.budget_bytes);
     let mut w = ObjWriter::new();
     w.bool("ok", true)
         .str("op", "stats")
+        .u64("started_at", state.started_at())
+        .u64("uptime_seconds", state.uptime_seconds())
         .raw("requests", &requests.finish())
         .raw("cache", &cache.finish());
     if let Some(p) = pool {
         let mut pw = ObjWriter::new();
         pw.u64("threads", p.threads() as u64)
+            .u64("queued", p.queued())
             .u64("executed", p.executed())
+            .u64("in_flight", p.in_flight())
+            .u64("queue_depth", p.queue_depth())
             .u64("panics", p.panics());
         w.raw("pool", &pw.finish());
     }
     w.finish()
 }
 
+/// The `metrics` op: sync ambient gauges, snapshot the registry, and
+/// render it in the requested format. The JSON form nests the full
+/// snapshot under `"metrics"`; the text form embeds the Prometheus
+/// exposition as the `"text"` string (the protocol stays one JSON
+/// object per line either way).
+fn handle_metrics(state: &ServeState, pool: Option<&WorkerPool>, format: MetricsFormat) -> String {
+    sync_ambient(state, pool);
+    let snap = state.metrics.registry.snapshot();
+    let mut w = ObjWriter::new();
+    w.bool("ok", true)
+        .str("op", "metrics")
+        .u64("started_at", state.started_at())
+        .u64("uptime_seconds", state.uptime_seconds());
+    match format {
+        MetricsFormat::Json => w.str("format", "json").raw("metrics", &snap.to_json()),
+        MetricsFormat::Text => w.str("format", "text").str("text", &snap.to_prometheus()),
+    };
+    w.finish()
+}
+
 /// Handles one parsed request, returning the response line (without the
 /// trailing newline). Pure dispatch: every failure becomes a typed error
-/// response; nothing here panics on any input.
+/// response; nothing here panics on any input. Telemetry rides along —
+/// each request bumps its `serve.req.<op>` counter and lands one
+/// observation in its `serve.op.<op>.us` service-time histogram — but
+/// none of it leaks into the response bytes of the four pure ops.
 pub fn handle_request(state: &ServeState, req: &Request, pool: Option<&WorkerPool>) -> String {
-    let result = match req {
+    let handler_start = Instant::now();
+    let (op, result) = match req {
         Request::Build { bench, spec } => {
-            state.ops.build.fetch_add(1, Ordering::Relaxed);
-            handle_build(state, bench, spec)
+            state.ops.build.inc();
+            ("build", handle_build(state, bench, spec))
         }
         Request::Run {
             bench,
             spec,
             max_insns,
         } => {
-            state.ops.run.fetch_add(1, Ordering::Relaxed);
-            handle_run(state, bench, spec, *max_insns)
+            state.ops.run.inc();
+            ("run", handle_run(state, bench, spec, *max_insns))
         }
         Request::Trace {
             bench,
             spec,
             max_insns,
         } => {
-            state.ops.trace.fetch_add(1, Ordering::Relaxed);
-            handle_trace(state, bench, spec, *max_insns)
+            state.ops.trace.inc();
+            ("trace", handle_trace(state, bench, spec, *max_insns))
         }
         Request::Plan { bench, scheme, rf } => {
-            state.ops.plan.fetch_add(1, Ordering::Relaxed);
-            handle_plan(state, bench, scheme, *rf)
+            state.ops.plan.inc();
+            ("plan", handle_plan(state, bench, scheme, *rf))
         }
         Request::Stats => {
-            state.ops.stats.fetch_add(1, Ordering::Relaxed);
-            Ok(handle_stats(state, pool))
+            state.ops.stats.inc();
+            ("stats", Ok(handle_stats(state, pool)))
+        }
+        Request::Metrics { format } => {
+            state.ops.metrics.inc();
+            ("metrics", Ok(handle_metrics(state, pool, *format)))
         }
         Request::Shutdown => {
             state.shutdown.store(true, Ordering::SeqCst);
             let mut w = ObjWriter::new();
             w.bool("ok", true).str("op", "shutdown");
-            Ok(w.finish())
+            ("shutdown", Ok(w.finish()))
         }
     };
-    match result {
+    let line = match result {
         Ok(line) => line,
         Err(e) => {
-            state.ops.errors.fetch_add(1, Ordering::Relaxed);
+            state.ops.errors.inc();
+            state.metrics.record_error(e.kind());
             e.render()
         }
-    }
+    };
+    state
+        .metrics
+        .op_us(op)
+        .observe_micros(handler_start.elapsed());
+    line
 }
 
 /// Handles one raw request line end to end (parse + dispatch).
@@ -426,7 +639,8 @@ pub fn handle_line(state: &ServeState, line: &str, pool: Option<&WorkerPool>) ->
     match parse_request(line) {
         Ok(req) => handle_request(state, &req, pool),
         Err(e) => {
-            state.ops.errors.fetch_add(1, Ordering::Relaxed);
+            state.ops.errors.inc();
+            state.metrics.record_error(e.kind());
             e.render()
         }
     }
@@ -536,6 +750,11 @@ fn read_line_bounded<R: BufRead>(
     }
 }
 
+/// Monotonic connection-id source for the structured log; ids are
+/// process-global so grepping the log for `"conn":N` isolates one
+/// client's lifetime.
+static CONN_IDS: AtomicU64 = AtomicU64::new(0);
+
 /// Serves one connection: parse lines, park each request on the pool,
 /// write each reply. Returns when the client disconnects or the server
 /// shuts down; `path` is the server's own socket, dialed once to wake
@@ -546,30 +765,60 @@ fn serve_connection(
     stream: UnixStream,
     path: &Path,
 ) {
+    let conn = CONN_IDS.fetch_add(1, Ordering::Relaxed) + 1;
+    log::event(Level::Info, "conn_open")
+        .u64("conn", conn)
+        .emit();
+    let requests = serve_requests(state, pool, stream, path, conn);
+    log::event(Level::Info, "conn_close")
+        .u64("conn", conn)
+        .u64("requests", requests)
+        .emit();
+}
+
+/// The body of [`serve_connection`]; returns how many request lines
+/// this connection answered (for the `conn_close` log event).
+fn serve_requests(
+    state: &Arc<ServeState>,
+    pool: &Arc<WorkerPool>,
+    stream: UnixStream,
+    path: &Path,
+    conn: u64,
+) -> u64 {
     // The read timeout bounds shutdown latency: an idle reader wakes at
     // this cadence, polls the flag, and exits instead of blocking a
     // teardown join forever.
-    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(50)));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
-        Err(_) => return,
+        Err(_) => return 0,
     };
     let mut reader = BufReader::new(stream);
     let stop = || state.shutdown_requested();
+    let mut seq = 0u64;
     loop {
         if state.shutdown_requested() {
-            return;
+            return seq;
         }
         let line = match read_line_bounded(&mut reader, MAX_LINE_BYTES, &stop) {
-            Err(_) | Ok(LineRead::Eof) => return,
+            Err(_) | Ok(LineRead::Eof) => return seq,
             Ok(LineRead::Oversized) => {
-                state.ops.errors.fetch_add(1, Ordering::Relaxed);
-                let resp = ServeError::OversizedLine {
+                state.ops.errors.inc();
+                let err = ServeError::OversizedLine {
                     limit: MAX_LINE_BYTES,
-                }
-                .render();
+                };
+                state.metrics.record_error(err.kind());
+                let resp = err.render();
+                seq += 1;
+                state.metrics.bytes_out.add(resp.len() as u64 + 1);
+                log::event(Level::Debug, "request")
+                    .u64("conn", conn)
+                    .u64("seq", seq)
+                    .str("note", "oversized line discarded")
+                    .u64("bytes_out", resp.len() as u64 + 1)
+                    .emit();
                 if write_line(&mut writer, &resp).is_err() {
-                    return;
+                    return seq;
                 }
                 continue;
             }
@@ -578,6 +827,9 @@ fn serve_connection(
         // Every line — even an empty one — gets exactly one response;
         // clients pipeline on that 1:1 invariant, so silently skipping
         // a blank line would desynchronize (and wedge) them.
+        let bytes_in = line.len() as u64 + 1;
+        state.metrics.bytes_in.add(bytes_in);
+        let req_start = Instant::now();
         let line = String::from_utf8_lossy(&line).into_owned();
         // Dispatch to the pool and wait for this request's reply; the
         // job never dispatches nested jobs, so the pool cannot deadlock.
@@ -604,15 +856,28 @@ fn serve_connection(
             }
             .render()
         };
+        seq += 1;
+        let bytes_out = resp.len() as u64 + 1;
+        state.metrics.bytes_out.add(bytes_out);
+        log::event(Level::Debug, "request")
+            .u64("conn", conn)
+            .u64("seq", seq)
+            .u64("bytes_in", bytes_in)
+            .u64("bytes_out", bytes_out)
+            .u64(
+                "us",
+                req_start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+            )
+            .emit();
         if write_line(&mut writer, &resp).is_err() {
-            return;
+            return seq;
         }
         if state.shutdown_requested() {
             // This connection delivered (or raced with) the `shutdown`
             // op; the accept loop is still parked in `incoming()`, so
             // dial it awake before leaving.
             let _ = UnixStream::connect(path);
-            return;
+            return seq;
         }
     }
 }
@@ -640,7 +905,15 @@ impl Server {
         let _ = std::fs::remove_file(path);
         let listener = UnixListener::bind(path)?;
         let state = Arc::new(ServeState::new(&config));
-        let pool = Arc::new(WorkerPool::new(config.threads));
+        let pool = Arc::new(WorkerPool::new_instrumented(
+            config.threads,
+            Arc::clone(&state.metrics.pool_wall),
+        ));
+        log::event(Level::Info, "serve_start")
+            .str("socket", &path.to_string_lossy())
+            .u64("threads", config.threads as u64)
+            .u64("cache_bytes", config.cache_bytes)
+            .emit();
         let accept_state = Arc::clone(&state);
         let accept_path = path.to_path_buf();
         let accept = std::thread::Builder::new()
@@ -668,6 +941,16 @@ impl Server {
                 for h in readers {
                     let _ = h.join();
                 }
+                // Final telemetry flush: with every reader joined the
+                // counters are quiescent, so this snapshot is the exact
+                // totals for the daemon's lifetime.
+                sync_ambient(&accept_state, Some(&pool));
+                log::event(Level::Info, "metrics_snapshot")
+                    .raw(
+                        "metrics",
+                        &accept_state.metrics.registry.snapshot().to_json(),
+                    )
+                    .emit();
             })
             .expect("spawn accept loop");
         Ok(Server {
@@ -831,7 +1114,14 @@ mod tests {
                 "{line} -> {resp}"
             );
         }
-        assert_eq!(st.ops.errors.load(Ordering::Relaxed), 5);
+        assert_eq!(st.ops.errors.get(), 5);
+        // Every kind surfaced in the registry too.
+        let snap = st.metrics.registry.snapshot();
+        assert_eq!(snap.value("serve.err.total"), Some(5));
+        assert_eq!(snap.value("serve.err.unknown-bench"), Some(2));
+        assert_eq!(snap.value("serve.err.unknown-scheme"), Some(1));
+        assert_eq!(snap.value("serve.err.bad-plan"), Some(1));
+        assert_eq!(snap.value("serve.err.unsupported"), Some(1));
     }
 
     #[test]
@@ -859,6 +1149,71 @@ mod tests {
         assert_eq!(
             bv.get("plan_digest").and_then(crate::json::Json::as_u64),
             Some(digest)
+        );
+    }
+
+    #[test]
+    fn metrics_op_reports_both_formats() {
+        let st = state();
+        handle_line(&st, r#"{"op":"run","bench":"sort","scheme":"d"}"#, None);
+        let m = handle_line(&st, r#"{"op":"metrics"}"#, None);
+        let v = crate::json::parse(&m).unwrap();
+        assert_eq!(v.get("ok").and_then(crate::json::Json::as_bool), Some(true));
+        let metrics = v.get("metrics").unwrap();
+        let counters = metrics.get("counters").unwrap();
+        assert_eq!(
+            counters
+                .get("serve.req.run")
+                .and_then(crate::json::Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            counters
+                .get("serve.sim.runs.d")
+                .and_then(crate::json::Json::as_u64),
+            Some(1)
+        );
+        // The run's service time landed in its histogram.
+        let h = metrics
+            .get("histograms")
+            .and_then(|h| h.get("serve.op.run.us"))
+            .unwrap();
+        assert_eq!(h.get("count").and_then(crate::json::Json::as_u64), Some(1));
+        // Ambient cache gauges mirror the internal counters exactly.
+        let gauges = metrics.get("gauges").unwrap();
+        let s = st.cache.stats();
+        assert_eq!(
+            gauges
+                .get("serve.cache.misses")
+                .and_then(crate::json::Json::as_u64),
+            Some(s.misses)
+        );
+        let t = handle_line(&st, r#"{"op":"metrics","format":"text"}"#, None);
+        let tv = crate::json::parse(&t).unwrap();
+        let text = tv.get("text").and_then(crate::json::Json::as_str).unwrap();
+        assert!(text.contains("# TYPE serve_req_run counter\nserve_req_run 1\n"));
+        assert!(text.contains("serve_op_run_us_count 1\n"));
+    }
+
+    #[test]
+    fn stats_reports_uptime_and_flight_waits() {
+        let st = state();
+        let resp = handle_line(&st, r#"{"op":"stats"}"#, None);
+        let v = crate::json::parse(&resp).unwrap();
+        assert!(v
+            .get("uptime_seconds")
+            .and_then(crate::json::Json::as_u64)
+            .is_some());
+        assert_eq!(
+            v.get("started_at").and_then(crate::json::Json::as_u64),
+            Some(st.started_at())
+        );
+        let cache = v.get("cache").unwrap();
+        assert_eq!(
+            cache
+                .get("flight_waits")
+                .and_then(crate::json::Json::as_u64),
+            Some(0)
         );
     }
 

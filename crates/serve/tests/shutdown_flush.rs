@@ -1,0 +1,83 @@
+//! The daemon's last act before the accept loop returns is flushing a
+//! final `metrics_snapshot` event to the structured log — the lifetime
+//! totals survive even if nobody ever polled the `metrics` op.
+//!
+//! This lives in its own test binary because the log sink is
+//! process-global and set-once: capturing it here must not race other
+//! integration tests' stderr.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use rtdc_obs::log::{self, Level};
+use rtdc_serve::client::{request_line, Client};
+use rtdc_serve::server::{ServeConfig, Server};
+
+#[derive(Clone)]
+struct Capture(Arc<Mutex<Vec<u8>>>);
+
+impl Write for Capture {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn shutdown_flushes_final_metrics_snapshot_to_the_log() {
+    let capture = Capture(Arc::new(Mutex::new(Vec::new())));
+    assert!(log::set_sink(Box::new(capture.clone())), "sink already set");
+    log::set_level(Level::Debug);
+
+    let path = std::env::temp_dir().join(format!("rtdc-serve-flush-{}.sock", std::process::id()));
+    let server = Server::start(&path, ServeConfig::default()).expect("start server");
+    {
+        let mut c = Client::connect(&path).expect("connect");
+        for _ in 0..3 {
+            let resp = c
+                .request_raw(&request_line("build", "sort", "d", None))
+                .expect("build");
+            assert!(resp.starts_with(r#"{"ok":true"#), "{resp}");
+        }
+        c.shutdown().expect("shutdown op");
+    }
+    // Drop joins the accept thread, which joins the readers and then
+    // emits the final snapshot — after this, the log is complete.
+    drop(server);
+
+    let bytes = capture.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).expect("log is utf-8");
+    let mut saw_start = false;
+    let mut saw_conn = false;
+    let mut saw_request = false;
+    let mut snapshot: Option<&str> = None;
+    for line in text.lines() {
+        // nd-JSON: every line is one object with the common envelope.
+        assert!(
+            line.starts_with(r#"{"t_us":"#) && line.ends_with('}'),
+            "malformed log line: {line}"
+        );
+        saw_start |= line.contains(r#""event":"serve_start""#);
+        saw_conn |= line.contains(r#""event":"conn_open""#);
+        saw_request |= line.contains(r#""event":"request""#);
+        if line.contains(r#""event":"metrics_snapshot""#) {
+            snapshot = Some(line);
+        }
+    }
+    assert!(saw_start, "missing serve_start:\n{text}");
+    assert!(saw_conn, "missing conn_open:\n{text}");
+    assert!(saw_request, "missing per-request debug events:\n{text}");
+
+    // The snapshot is taken after every reader joined, so it holds the
+    // exact lifetime totals: 3 builds + 1 shutdown.
+    let snap = snapshot.unwrap_or_else(|| panic!("missing metrics_snapshot:\n{text}"));
+    assert!(snap.contains(r#""serve.req.build":3"#), "{snap}");
+    assert!(
+        snap.contains(r#""serve.op.shutdown.us":{"count":1"#),
+        "{snap}"
+    );
+    assert!(snap.contains(r#""serve.cache.lookups""#), "{snap}");
+}
