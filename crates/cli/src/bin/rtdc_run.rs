@@ -46,7 +46,11 @@
 //! The printed stats block is identical to a local run's (the daemon's
 //! responses are pure functions of the request); options that change
 //! the local build or simulator (`--plan`, `--icache`, `--inject`,
-//! `--trace`, ...) are rejected in this mode.
+//! `--trace`, ...) are rejected in this mode. The client rides out a
+//! daemon restart (connect retried with jittered backoff) and typed
+//! `overloaded` sheds (bounded request retries); `--deadline-ms N`
+//! attaches a per-request budget the daemon enforces server-side, and
+//! `--retry-seed N` makes the whole backoff schedule reproducible.
 //!
 //! `--inject SPEC` applies a deterministic fault plan to the image after
 //! building it (`rand:SEED[:N]`, or a comma list of
@@ -457,15 +461,35 @@ fn serve_run(socket: &str, names: &[&str], args: &Args) -> Result<(), String> {
     let scheme_arg = args.opt("scheme").unwrap_or("native").to_ascii_lowercase();
     // Validate locally for a friendly error before bothering the daemon.
     parse_scheme_arg(&scheme_arg)?;
+    let deadline_ms = match args.opt("deadline-ms") {
+        Some(v) => Some(
+            v.parse::<u64>()
+                .ok()
+                .filter(|&ms| ms > 0)
+                .ok_or_else(|| format!("bad --deadline-ms `{v}` (positive integer ms)"))?,
+        ),
+        None => None,
+    };
+    let seed = match args.opt("retry-seed") {
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| format!("bad --retry-seed `{v}`"))?,
+        None => 0x52_45_54_52, // fixed default: retries stay reproducible
+    };
+    let mut rng = rtdc_rng::Rng64::seed_from_u64(seed);
+    let policy = rtdc_serve::client::RetryPolicy::default();
     let path = std::path::Path::new(socket);
-    let mut client = rtdc_serve::client::Client::connect(path)
+    let mut client = rtdc_serve::client::connect_with_retry(path, &policy, &mut rng)
         .map_err(|e| format!("{socket}: {e} (is rtdc-serve running?)"))?;
     let mut failed = false;
     for name in names {
-        let line = rtdc_serve::client::request_line("run", name, &scheme_arg, None);
-        let resp = client
-            .request(&line)
+        let line =
+            rtdc_serve::client::request_line_opts("run", name, &scheme_arg, None, deadline_ms);
+        let raw = client
+            .request_retrying(&line, &policy, &mut rng)
             .map_err(|e| format!("{socket}: {e}"))?;
+        let resp = rtdc_serve::json::parse(&raw)
+            .map_err(|e| format!("{socket}: malformed response `{raw}`: {e}"))?;
         let ok = resp
             .get("ok")
             .and_then(rtdc_serve::json::Json::as_bool)

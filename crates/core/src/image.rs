@@ -166,7 +166,9 @@ impl SizeReport {
 
 /// A fully-built program image: segments, entry state, handler and region
 /// configuration, and per-procedure address ranges for profiling.
-#[derive(Debug, Clone)]
+/// `PartialEq` is field-exact — the [`crate::imagefile`] round-trip
+/// tests lean on it.
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemoryImage {
     /// Program name.
     pub name: String,

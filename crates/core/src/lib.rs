@@ -65,6 +65,7 @@ pub mod error;
 pub mod fault;
 pub mod handlers;
 pub mod image;
+pub mod imagefile;
 pub mod integrity;
 pub mod plan;
 pub mod proccache;

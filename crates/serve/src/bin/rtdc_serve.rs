@@ -2,6 +2,7 @@
 //!
 //! ```sh
 //! rtdc-serve <socket-path> [--threads N] [--cache-mb N] [--max-insns N]
+//!            [--cache-dir PATH] [--max-queue N]
 //! rtdc-serve --metrics-dump <socket-path>
 //! ```
 //!
@@ -35,7 +36,7 @@ use rtdc_serve::client::Client;
 use rtdc_serve::json::Json;
 use rtdc_serve::server::{ServeConfig, Server};
 
-const USAGE: &str = "usage: rtdc-serve <socket-path> [--threads N] [--cache-mb N] [--max-insns N]\n       rtdc-serve --metrics-dump <socket-path>";
+const USAGE: &str = "usage: rtdc-serve <socket-path> [--threads N] [--cache-mb N] [--max-insns N] [--cache-dir PATH] [--max-queue N]\n       rtdc-serve --metrics-dump <socket-path>";
 
 /// Client mode: fetch one Prometheus-text snapshot from a running
 /// daemon and print it.
@@ -69,6 +70,13 @@ fn run() -> Result<(), String> {
             "--threads" => config.threads = num("--threads")?.max(1) as usize,
             "--cache-mb" => config.cache_bytes = num("--cache-mb")? << 20,
             "--max-insns" => config.max_insns = num("--max-insns")?,
+            "--max-queue" => config.max_queue = num("--max-queue")?.max(1),
+            "--cache-dir" => {
+                let dir = args
+                    .next()
+                    .ok_or_else(|| format!("--cache-dir needs a path\n{USAGE}"))?;
+                config.cache_dir = Some(PathBuf::from(dir));
+            }
             "--metrics-dump" => dump = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -89,12 +97,17 @@ fn run() -> Result<(), String> {
         return metrics_dump(&path);
     }
     log::init(Level::Info);
-    let server = Server::start(&path, config).map_err(|e| format!("{}: {e}", path.display()))?;
+    let server =
+        Server::start(&path, config.clone()).map_err(|e| format!("{}: {e}", path.display()))?;
     eprintln!(
-        "rtdc-serve: listening on {} ({} workers, {} MiB cache)",
+        "rtdc-serve: listening on {} ({} workers, {} MiB cache{})",
         path.display(),
         config.threads,
         config.cache_bytes >> 20,
+        config
+            .cache_dir
+            .as_ref()
+            .map_or(String::new(), |d| format!(", store {}", d.display())),
     );
     server.join();
     eprintln!("rtdc-serve: shut down");

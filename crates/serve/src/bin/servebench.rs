@@ -15,6 +15,15 @@
 //!    build-once/serve-many economics the daemon exists for.
 //! 3. **mixed runs** — `run` requests (cached builds + fresh
 //!    simulations), recording requests/sec and p50/p99 latency.
+//! 4. **restart recovery** — a disk-backed server is populated, torn
+//!    down, and restarted on the same `--cache-dir`; `restart_hit_rate`
+//!    is the warm hit rate of the replay (the persistence rung of the
+//!    crash-safety story; gated at >= 0.8).
+//! 5. **shed correctness** — a one-worker, queue-of-one server under
+//!    `--clients`-way saturation; `shed_correctness` is the fraction of
+//!    responses that are well-formed (`ok:true` or a typed
+//!    `overloaded`), gated at 1.0: overload may slow clients down, but
+//!    it must never hand them garbage.
 //!
 //! Latency is reported from **two vantage points**. The client-side
 //! columns (`run_p50_ms`/`run_p99_ms`) time the full round trip —
@@ -211,6 +220,7 @@ fn run() -> Result<(), String> {
             threads,
             cache_bytes: 0,
             max_insns: 2_000_000_000,
+            ..ServeConfig::default()
         },
     )
     .map_err(|e| format!("{}: {e}", cold_socket.display()))?;
@@ -227,6 +237,7 @@ fn run() -> Result<(), String> {
             threads,
             cache_bytes: 256 << 20,
             max_insns: 2_000_000_000,
+            ..ServeConfig::default()
         },
     )
     .map_err(|e| format!("{}: {e}", warm_socket.display()))?;
@@ -282,6 +293,116 @@ fn run() -> Result<(), String> {
         (hist("serve.op.build.us")?, hist("serve.op.run.us")?)
     };
     drop(warm_server);
+
+    // Phase 4: restart recovery — populate a disk-backed server, tear
+    // it down, restart on the same --cache-dir, replay. The metric is
+    // the warm hit rate after restart: how much of the working set the
+    // persistent store carried across the process boundary.
+    eprintln!("servebench: restart recovery phase...");
+    let store_dir = socket_dir.join(format!("rtdc-servebench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let restart_socket = socket_dir.join(format!(
+        "rtdc-servebench-restart-{}.sock",
+        std::process::id()
+    ));
+    let disk_config = ServeConfig {
+        threads,
+        cache_bytes: 256 << 20,
+        max_insns: 2_000_000_000,
+        cache_dir: Some(store_dir.clone()),
+        ..ServeConfig::default()
+    };
+    let restart_hit_rate = {
+        let populate = |socket: &std::path::Path| -> Result<(), String> {
+            let mut c = Client::connect(socket).map_err(|e| e.to_string())?;
+            for bench in BENCHES {
+                for label in LABELS {
+                    let resp = c
+                        .request_raw(&request_line("build", bench, label, None))
+                        .map_err(|e| e.to_string())?;
+                    if !resp.starts_with(r#"{"ok":true"#) {
+                        return Err(format!("restart-phase build failed: {resp}"));
+                    }
+                }
+            }
+            Ok(())
+        };
+        let gen1 = Server::start(&restart_socket, disk_config.clone())
+            .map_err(|e| format!("{}: {e}", restart_socket.display()))?;
+        populate(&restart_socket)?;
+        drop(gen1); // process boundary stand-in: only the disk survives
+        let gen2 = Server::start(&restart_socket, disk_config)
+            .map_err(|e| format!("{}: {e}", restart_socket.display()))?;
+        populate(&restart_socket)?;
+        let (lookups, hits, _) = cache_stats(&restart_socket)?;
+        drop(gen2);
+        let _ = std::fs::remove_dir_all(&store_dir);
+        hits as f64 / lookups.max(1) as f64
+    };
+
+    // Phase 5: shed correctness — a deliberately overloadable server
+    // (one worker, no cache, queue of one). Every response under
+    // saturation must be well-formed: `ok:true` or a typed
+    // `overloaded`. The metric is that fraction; anything below 1.0
+    // means a client saw a malformed line or an untyped failure.
+    eprintln!("servebench: shed correctness phase...");
+    let shed_socket = socket_dir.join(format!("rtdc-servebench-shed-{}.sock", std::process::id()));
+    let shed_server = Server::start(
+        &shed_socket,
+        ServeConfig {
+            threads: 1,
+            cache_bytes: 0,
+            max_insns: 2_000_000_000,
+            max_queue: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .map_err(|e| format!("{}: {e}", shed_socket.display()))?;
+    let shed_correctness = {
+        let per_client = 8usize;
+        let counts: Vec<Result<(u64, u64), String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..args.clients)
+                .map(|id| {
+                    let socket = &shed_socket;
+                    scope.spawn(move || {
+                        let mut c = Client::connect(socket).map_err(|e| e.to_string())?;
+                        let line = request_line(
+                            "build",
+                            BENCHES[id % BENCHES.len()],
+                            LABELS[id % LABELS.len()],
+                            None,
+                        );
+                        let (mut total, mut well_formed) = (0u64, 0u64);
+                        for _ in 0..per_client {
+                            let resp = c.request_raw(&line).map_err(|e| e.to_string())?;
+                            total += 1;
+                            let ok = resp.starts_with(r#"{"ok":true"#);
+                            let shed = rtdc_serve::json::parse(&resp).is_ok_and(|v| {
+                                v.get("error").and_then(Json::as_str) == Some("overloaded")
+                            });
+                            if ok || shed {
+                                well_formed += 1;
+                            }
+                        }
+                        Ok((total, well_formed))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|_| Err("client panicked".into())))
+                .collect()
+        });
+        let (mut total, mut well_formed) = (0u64, 0u64);
+        for r in counts {
+            let (t, w) = r?;
+            total += t;
+            well_formed += w;
+        }
+        well_formed as f64 / total.max(1) as f64
+    };
+    drop(shed_server);
+
     run_lats.sort_unstable();
     let run_rps = run_reqs as f64 / run_wall.as_secs_f64();
     let p50 = percentile(&run_lats, 0.50);
@@ -299,6 +420,8 @@ fn run() -> Result<(), String> {
         ("build_p99_ms", q_ms(&build_us, 0.99)),
         ("run_p50_daemon_ms", q_ms(&run_us, 0.50)),
         ("run_p99_daemon_ms", q_ms(&run_us, 0.99)),
+        ("restart_hit_rate", restart_hit_rate),
+        ("shed_correctness", shed_correctness),
     ];
     let mut out = String::new();
     out.push_str("{\n");

@@ -27,6 +27,14 @@
 //! `lookups == hits + misses + poisoned`, and
 //! `entries == inserts − evictions − poisoned`.
 //!
+//! With a [`DiskStore`] attached ([`ImageCache::with_store`]), misses
+//! probe the store before building — a verified disk file is served as
+//! an [`Outcome::StoreHit`] (counted in `hits` and `store_hits`) — and
+//! every fresh build is spilled so the next daemon on the same
+//! `--cache-dir` starts warm. Nothing a store yields has skipped
+//! verification: the load path re-runs `verify_integrity()` and
+//! quarantines failures.
+//!
 //! [`CompressionPlan::digest`]: rtdc::plan::CompressionPlan::digest
 //! [`MemoryImage::verify_integrity`]: rtdc::image::MemoryImage::verify_integrity
 //! [`MemoryImage::resident_bytes`]: rtdc::image::MemoryImage::resident_bytes
@@ -37,6 +45,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use rtdc::image::MemoryImage;
 
 use crate::protocol::ServeError;
+use crate::store::DiskStore;
 
 /// The content address of a cached image.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -64,6 +73,9 @@ impl std::fmt::Display for CacheKey {
 pub enum Outcome {
     /// Served from cache, integrity verified.
     Hit,
+    /// Not resident, but recovered from the disk store (decoded and
+    /// integrity-verified) without building. Counted as a hit.
+    StoreHit,
     /// Not cached; this request built the image.
     Miss,
     /// Cached but failed integrity verification; the entry was evicted
@@ -76,8 +88,11 @@ pub enum Outcome {
 pub struct CacheStats {
     /// Lookups through [`ImageCache::get_or_build`].
     pub lookups: u64,
-    /// Lookups served from cache (verified).
+    /// Lookups served from cache (verified). Includes `store_hits`.
     pub hits: u64,
+    /// The subset of `hits` recovered from the disk store rather than
+    /// resident memory.
+    pub store_hits: u64,
     /// Lookups that built because nothing was cached.
     pub misses: u64,
     /// Lookups that found a cached entry failing verification
@@ -117,6 +132,7 @@ struct Inner {
     bytes: u64,
     lookups: u64,
     hits: u64,
+    store_hits: u64,
     misses: u64,
     poisoned: u64,
     inserts: u64,
@@ -151,6 +167,7 @@ pub struct ImageCache {
     inner: Mutex<Inner>,
     flights: Condvar,
     budget: u64,
+    store: Option<Arc<DiskStore>>,
 }
 
 impl ImageCache {
@@ -162,7 +179,24 @@ impl ImageCache {
             inner: Mutex::new(Inner::default()),
             flights: Condvar::new(),
             budget: budget_bytes,
+            store: None,
         }
+    }
+
+    /// Like [`ImageCache::new`], backed by a persistent [`DiskStore`]:
+    /// misses probe the store before building (a verified disk file is
+    /// a [`Outcome::StoreHit`]), and every fresh build is spilled so the
+    /// next daemon on this store starts warm.
+    pub fn with_store(budget_bytes: u64, store: Arc<DiskStore>) -> ImageCache {
+        ImageCache {
+            store: Some(store),
+            ..ImageCache::new(budget_bytes)
+        }
+    }
+
+    /// The backing disk store, if one is attached.
+    pub fn store(&self) -> Option<&Arc<DiskStore>> {
+        self.store.as_ref()
     }
 
     /// Serves `key` from cache, or builds it with `build` exactly once
@@ -220,9 +254,6 @@ impl ImageCache {
                 continue;
             }
             guard.building.insert(key.clone());
-            if !poisoned_here {
-                guard.misses += 1;
-            }
             break;
         }
         drop(guard);
@@ -242,12 +273,38 @@ impl ImageCache {
             }
         }
         let flight = Flight { cache: self, key };
-        let built = build();
+
+        // Probe the disk store before committing to a build. A verified
+        // disk file is a hit this process never paid a build for; it
+        // becomes resident so subsequent lookups are plain hits. A
+        // poisoned resident entry is always *rebuilt* (the store file
+        // shares its lineage, so the fresh build is the safe source).
+        if !poisoned_here {
+            if let Some(store) = &self.store {
+                if let Ok(Some(image)) = store.load(key) {
+                    let image = Arc::new(image);
+                    let mut g = self.inner.lock().expect("cache lock");
+                    g.hits += 1;
+                    g.store_hits += 1;
+                    self.insert_locked(&mut g, key, &image);
+                    drop(g);
+                    drop(flight);
+                    return Ok((image, Outcome::StoreHit));
+                }
+            }
+        }
+        // Only now is this lookup a miss: nothing resident, nothing
+        // (valid) on disk.
         let outcome = if poisoned_here {
             Outcome::Poisoned
         } else {
+            let mut g = self.inner.lock().expect("cache lock");
+            g.misses += 1;
+            drop(g);
             Outcome::Miss
         };
+
+        let built = build();
         match built {
             Err(e) => {
                 let mut g = self.inner.lock().expect("cache lock");
@@ -258,35 +315,47 @@ impl ImageCache {
             }
             Ok(image) => {
                 let image = Arc::new(image);
-                let bytes = image.resident_bytes();
                 let mut g = self.inner.lock().expect("cache lock");
-                if bytes > self.budget {
-                    g.uncached += 1;
-                } else {
-                    g.tick += 1;
-                    let tick = g.tick;
-                    let prev = g.map.insert(
-                        key.clone(),
-                        Entry {
-                            image: Arc::clone(&image),
-                            bytes,
-                            last_use: tick,
-                        },
-                    );
-                    // A concurrent poisoned rebuild can race us here;
-                    // replacing is correct (same key, same content).
-                    if let Some(prev) = prev {
-                        g.bytes -= prev.bytes;
-                    }
-                    g.bytes += bytes;
-                    g.inserts += 1;
-                    g.evict_to(self.budget, key);
-                }
+                self.insert_locked(&mut g, key, &image);
                 drop(g);
                 drop(flight);
+                // Spill after waking waiters (they are served from the
+                // map); the store skips keys already on disk.
+                if let Some(store) = &self.store {
+                    let _ = store.spill(key, &image);
+                }
                 Ok((image, outcome))
             }
         }
+    }
+
+    /// Inserts `image` under `key`, honoring the byte budget (oversized
+    /// images count `uncached` and are served unresident). Requires the
+    /// inner lock, passed as `g`.
+    fn insert_locked(&self, g: &mut Inner, key: &CacheKey, image: &Arc<MemoryImage>) {
+        let bytes = image.resident_bytes();
+        if bytes > self.budget {
+            g.uncached += 1;
+            return;
+        }
+        g.tick += 1;
+        let tick = g.tick;
+        let prev = g.map.insert(
+            key.clone(),
+            Entry {
+                image: Arc::clone(image),
+                bytes,
+                last_use: tick,
+            },
+        );
+        // A concurrent poisoned rebuild can race us here; replacing is
+        // correct (same key, same content).
+        if let Some(prev) = prev {
+            g.bytes -= prev.bytes;
+        }
+        g.bytes += bytes;
+        g.inserts += 1;
+        g.evict_to(self.budget, key);
     }
 
     /// Mutates the cached image under `key` in place, if present —
@@ -310,6 +379,7 @@ impl ImageCache {
         CacheStats {
             lookups: g.lookups,
             hits: g.hits,
+            store_hits: g.store_hits,
             misses: g.misses,
             poisoned: g.poisoned,
             inserts: g.inserts,
@@ -457,6 +527,42 @@ mod tests {
         let (_, o) = cache.get_or_build(&key("a"), || Ok(image(64))).unwrap();
         assert_eq!(o, Outcome::Miss);
         assert_eq!(cache.stats().build_failures, 1);
+    }
+
+    #[test]
+    fn store_backed_cache_recovers_across_instances() {
+        let dir = std::env::temp_dir().join(format!(
+            "rtdc-cache-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(DiskStore::open(&dir).unwrap());
+        let cache = ImageCache::with_store(1 << 20, store);
+        let (_, o) = cache.get_or_build(&key("a"), || Ok(image(64))).unwrap();
+        assert_eq!(o, Outcome::Miss);
+        drop(cache);
+
+        // A "restarted daemon": fresh RAM cache, same directory.
+        let store = Arc::new(DiskStore::open(&dir).unwrap());
+        let cache = ImageCache::with_store(1 << 20, Arc::clone(&store));
+        let (img, o) = cache
+            .get_or_build(&key("a"), || panic!("must not rebuild"))
+            .unwrap();
+        assert_eq!(o, Outcome::StoreHit);
+        img.verify_integrity().expect("store hit is verified");
+        // Now resident: the next lookup is a plain hit.
+        let (_, o) = cache.get_or_build(&key("a"), || unreachable!()).unwrap();
+        assert_eq!(o, Outcome::Hit);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.store_hits, s.misses), (2, 1, 0));
+        assert_eq!(s.lookups, s.hits + s.misses + s.poisoned);
+        assert_eq!(
+            s.entries as i64,
+            (s.inserts - s.evictions - s.poisoned) as i64
+        );
+        assert_eq!(store.stats().loads, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

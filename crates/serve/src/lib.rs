@@ -40,3 +40,4 @@ pub mod json;
 pub mod pool;
 pub mod protocol;
 pub mod server;
+pub mod store;

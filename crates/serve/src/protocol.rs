@@ -67,6 +67,8 @@ pub enum Request {
         bench: String,
         /// What to build.
         spec: BuildSpec,
+        /// Client-supplied deadline budget, measured from admission.
+        deadline_ms: Option<u64>,
     },
     /// Build (or fetch) and run to completion.
     Run {
@@ -76,6 +78,8 @@ pub enum Request {
         spec: BuildSpec,
         /// Instruction limit override (default: the server's).
         max_insns: Option<u64>,
+        /// Client-supplied deadline budget, measured from admission.
+        deadline_ms: Option<u64>,
     },
     /// Build (or fetch) and run with an event-counting trace sink.
     Trace {
@@ -85,6 +89,8 @@ pub enum Request {
         spec: BuildSpec,
         /// Instruction limit override.
         max_insns: Option<u64>,
+        /// Client-supplied deadline budget, measured from admission.
+        deadline_ms: Option<u64>,
     },
     /// Run the closed-loop plan optimizer for a benchmark × scheme.
     Plan {
@@ -95,6 +101,8 @@ pub enum Request {
         scheme: String,
         /// Second-register-file handler variant.
         rf: bool,
+        /// Client-supplied deadline budget, measured from admission.
+        deadline_ms: Option<u64>,
     },
     /// Server and cache counters.
     Stats,
@@ -105,6 +113,20 @@ pub enum Request {
     },
     /// Orderly shutdown.
     Shutdown,
+}
+
+impl Request {
+    /// The client-supplied deadline budget, if any (work ops only;
+    /// `stats`/`metrics`/`shutdown` are cheap and never time out).
+    pub fn deadline_ms(&self) -> Option<u64> {
+        match self {
+            Request::Build { deadline_ms, .. }
+            | Request::Run { deadline_ms, .. }
+            | Request::Trace { deadline_ms, .. }
+            | Request::Plan { deadline_ms, .. } => *deadline_ms,
+            Request::Stats | Request::Metrics { .. } | Request::Shutdown => None,
+        }
+    }
 }
 
 /// How a `metrics` response renders the snapshot.
@@ -173,6 +195,20 @@ pub enum ServeError {
         /// Why.
         detail: String,
     },
+    /// The admission queue is full; the request was shed without being
+    /// queued. Retryable: the work was never started.
+    Overloaded {
+        /// Queue depth at shed time.
+        queue_depth: u64,
+        /// The configured admission limit.
+        limit: u64,
+    },
+    /// The request's `deadline_ms` budget expired before a result was
+    /// produced (at dequeue, or between build and run phases).
+    Timeout {
+        /// The budget that expired.
+        deadline_ms: u64,
+    },
 }
 
 impl ServeError {
@@ -189,6 +225,8 @@ impl ServeError {
             ServeError::BuildFailed { .. } => "build-failed",
             ServeError::RunFailed { .. } => "run-failed",
             ServeError::Unsupported { .. } => "unsupported",
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::Timeout { .. } => "timeout",
         }
     }
 
@@ -212,6 +250,12 @@ impl ServeError {
             }
             ServeError::UnknownScheme { scheme } => {
                 format!("unknown scheme `{scheme}`")
+            }
+            ServeError::Overloaded { queue_depth, limit } => {
+                format!("admission queue full ({queue_depth} >= {limit}); retry with backoff")
+            }
+            ServeError::Timeout { deadline_ms } => {
+                format!("deadline of {deadline_ms} ms exceeded")
             }
         }
     }
@@ -290,6 +334,18 @@ fn max_insns_field(obj: &Json) -> Result<Option<u64>, ServeError> {
     }
 }
 
+fn deadline_field(obj: &Json) -> Result<Option<u64>, ServeError> {
+    match obj.get("deadline_ms") {
+        None => Ok(None),
+        Some(v) => match v.as_u64() {
+            Some(ms) if ms > 0 => Ok(Some(ms)),
+            _ => Err(ServeError::BadRequest {
+                detail: "`deadline_ms` must be a positive integer".into(),
+            }),
+        },
+    }
+}
+
 /// Parses one request line (already length-checked by the reader).
 ///
 /// # Errors
@@ -314,16 +370,19 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
         "build" => Ok(Request::Build {
             bench: bench_field(&obj)?,
             spec: build_spec(&obj)?,
+            deadline_ms: deadline_field(&obj)?,
         }),
         "run" => Ok(Request::Run {
             bench: bench_field(&obj)?,
             spec: build_spec(&obj)?,
             max_insns: max_insns_field(&obj)?,
+            deadline_ms: deadline_field(&obj)?,
         }),
         "trace" => Ok(Request::Trace {
             bench: bench_field(&obj)?,
             spec: build_spec(&obj)?,
             max_insns: max_insns_field(&obj)?,
+            deadline_ms: deadline_field(&obj)?,
         }),
         "plan" => {
             let bench = bench_field(&obj)?;
@@ -337,7 +396,12 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
                 Some(base) => (base.to_string(), true),
                 None => (arg.to_string(), false),
             };
-            Ok(Request::Plan { bench, scheme, rf })
+            Ok(Request::Plan {
+                bench,
+                scheme,
+                rf,
+                deadline_ms: deadline_field(&obj)?,
+            })
         }
         "stats" => Ok(Request::Stats),
         "metrics" => {
@@ -448,6 +512,7 @@ mod tests {
                     rf: true
                 },
                 max_insns: None,
+                deadline_ms: None,
             }
         );
         assert_eq!(
@@ -455,6 +520,7 @@ mod tests {
             Request::Build {
                 bench: "sort".into(),
                 spec: BuildSpec::Native,
+                deadline_ms: None,
             }
         );
         assert_eq!(
@@ -463,6 +529,7 @@ mod tests {
                 bench: "go".into(),
                 scheme: "cp".into(),
                 rf: false,
+                deadline_ms: None,
             }
         );
         assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
@@ -510,6 +577,14 @@ mod tests {
                 "bad-request",
             ),
             (r#"{"op":"plan","bench":"go"}"#, "bad-request"),
+            (
+                r#"{"op":"run","bench":"sort","deadline_ms":0}"#,
+                "bad-request",
+            ),
+            (
+                r#"{"op":"run","bench":"sort","deadline_ms":"soon"}"#,
+                "bad-request",
+            ),
         ];
         for (line, kind) in cases {
             let err = parse_request(line).unwrap_err();
@@ -524,6 +599,25 @@ mod tests {
                 "error response must be JSON"
             );
         }
+    }
+
+    #[test]
+    fn deadline_is_parsed_and_overload_errors_are_typed() {
+        let req = parse_request(r#"{"op":"run","bench":"sort","deadline_ms":250}"#).unwrap();
+        assert_eq!(req.deadline_ms(), Some(250));
+        assert_eq!(
+            parse_request(r#"{"op":"stats"}"#).unwrap().deadline_ms(),
+            None
+        );
+        let o = ServeError::Overloaded {
+            queue_depth: 9,
+            limit: 8,
+        };
+        assert_eq!(o.kind(), "overloaded");
+        assert!(json::parse(&o.render()).is_ok());
+        let t = ServeError::Timeout { deadline_ms: 250 };
+        assert_eq!(t.kind(), "timeout");
+        assert!(json::parse(&t.render()).is_ok());
     }
 
     #[test]

@@ -41,9 +41,10 @@ use crate::pool::WorkerPool;
 use crate::protocol::{
     parse_request, stats_json, BuildSpec, MetricsFormat, Request, ServeError, MAX_LINE_BYTES,
 };
+use crate::store::DiskStore;
 
 /// Server tunables.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker threads executing requests.
     pub threads: usize,
@@ -51,6 +52,18 @@ pub struct ServeConfig {
     pub cache_bytes: u64,
     /// Default per-run instruction limit (requests may override).
     pub max_insns: u64,
+    /// Directory for the persistent image store (`--cache-dir`).
+    /// `None` means RAM-only: the cache dies with the process.
+    pub cache_dir: Option<PathBuf>,
+    /// Admission bound: a request arriving while this many jobs are
+    /// already queued (excluding in-flight) is shed with a typed
+    /// `overloaded` error instead of queueing without bound.
+    pub max_queue: u64,
+    /// Per-connection write-stall budget in milliseconds: a response
+    /// write making no progress for this long is abandoned and the
+    /// connection dropped, so a slow-loris client cannot pin a reader
+    /// thread.
+    pub write_stall_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +72,9 @@ impl Default for ServeConfig {
             threads: rtdc_bench::jobs::default_jobs(),
             cache_bytes: 64 << 20,
             max_insns: 2_000_000_000,
+            cache_dir: None,
+            max_queue: 1024,
+            write_stall_ms: 2_000,
         }
     }
 }
@@ -121,6 +137,11 @@ pub struct ServeMetrics {
     /// Per-job pool wall time (`serve.pool.job_wall.us`), fed by the
     /// worker loop.
     pub pool_wall: Arc<Histogram>,
+    /// Requests shed at admission with `overloaded` (`serve.shed`).
+    pub shed: Arc<Counter>,
+    /// Requests whose `deadline_ms` budget expired
+    /// (`serve.deadline_exceeded`).
+    pub deadline_exceeded: Arc<Counter>,
     /// `serve.op.<op>.us` service-time histograms, one per [`OPS`] entry.
     op_us: Vec<(&'static str, Arc<Histogram>)>,
 }
@@ -136,6 +157,8 @@ impl ServeMetrics {
             bytes_in: registry.counter("serve.bytes_in"),
             bytes_out: registry.counter("serve.bytes_out"),
             pool_wall: registry.histogram("serve.pool.job_wall.us"),
+            shed: registry.counter("serve.shed"),
+            deadline_exceeded: registry.counter("serve.deadline_exceeded"),
             op_us,
             registry,
         }
@@ -185,27 +208,59 @@ pub struct ServeState {
     pub ops: OpCounters,
     /// The telemetry registry and its hot-path handles.
     pub metrics: ServeMetrics,
+    /// Admission bound (see [`ServeConfig::max_queue`]).
+    pub max_queue: u64,
+    /// Write-stall budget (see [`ServeConfig::write_stall_ms`]).
+    pub write_stall_ms: u64,
     started: Instant,
     started_at: u64,
     shutdown: AtomicBool,
 }
 
 impl ServeState {
-    /// Fresh state for `config`.
+    /// Fresh state for `config`. Panics if the configured `cache_dir`
+    /// cannot be opened; use [`ServeState::try_new`] to handle that.
     pub fn new(config: &ServeConfig) -> ServeState {
+        ServeState::try_new(config).expect("open cache dir")
+    }
+
+    /// Fresh state for `config`, opening (and scanning) the persistent
+    /// store when `cache_dir` is set.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating or reading the store directory. Individual
+    /// bad store *files* are never errors — the scan quarantines them.
+    pub fn try_new(config: &ServeConfig) -> std::io::Result<ServeState> {
         let metrics = ServeMetrics::new();
-        ServeState {
-            cache: ImageCache::new(config.cache_bytes),
+        let cache = match &config.cache_dir {
+            None => ImageCache::new(config.cache_bytes),
+            Some(dir) => {
+                let store = Arc::new(DiskStore::open(dir)?);
+                let s = store.stats();
+                log::event(Level::Info, "store_open")
+                    .str("dir", &dir.to_string_lossy())
+                    .u64("entries", s.entries)
+                    .u64("quarantined", s.quarantined)
+                    .u64("tmp_cleaned", s.tmp_cleaned)
+                    .emit();
+                ImageCache::with_store(config.cache_bytes, store)
+            }
+        };
+        Ok(ServeState {
+            cache,
             sim: rtdc_sim::SimConfig::hpca2000_baseline(),
             max_insns: config.max_insns,
             ops: OpCounters::new(&metrics.registry),
             metrics,
+            max_queue: config.max_queue,
+            write_stall_ms: config.write_stall_ms,
             started: Instant::now(),
             started_at: SystemTime::now()
                 .duration_since(UNIX_EPOCH)
                 .map_or(0, |d| d.as_secs()),
             shutdown: AtomicBool::new(false),
-        }
+        })
     }
 
     /// Whole seconds since this state was constructed.
@@ -238,6 +293,7 @@ fn sync_ambient(state: &ServeState, pool: Option<&WorkerPool>) {
     for (name, v) in [
         ("lookups", c.lookups),
         ("hits", c.hits),
+        ("store_hits", c.store_hits),
         ("misses", c.misses),
         ("poisoned", c.poisoned),
         ("inserts", c.inserts),
@@ -250,6 +306,21 @@ fn sync_ambient(state: &ServeState, pool: Option<&WorkerPool>) {
         ("budget_bytes", c.budget_bytes),
     ] {
         reg.gauge(&format!("serve.cache.{name}")).set(v);
+    }
+    if let Some(store) = state.cache.store() {
+        let s = store.stats();
+        for (name, v) in [
+            ("entries", s.entries),
+            ("scanned", s.scanned),
+            ("quarantined", s.quarantined),
+            ("tmp_cleaned", s.tmp_cleaned),
+            ("loads", s.loads),
+            ("load_failures", s.load_failures),
+            ("spills", s.spills),
+            ("spill_failures", s.spill_failures),
+        ] {
+            reg.gauge(&format!("serve.store.{name}")).set(v);
+        }
     }
     if let Some(p) = pool {
         for (name, v) in [
@@ -392,13 +463,44 @@ fn handle_build(state: &ServeState, bench: &str, spec: &BuildSpec) -> Result<Str
     Ok(w.finish())
 }
 
+/// A request's deadline budget, anchored at admission (the instant the
+/// line came off the socket — queue time counts against the budget).
+#[derive(Debug, Clone, Copy)]
+struct Deadline {
+    at: Instant,
+    ms: u64,
+}
+
+impl Deadline {
+    /// The deadline for `req`, if it carries one, anchored at `admitted`.
+    fn of(req: &Request, admitted: Instant) -> Option<Deadline> {
+        req.deadline_ms().map(|ms| Deadline {
+            at: admitted + Duration::from_millis(ms),
+            ms,
+        })
+    }
+
+    /// Errors with a typed [`ServeError::Timeout`] if the budget has
+    /// expired. Called at dequeue and between build and run phases.
+    fn check(d: Option<Deadline>) -> Result<(), ServeError> {
+        match d {
+            Some(d) if Instant::now() >= d.at => Err(ServeError::Timeout { deadline_ms: d.ms }),
+            _ => Ok(()),
+        }
+    }
+}
+
 fn handle_run(
     state: &ServeState,
     bench: &str,
     spec: &BuildSpec,
     max_insns: Option<u64>,
+    deadline: Option<Deadline>,
 ) -> Result<String, ServeError> {
     let (image, label, digest) = obtain_image(state, bench, spec)?;
+    // The build phase may have consumed the whole budget; answer
+    // `timeout` rather than starting a run the client gave up on.
+    Deadline::check(deadline)?;
     let limit = max_insns.unwrap_or(state.max_insns);
     let sim_start = Instant::now();
     let report = run_image(&image, state.sim, limit).map_err(|e| ServeError::RunFailed {
@@ -444,8 +546,10 @@ fn handle_trace(
     bench: &str,
     spec: &BuildSpec,
     max_insns: Option<u64>,
+    deadline: Option<Deadline>,
 ) -> Result<String, ServeError> {
     let (image, label, digest) = obtain_image(state, bench, spec)?;
+    Deadline::check(deadline)?;
     let limit = max_insns.unwrap_or(state.max_insns);
     let sim_start = Instant::now();
     let (report, sink) = run_image_with_sink(&image, state.sim, limit, CountSink::default())
@@ -521,6 +625,7 @@ fn handle_stats(state: &ServeState, pool: Option<&WorkerPool>) -> String {
     cache
         .u64("lookups", c.lookups)
         .u64("hits", c.hits)
+        .u64("store_hits", c.store_hits)
         .u64("misses", c.misses)
         .u64("poisoned", c.poisoned)
         .u64("inserts", c.inserts)
@@ -538,6 +643,19 @@ fn handle_stats(state: &ServeState, pool: Option<&WorkerPool>) -> String {
         .u64("uptime_seconds", state.uptime_seconds())
         .raw("requests", &requests.finish())
         .raw("cache", &cache.finish());
+    if let Some(store) = state.cache.store() {
+        let s = store.stats();
+        let mut sw = ObjWriter::new();
+        sw.u64("entries", s.entries)
+            .u64("scanned", s.scanned)
+            .u64("quarantined", s.quarantined)
+            .u64("tmp_cleaned", s.tmp_cleaned)
+            .u64("loads", s.loads)
+            .u64("load_failures", s.load_failures)
+            .u64("spills", s.spills)
+            .u64("spill_failures", s.spill_failures);
+        w.raw("store", &sw.finish());
+    }
     if let Some(p) = pool {
         let mut pw = ObjWriter::new();
         pw.u64("threads", p.threads() as u64)
@@ -578,31 +696,65 @@ fn handle_metrics(state: &ServeState, pool: Option<&WorkerPool>, format: Metrics
 /// observation in its `serve.op.<op>.us` service-time histogram — but
 /// none of it leaks into the response bytes of the four pure ops.
 pub fn handle_request(state: &ServeState, req: &Request, pool: Option<&WorkerPool>) -> String {
+    handle_request_at(state, req, pool, Instant::now())
+}
+
+/// [`handle_request`] with an explicit admission instant: the request's
+/// `deadline_ms` budget is measured from `admitted` (when the line came
+/// off the socket), so time spent queued behind other work counts
+/// against it. Expiry is checked here at dequeue — work the client has
+/// given up on is never started — and again between the build and run
+/// phases of `run`/`trace`.
+pub fn handle_request_at(
+    state: &ServeState,
+    req: &Request,
+    pool: Option<&WorkerPool>,
+    admitted: Instant,
+) -> String {
     let handler_start = Instant::now();
+    let deadline = Deadline::of(req, admitted);
     let (op, result) = match req {
-        Request::Build { bench, spec } => {
+        Request::Build { bench, spec, .. } => {
             state.ops.build.inc();
-            ("build", handle_build(state, bench, spec))
+            (
+                "build",
+                Deadline::check(deadline).and_then(|()| handle_build(state, bench, spec)),
+            )
         }
         Request::Run {
             bench,
             spec,
             max_insns,
+            ..
         } => {
             state.ops.run.inc();
-            ("run", handle_run(state, bench, spec, *max_insns))
+            (
+                "run",
+                Deadline::check(deadline)
+                    .and_then(|()| handle_run(state, bench, spec, *max_insns, deadline)),
+            )
         }
         Request::Trace {
             bench,
             spec,
             max_insns,
+            ..
         } => {
             state.ops.trace.inc();
-            ("trace", handle_trace(state, bench, spec, *max_insns))
+            (
+                "trace",
+                Deadline::check(deadline)
+                    .and_then(|()| handle_trace(state, bench, spec, *max_insns, deadline)),
+            )
         }
-        Request::Plan { bench, scheme, rf } => {
+        Request::Plan {
+            bench, scheme, rf, ..
+        } => {
             state.ops.plan.inc();
-            ("plan", handle_plan(state, bench, scheme, *rf))
+            (
+                "plan",
+                Deadline::check(deadline).and_then(|()| handle_plan(state, bench, scheme, *rf)),
+            )
         }
         Request::Stats => {
             state.ops.stats.inc();
@@ -623,6 +775,9 @@ pub fn handle_request(state: &ServeState, req: &Request, pool: Option<&WorkerPoo
         Ok(line) => line,
         Err(e) => {
             state.ops.errors.inc();
+            if matches!(e, ServeError::Timeout { .. }) {
+                state.metrics.deadline_exceeded.inc();
+            }
             state.metrics.record_error(e.kind());
             e.render()
         }
@@ -636,8 +791,19 @@ pub fn handle_request(state: &ServeState, req: &Request, pool: Option<&WorkerPoo
 
 /// Handles one raw request line end to end (parse + dispatch).
 pub fn handle_line(state: &ServeState, line: &str, pool: Option<&WorkerPool>) -> String {
+    handle_line_at(state, line, pool, Instant::now())
+}
+
+/// [`handle_line`] with an explicit admission instant (see
+/// [`handle_request_at`]).
+pub fn handle_line_at(
+    state: &ServeState,
+    line: &str,
+    pool: Option<&WorkerPool>,
+    admitted: Instant,
+) -> String {
     match parse_request(line) {
-        Ok(req) => handle_request(state, &req, pool),
+        Ok(req) => handle_request_at(state, &req, pool, admitted),
         Err(e) => {
             state.ops.errors.inc();
             state.metrics.record_error(e.kind());
@@ -787,8 +953,11 @@ fn serve_requests(
 ) -> u64 {
     // The read timeout bounds shutdown latency: an idle reader wakes at
     // this cadence, polls the flag, and exits instead of blocking a
-    // teardown join forever.
+    // teardown join forever. The write timeout turns a full send buffer
+    // into 50 ms ticks `write_line_bounded` can count against the
+    // stall budget, so a slow-loris client is bounded the same way.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(50)));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return 0,
@@ -817,7 +986,7 @@ fn serve_requests(
                     .str("note", "oversized line discarded")
                     .u64("bytes_out", resp.len() as u64 + 1)
                     .emit();
-                if write_line(&mut writer, &resp).is_err() {
+                if write_line_bounded(&mut writer, &resp, state, &stop).is_err() {
                     return seq;
                 }
                 continue;
@@ -830,14 +999,42 @@ fn serve_requests(
         let bytes_in = line.len() as u64 + 1;
         state.metrics.bytes_in.add(bytes_in);
         let req_start = Instant::now();
+        // Admission control: a queue already at the bound means this
+        // request would wait behind `max_queue` jobs; shed it with a
+        // typed, retryable `overloaded` instead of queueing unboundedly.
+        let depth = pool.queue_depth();
+        if depth >= state.max_queue {
+            let err = ServeError::Overloaded {
+                queue_depth: depth,
+                limit: state.max_queue,
+            };
+            state.ops.errors.inc();
+            state.metrics.record_error(err.kind());
+            state.metrics.shed.inc();
+            let resp = err.render();
+            seq += 1;
+            state.metrics.bytes_out.add(resp.len() as u64 + 1);
+            log::event(Level::Debug, "request")
+                .u64("conn", conn)
+                .u64("seq", seq)
+                .str("note", "shed: admission queue full")
+                .u64("queue_depth", depth)
+                .u64("bytes_out", resp.len() as u64 + 1)
+                .emit();
+            if write_line_bounded(&mut writer, &resp, state, &stop).is_err() {
+                return seq;
+            }
+            continue;
+        }
         let line = String::from_utf8_lossy(&line).into_owned();
         // Dispatch to the pool and wait for this request's reply; the
         // job never dispatches nested jobs, so the pool cannot deadlock.
         let (tx, rx) = mpsc::channel::<String>();
         let st = Arc::clone(state);
         let pl = Arc::clone(pool);
+        let admitted = req_start;
         let accepted = pool.execute(Box::new(move || {
-            let resp = handle_line(&st, &line, Some(&pl));
+            let resp = handle_line_at(&st, &line, Some(&pl), admitted);
             let _ = tx.send(resp);
         }));
         let resp = if accepted {
@@ -869,7 +1066,7 @@ fn serve_requests(
                 req_start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
             )
             .emit();
-        if write_line(&mut writer, &resp).is_err() {
+        if write_line_bounded(&mut writer, &resp, state, &stop).is_err() {
             return seq;
         }
         if state.shutdown_requested() {
@@ -882,9 +1079,55 @@ fn serve_requests(
     }
 }
 
-fn write_line(w: &mut UnixStream, line: &str) -> std::io::Result<()> {
-    w.write_all(line.as_bytes())?;
-    w.write_all(b"\n")?;
+/// Writes `line` + newline with a bounded stall. The stream's 50 ms
+/// write timeout turns a full send buffer into `WouldBlock`/`TimedOut`
+/// ticks; after [`ServeState::write_stall_ms`] with **no forward
+/// progress** (or on shutdown) the write is abandoned with an error and
+/// the caller drops the connection. A slow-loris client that stops
+/// draining its socket therefore costs a reader thread at most the
+/// stall budget, instead of pinning it forever; a merely *slow* client
+/// that keeps draining resets the budget on every accepted byte.
+fn write_line_bounded(
+    w: &mut UnixStream,
+    line: &str,
+    state: &ServeState,
+    stop: &dyn Fn() -> bool,
+) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(line.len() + 1);
+    buf.extend_from_slice(line.as_bytes());
+    buf.push(b'\n');
+    let budget = Duration::from_millis(state.write_stall_ms);
+    let mut off = 0usize;
+    let mut last_progress = Instant::now();
+    while off < buf.len() {
+        match w.write(&buf[off..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "peer stopped reading",
+                ))
+            }
+            Ok(n) => {
+                off += n;
+                last_progress = Instant::now();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop() || last_progress.elapsed() >= budget {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "write stalled past budget",
+                    ));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
     w.flush()
 }
 
@@ -904,16 +1147,20 @@ impl Server {
     pub fn start(path: &Path, config: ServeConfig) -> std::io::Result<Server> {
         let _ = std::fs::remove_file(path);
         let listener = UnixListener::bind(path)?;
-        let state = Arc::new(ServeState::new(&config));
+        let state = Arc::new(ServeState::try_new(&config)?);
         let pool = Arc::new(WorkerPool::new_instrumented(
             config.threads,
             Arc::clone(&state.metrics.pool_wall),
         ));
-        log::event(Level::Info, "serve_start")
+        let mut start_ev = log::event(Level::Info, "serve_start")
             .str("socket", &path.to_string_lossy())
             .u64("threads", config.threads as u64)
             .u64("cache_bytes", config.cache_bytes)
-            .emit();
+            .u64("max_queue", config.max_queue);
+        if let Some(dir) = &config.cache_dir {
+            start_ev = start_ev.str("cache_dir", &dir.to_string_lossy());
+        }
+        start_ev.emit();
         let accept_state = Arc::clone(&state);
         let accept_path = path.to_path_buf();
         let accept = std::thread::Builder::new()
@@ -1021,6 +1268,7 @@ mod tests {
             threads: 2,
             cache_bytes: 16 << 20,
             max_insns: 50_000_000,
+            ..ServeConfig::default()
         })
     }
 
@@ -1215,6 +1463,66 @@ mod tests {
                 .and_then(crate::json::Json::as_u64),
             Some(0)
         );
+    }
+
+    #[test]
+    fn expired_deadline_is_a_typed_timeout() {
+        let st = state();
+        let req = parse_request(r#"{"op":"run","bench":"sort","deadline_ms":1}"#).unwrap();
+        // Admitted 50 ms ago with a 1 ms budget: expired at dequeue.
+        let admitted = Instant::now() - Duration::from_millis(50);
+        let resp = handle_request_at(&st, &req, None, admitted);
+        assert!(resp.contains(r#""error":"timeout""#), "{resp}");
+        assert_eq!(st.metrics.deadline_exceeded.get(), 1);
+        assert_eq!(st.ops.errors.get(), 1);
+        // A generous budget admitted just now succeeds.
+        let req = parse_request(r#"{"op":"run","bench":"sort","deadline_ms":60000}"#).unwrap();
+        let resp = handle_request_at(&st, &req, None, Instant::now());
+        assert!(resp.contains(r#""ok":true"#), "{resp}");
+        // `deadline_ms` must not leak into the pure response bytes.
+        let plain = handle_line(&st, r#"{"op":"run","bench":"sort"}"#, None);
+        assert_eq!(resp, plain);
+    }
+
+    #[test]
+    fn stalled_writes_are_bounded_not_forever() {
+        use std::os::unix::net::UnixStream as Us;
+        let st = ServeState::new(&ServeConfig {
+            write_stall_ms: 150,
+            ..ServeConfig::default()
+        });
+        let (mut a, b) = Us::pair().unwrap();
+        let _ = a.set_write_timeout(Some(Duration::from_millis(50)));
+        // The peer never reads: a multi-megabyte line must fill the
+        // socket buffer and then abort within the stall budget.
+        let big = "x".repeat(8 << 20);
+        let start = Instant::now();
+        let err = write_line_bounded(&mut a, &big, &st, &(|| false)).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+            ),
+            "{err}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "stall must be bounded, took {:?}",
+            start.elapsed()
+        );
+        drop(b);
+        // A draining peer sees the whole line.
+        let (mut a, b) = Us::pair().unwrap();
+        let _ = a.set_write_timeout(Some(Duration::from_millis(50)));
+        let reader = std::thread::spawn(move || {
+            let mut r = BufReader::new(b);
+            let mut line = String::new();
+            r.read_line(&mut line).unwrap();
+            line.len()
+        });
+        write_line_bounded(&mut a, &big, &st, &(|| false)).unwrap();
+        drop(a);
+        assert_eq!(reader.join().unwrap(), big.len() + 1);
     }
 
     #[test]

@@ -33,6 +33,7 @@ fn state() -> ServeState {
         threads: 2,
         cache_bytes: 64 << 20,
         max_insns: 2_000_000_000,
+        ..ServeConfig::default()
     })
 }
 
@@ -137,6 +138,7 @@ fn poisoning_under_concurrent_clients_never_leaks() {
             threads: 3,
             cache_bytes: 64 << 20,
             max_insns: 2_000_000_000,
+            ..ServeConfig::default()
         },
     )
     .expect("start server");

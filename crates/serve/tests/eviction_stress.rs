@@ -89,6 +89,7 @@ fn random_streams_against_tiny_budget_reconcile_exactly() {
                         Outcome::Hit => hits.fetch_add(1, Ordering::Relaxed),
                         Outcome::Miss => misses.fetch_add(1, Ordering::Relaxed),
                         Outcome::Poisoned => panic!("nothing poisons in this test"),
+                        Outcome::StoreHit => panic!("no disk store in this test"),
                     };
                 }
             });
@@ -155,6 +156,7 @@ fn pool_saturation_with_more_clients_than_workers_never_deadlocks() {
             threads: 2,
             cache_bytes: 6 << 10, // a few KB: real images churn constantly
             max_insns: 2_000_000_000,
+            ..ServeConfig::default()
         },
     )
     .expect("start server");

@@ -43,6 +43,7 @@ fn registry_reconciles_with_cache_and_pool_after_eviction_stress() {
             threads: 2,
             cache_bytes: 6 << 10,
             max_insns: 2_000_000_000,
+            ..ServeConfig::default()
         },
     )
     .expect("start server");

@@ -9,10 +9,12 @@
 //! --test protocol_fuzz --release`).
 
 use rtdc_rng::Rng64;
+use rtdc_serve::cache::CacheKey;
 use rtdc_serve::client::Client;
 use rtdc_serve::json::Json;
 use rtdc_serve::protocol::MAX_LINE_BYTES;
 use rtdc_serve::server::{handle_line, ServeConfig, ServeState, Server};
+use rtdc_serve::store::{check_envelope, decode_store_file, encode_store_file};
 
 fn fuzz_iters(default: usize) -> usize {
     std::env::var("RTDC_FUZZ_ITERS")
@@ -100,6 +102,7 @@ fn dispatcher_never_panics_on_mutated_lines() {
         threads: 1,
         cache_bytes: 1 << 20,
         max_insns: 100_000, // cap simulation: fuzz may form valid runs
+        ..ServeConfig::default()
     });
     let mut rng = Rng64::seed_from_u64(0xF022_0001);
     for i in 0..fuzz_iters(300) {
@@ -127,6 +130,7 @@ fn socket_survives_fuzz_and_stays_responsive() {
             threads: 2,
             cache_bytes: 1 << 20,
             max_insns: 100_000,
+            ..ServeConfig::default()
         },
     )
     .expect("start server");
@@ -172,6 +176,7 @@ fn oversized_lines_are_rejected_without_buffering_or_wedging() {
             threads: 2,
             cache_bytes: 1 << 20,
             max_insns: 100_000,
+            ..ServeConfig::default()
         },
     )
     .expect("start server");
@@ -207,4 +212,122 @@ fn oversized_lines_are_rejected_without_buffering_or_wedging() {
         .expect("stats after oversize");
     assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
     drop(server);
+}
+
+/// A small sealed image to encode into store files for mutation.
+fn store_image() -> rtdc::image::MemoryImage {
+    let mut img = rtdc::image::MemoryImage {
+        name: "fuzz".into(),
+        scheme: None,
+        second_regfile: false,
+        entry: 0x1000,
+        initial_sp: 0x8000,
+        segments: vec![rtdc::image::Segment {
+            name: ".native".into(),
+            base: 0x1000,
+            bytes: (0..=255u8).cycle().take(600).collect(),
+        }],
+        c0_init: Vec::new(),
+        handler_range: None,
+        compressed_range: None,
+        proc_regions: Vec::new(),
+        proc_names: Vec::new(),
+        sizes: rtdc::image::SizeReport {
+            original_text_bytes: 600,
+            native_text_bytes: 600,
+            compressed_payload_bytes: 0,
+            handler_bytes: 0,
+        },
+        integrity: Vec::new(),
+        line_crcs: Vec::new(),
+    };
+    img.seal();
+    img
+}
+
+#[test]
+fn store_file_decode_never_panics_on_mutated_bytes() {
+    // The on-disk mutation family: flips, truncations, garbage headers,
+    // splices, and extensions of a valid store file must all come back
+    // as typed `StoreError`s from the envelope check and the full
+    // decode — never a panic, never a silently-accepted mutant.
+    let key = CacheKey {
+        bench: "tiny-walker".into(),
+        label: "d+rf".into(),
+        plan_digest: 0xF025,
+    };
+    let baseline = encode_store_file(&key, &store_image());
+    // Sanity: the pristine file round-trips.
+    let (k, img) = decode_store_file(&baseline).expect("pristine file decodes");
+    assert_eq!(k, key);
+    assert!(img.verify_integrity().is_ok());
+
+    let mut rng = Rng64::seed_from_u64(0xF022_0003);
+    let mut rejected = 0usize;
+    let iters = fuzz_iters(400);
+    for i in 0..iters {
+        let mut bytes = baseline.clone();
+        match rng.gen_range(0..5u32) {
+            // Bit flip anywhere.
+            0 => {
+                let at = rng.gen_range(0..bytes.len());
+                bytes[at] ^= 1 << rng.gen_range(0u32..8);
+            }
+            // Truncate to any prefix (including empty).
+            1 => bytes.truncate(rng.gen_range(0..bytes.len())),
+            // Garbage header: stomp magic/version/lengths.
+            2 => {
+                let head = rng.gen_range(1..24usize).min(bytes.len());
+                for b in &mut bytes[..head] {
+                    *b = (rng.gen_u32() & 0xFF) as u8;
+                }
+            }
+            // Splice: duplicate an interior window in place.
+            3 => {
+                let at = rng.gen_range(8..bytes.len() - 8);
+                let window: Vec<u8> = bytes[at..(at + 8).min(bytes.len())].to_vec();
+                let dst = rng.gen_range(0..bytes.len() - window.len());
+                bytes[dst..dst + window.len()].copy_from_slice(&window);
+                if bytes == baseline {
+                    continue; // splice landed on identical bytes
+                }
+            }
+            // Extend: trailing garbage after a valid file.
+            _ => {
+                for _ in 0..rng.gen_range(1..64usize) {
+                    bytes.push((rng.gen_u32() & 0xFF) as u8);
+                }
+            }
+        }
+        // Both entry points must fail typed — a mutant that still
+        // passes the whole-file CRC *and* decodes *and* verifies would
+        // be a silent acceptance, which is the one forbidden outcome.
+        let env = check_envelope(&bytes);
+        let full = decode_store_file(&bytes);
+        match (env, full) {
+            (Err(e), Err(f)) => {
+                // Typed both ways; `kind` is the taxonomy CI greps for.
+                assert!(!e.kind().is_empty() && !f.kind().is_empty());
+                rejected += 1;
+            }
+            (Ok(_), Ok((k2, img2))) => {
+                // Only acceptable if the mutation was semantically
+                // invisible (CRC32 collisions are possible in theory
+                // but the decoded result must still be *correct*).
+                assert_eq!(k2, key, "iter {i}: mutant changed the key");
+                assert!(
+                    img2.verify_integrity().is_ok(),
+                    "iter {i}: mutant decoded but fails integrity"
+                );
+            }
+            (env, full) => panic!(
+                "iter {i}: envelope and decode disagree: {env:?} vs {:?}",
+                full.map(|(k, _)| k)
+            ),
+        }
+    }
+    assert!(
+        rejected >= iters * 9 / 10,
+        "mutation family too weak: only {rejected}/{iters} rejected"
+    );
 }

@@ -60,6 +60,7 @@ fn racing_clients_get_bytes_identical_to_serial() {
         threads: 1,
         cache_bytes: 0, // no cache at all on the reference path
         max_insns: 2_000_000_000,
+        ..ServeConfig::default()
     });
     let expected: BTreeMap<&str, String> = requests
         .iter()
@@ -82,6 +83,7 @@ fn racing_clients_get_bytes_identical_to_serial() {
             threads: 4,
             cache_bytes: 64 << 20,
             max_insns: 2_000_000_000,
+            ..ServeConfig::default()
         },
     )
     .expect("start server");
@@ -133,6 +135,7 @@ fn server_stats_match_direct_runner_for_every_scheme() {
         threads: 1,
         cache_bytes: 16 << 20,
         max_insns: 2_000_000_000,
+        ..ServeConfig::default()
     });
     let program = rtdc_workloads::programs::all_programs()
         .into_iter()
